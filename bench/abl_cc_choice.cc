@@ -1,0 +1,92 @@
+// Ablation: Aequitas over different congestion controls.
+//
+// The paper positions Aequitas as CC-agnostic — it "relies on a
+// well-functioning congestion control algorithm ... to keep switch buffer
+// occupancy small" (§7) but operates strictly above it. This ablation runs
+// the Figure-12 workload (scaled down) over Swift, DCTCP(+ECN), and a fixed
+// window (no CC), with and without admission control. Expected: Aequitas
+// tracks its SLO over both real CCs; without any CC the fabric itself
+// melts, which admission control at the RPC layer cannot fully fix.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace aeq;
+
+struct Row {
+  double p999_h;
+  double p999_m;
+  double share_h;
+  double drops;
+};
+
+Row run(runner::ExperimentConfig::CcKind cc, bool aequitas) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 17;
+  config.num_qos = 3;
+  config.wfq_weights = {8.0, 4.0, 1.0};
+  config.cc_kind = cc;
+  config.fixed_window_packets = 64.0;
+  config.enable_aequitas = aequitas;
+  const double size_mtus = 8.0;
+  config.slo = rpc::SloConfig::make({25 * sim::kUsec / size_mtus,
+                                     50 * sim::kUsec / size_mtus, 0.0},
+                                    99.9);
+  runner::Experiment experiment(config);
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+  bench::AllToAllSpec spec;
+  spec.mix = {0.6, 0.3, 0.1};
+  spec.sizes = {sizes};
+  bench::attach_all_to_all(experiment, spec);
+  experiment.run(12 * sim::kMsec, 18 * sim::kMsec);
+
+  Row row{};
+  row.p999_h = experiment.metrics().rnl_by_run_qos(0).p999() / sim::kUsec;
+  row.p999_m = experiment.metrics().rnl_by_run_qos(1).p999() / sim::kUsec;
+  row.share_h = 100 * experiment.metrics().admitted_share(0);
+  double drops = 0;
+  for (std::size_t h = 0; h < experiment.network().num_hosts(); ++h) {
+    drops += static_cast<double>(
+        experiment.network()
+            .downlink(static_cast<net::HostId>(h))
+            .queue()
+            .stats()
+            .dropped_packets);
+  }
+  row.drops = drops;
+  return row;
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Ablation",
+                      "Aequitas over Swift vs DCTCP vs no CC "
+                      "(17-node all-to-all, SLO 25/50us)");
+  std::printf("%-22s %-10s %-14s %-14s %-12s %-12s\n", "congestion control",
+              "aequitas", "QoSh p999(us)", "QoSm p999(us)", "h share(%)",
+              "drops");
+  struct Case {
+    const char* name;
+    runner::ExperimentConfig::CcKind kind;
+  };
+  const Case cases[] = {
+      {"Swift", runner::ExperimentConfig::CcKind::kSwift},
+      {"DCTCP (ECN)", runner::ExperimentConfig::CcKind::kDctcp},
+      {"fixed window (none)", runner::ExperimentConfig::CcKind::kFixedWindow},
+  };
+  for (const Case& c : cases) {
+    for (bool aequitas : {false, true}) {
+      const Row row = run(c.kind, aequitas);
+      std::printf("%-22s %-10s %-14.1f %-14.1f %-12.1f %-12.0f\n", c.name,
+                  aequitas ? "on" : "off", row.p999_h, row.p999_m,
+                  row.share_h, row.drops);
+    }
+  }
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,87 @@
+// Shared helpers for the figure-reproduction benches: consistent headers,
+// per-QoS result tables, and the all-to-all workload wiring used by most of
+// the paper's experiments (§6.1: average load 0.8, burst load 1.4, Poisson
+// arrivals within bursts).
+#pragma once
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "runner/experiment.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+namespace aeq::bench {
+
+inline void print_header(const char* figure, const char* title) {
+  std::printf("==============================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("==============================================================\n");
+}
+
+inline void print_footer() { std::printf("\n"); }
+
+inline const char* qos_name(net::QoSLevel qos, std::size_t num_qos) {
+  if (num_qos == 2) return qos == 0 ? "QoS_h" : "QoS_l";
+  switch (qos) {
+    case 0: return "QoS_h";
+    case 1: return "QoS_m";
+    default: return "QoS_l";
+  }
+}
+
+// Attaches the paper's all-to-all workload to every host: per-host average
+// byte rate = `load` * link rate split across priority classes by `mix`.
+struct AllToAllSpec {
+  double load = 0.8;            // mu, fraction of link rate per host
+  double burst_load = 1.4;      // rho; burst_over_avg = rho / mu
+  sim::Time burst_period = 100 * sim::kUsec;
+  std::vector<double> mix = {0.6, 0.3, 0.1};  // PC/NC/BE byte shares
+  // One distribution per class (same pointer allowed).
+  std::vector<const workload::SizeDistribution*> sizes;
+  std::vector<sim::Time> deadline_budget;  // optional, per class
+};
+
+inline void attach_all_to_all(runner::Experiment& experiment,
+                              const AllToAllSpec& spec) {
+  const auto& config = experiment.config();
+  const double per_host_rate = spec.load * config.link_rate;
+  for (std::size_t h = 0; h < config.num_hosts; ++h) {
+    workload::GeneratorConfig gen;
+    gen.burst_over_avg = spec.burst_load / spec.load;
+    gen.burst_period = spec.burst_period;
+    for (std::size_t c = 0; c < spec.mix.size(); ++c) {
+      if (spec.mix[c] <= 0.0) continue;
+      workload::ClassLoad load;
+      load.priority = static_cast<rpc::Priority>(c);
+      load.byte_rate = spec.mix[c] * per_host_rate;
+      load.sizes = spec.sizes.size() == 1 ? spec.sizes[0] : spec.sizes.at(c);
+      load.deadline_budget =
+          spec.deadline_budget.empty() ? 0.0 : spec.deadline_budget.at(c);
+      gen.classes.push_back(load);
+    }
+    experiment.add_generator(static_cast<net::HostId>(h), gen);
+  }
+}
+
+// Prints the per-QoS RNL summary table (mean / p99 / p99.9, completions,
+// admitted share).
+inline void print_rnl_table(const rpc::RpcMetrics& metrics,
+                            std::size_t num_qos) {
+  std::printf("%-8s %-12s %-12s %-14s %-12s %-12s %-12s\n", "QoS",
+              "mean(us)", "p99(us)", "p99.9(us)", "completed", "downgr.",
+              "share(%)");
+  for (std::size_t q = 0; q < num_qos; ++q) {
+    const auto qos = static_cast<net::QoSLevel>(q);
+    const auto& rnl = metrics.rnl_by_run_qos(qos);
+    std::printf("%-8s %-12.1f %-12.1f %-14.1f %-12llu %-12llu %-12.1f\n",
+                qos_name(qos, num_qos), rnl.mean() / sim::kUsec,
+                rnl.p99() / sim::kUsec, rnl.p999() / sim::kUsec,
+                static_cast<unsigned long long>(metrics.completed(qos)),
+                static_cast<unsigned long long>(metrics.downgraded(qos)),
+                100.0 * metrics.admitted_share(qos));
+  }
+}
+
+}  // namespace aeq::bench

@@ -1,0 +1,35 @@
+// Figure 8: theoretical worst-case WFQ delay per QoS level versus
+// QoS_h-share, for weights 4:1, mu = 0.8, rho = 1.2 (Equations 1 and 8).
+// The paper's figure shows QoS_h delay at zero until ~67% share, rising to a
+// plateau ~0.13, and QoS_l delay peaking ~0.33 around the 67% share before
+// falling to zero; the crossover (priority inversion) sits near 80%.
+#include <cstdio>
+
+#include "analysis/admissible.h"
+#include "analysis/wfq_delay.h"
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace aeq;
+  analysis::TwoQosParams params{.phi = 4.0, .mu = 0.8, .rho = 1.2};
+
+  bench::print_header("Figure 8",
+                      "Theoretical worst-case delay, QoS_h:QoS_l = 4:1, "
+                      "mu=0.8, rho=1.2");
+  std::printf("%-14s %-18s %-18s\n", "QoSh-share(%)", "DelayBound(QoSh)",
+              "DelayBound(QoSl)");
+  for (int pct = 2; pct <= 98; pct += 2) {
+    const double x = pct / 100.0;
+    std::printf("%-14d %-18.4f %-18.4f\n", pct,
+                analysis::delay_high(params, x),
+                analysis::delay_low(params, x));
+  }
+
+  const double boundary = analysis::inversion_boundary(params);
+  std::printf("\nLemma-1 inversion boundary: QoSh-share = %.1f%%\n",
+              boundary * 100.0);
+  std::printf("Numeric admissible-region edge: QoSh-share = %.1f%%\n",
+              analysis::max_admissible_share(params) * 100.0);
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Figure 15: Aequitas admits close to the maximal (target) QoS-mix
+// irrespective of the input QoS-mix, while QoS_h stays SLO-compliant.
+//
+// Method (mirrors §6.3): first calibrate — run the 33-node baseline at the
+// target mix (25/25/50) and read the achieved p99.9 RNL per class; those
+// become the SLOs, so by construction ~25% QoS_h / ~25% QoS_m is the
+// maximal admissible traffic. Then feed four different input mixes through
+// Aequitas and report the admitted mix and QoS_h p99.9 RNL. Expected: all
+// inputs converge to ~the target mix (self-consistent for 25/25/50).
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace aeq;
+
+constexpr double kSizeMtus = 8.0;  // 32KB RPCs
+
+runner::Experiment make_experiment(bool with_aequitas,
+                                   const rpc::SloConfig& slo) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 33;
+  config.num_qos = 3;
+  config.wfq_weights = {8.0, 4.0, 1.0};
+  config.enable_aequitas = with_aequitas;
+  config.slo = slo;
+  // Favor SLO-compliance over work-conservation (§6.6 / Appendix C).
+  config.alpha = 0.003;
+  config.beta_per_mtu = 0.03;
+  return runner::Experiment(config);
+}
+
+void attach(runner::Experiment& experiment, const std::vector<double>& mix) {
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+  bench::AllToAllSpec spec;
+  spec.mix = mix;
+  spec.sizes = {sizes};
+  bench::attach_all_to_all(experiment, spec);
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 15",
+                      "Admitted QoS-mix converges to the target mix "
+                      "(25/25/50) for any input mix, 33-node");
+
+  // --- calibration: SLOs = baseline p99.9 at the target mix ---
+  rpc::SloConfig placeholder = rpc::SloConfig::make(
+      {15 * sim::kUsec / kSizeMtus, 25 * sim::kUsec / kSizeMtus, 0.0}, 99.9);
+  runner::Experiment calibration = make_experiment(false, placeholder);
+  attach(calibration, {0.25, 0.25, 0.50});
+  calibration.run(8 * sim::kMsec, 12 * sim::kMsec);
+  const double slo_h = calibration.metrics().rnl_by_run_qos(0).p999();
+  const double slo_m = calibration.metrics().rnl_by_run_qos(1).p999();
+  std::printf("calibrated SLOs at target mix: QoS_h %.1fus, QoS_m %.1fus "
+              "(p99.9)\n\n",
+              slo_h / sim::kUsec, slo_m / sim::kUsec);
+  const rpc::SloConfig slo = rpc::SloConfig::make(
+      {slo_h / kSizeMtus, slo_m / kSizeMtus, 0.0}, 99.9);
+
+  std::printf("%-22s %-22s %-18s\n", "input mix (h/m/l %)",
+              "admitted mix (h/m/l %)", "QoSh p99.9 (us)");
+  const std::vector<std::vector<double>> inputs = {
+      {0.25, 0.25, 0.50},
+      {0.60, 0.30, 0.10},
+      {0.50, 0.30, 0.20},
+      {0.40, 0.40, 0.20},
+  };
+  for (const auto& mix : inputs) {
+    runner::Experiment experiment = make_experiment(true, slo);
+    attach(experiment, mix);
+    experiment.run(25 * sim::kMsec, 30 * sim::kMsec);
+    const auto& metrics = experiment.metrics();
+    std::printf("%4.0f/%-4.0f/%-10.0f %6.1f/%-6.1f/%-10.1f %-18.1f\n",
+                mix[0] * 100, mix[1] * 100, mix[2] * 100,
+                100 * metrics.admitted_share(0),
+                100 * metrics.admitted_share(1),
+                100 * metrics.admitted_share(2),
+                metrics.rnl_by_run_qos(0).p999() / sim::kUsec);
+  }
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 19: Aequitas-over-WFQ versus plain Strict Priority Queuing as the
+// fraction of traffic marked QoS_h grows from 50% to 80% (QoS_m fixed at
+// 20%). Expected (paper): SPQ cannot maintain predictability — QoS_m blows
+// up as QoS_h grows and QoS_h itself degrades once "everyone is high
+// priority" (the race-to-the-top); Aequitas keeps both near their SLOs by
+// downgrading the excess.
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+
+namespace {
+
+using namespace aeq;
+
+struct Point {
+  double h_p999;
+  double m_p999;
+};
+
+Point run(double qosh_share, bool aequitas_wfq) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 33;
+  config.num_qos = 3;
+  config.enable_aequitas = aequitas_wfq;
+  if (aequitas_wfq) {
+    config.scheduler = net::SchedulerType::kWfq;
+    config.wfq_weights = {8.0, 4.0, 1.0};
+  } else {
+    config.scheduler = net::SchedulerType::kSpq;
+    config.wfq_weights = {1.0, 1.0, 1.0};  // class count for SPQ
+  }
+  const double size_mtus = 8.0;
+  config.slo = rpc::SloConfig::make(
+      {25 * sim::kUsec / size_mtus, 50 * sim::kUsec / size_mtus, 0.0}, 99.9);
+  runner::Experiment experiment(config);
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+  bench::AllToAllSpec spec;
+  spec.mix = {qosh_share, 0.2, 0.8 - qosh_share};
+  spec.sizes = {sizes};
+  bench::attach_all_to_all(experiment, spec);
+  experiment.run(10 * sim::kMsec, 15 * sim::kMsec);
+  return Point{experiment.metrics().rnl_by_run_qos(0).p999() / sim::kUsec,
+               experiment.metrics().rnl_by_run_qos(1).p999() / sim::kUsec};
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Figure 19",
+                      "Aequitas (WFQ) vs plain SPQ as QoS_h-share grows, "
+                      "QoS_m fixed at 20% (SLO 25/50us)");
+  std::printf("%-14s %-16s %-16s %-16s %-16s\n", "QoSh-share(%)",
+              "SPQ h p999(us)", "AEQ h p999(us)", "SPQ m p999(us)",
+              "AEQ m p999(us)");
+  for (double share : {0.50, 0.60, 0.70, 0.80}) {
+    const Point spq = run(share, false);
+    const Point aeq = run(share, true);
+    std::printf("%-14.0f %-16.1f %-16.1f %-16.1f %-16.1f\n", share * 100,
+                spq.h_p999, aeq.h_p999, spq.m_p999, aeq.m_p999);
+  }
+  bench::print_footer();
+  return 0;
+}

@@ -1,0 +1,213 @@
+// Figure 22: Aequitas vs pFabric, QJump, D3, PDQ and Homa on the 33-node
+// setup with production RPC sizes and input mix 50/30/20.
+//
+// Reported, as in the paper: (1) the percentage of QoS_h *traffic*
+// (byte-weighted) meeting its SLO from its initially assigned QoS,
+// (2) network utilization (downlink busy fraction / offered load), and
+// (3) per-QoS p99.9 RNL.
+//
+// Reproduced shape: Aequitas admits SLO-compliant QoS_h traffic at ~full
+// utilization and beats QJump, D3 and PDQ; D3/PDQ terminate flows and lose
+// a large chunk of utilization (the paper's ~50% observation); QJump's
+// hard per-level rate caps hurt RPC-level compliance under bursts.
+//
+// Documented divergence: our pFabric and Homa score *above* Aequitas on
+// SLO-met% (the paper has them below, 56%/46.5% vs 70.3%). Two reasons:
+// (a) these baseline stacks are idealized — per-message parallel
+// transmission with clairvoyant selective ACKs and no flow-multiplexing
+// penalty, while the Aequitas stack pays FIFO-per-channel sender queueing
+// in its RNL (the paper's definition); and (b) at average load 0.8 the
+// residual ~20Gbps lets SRPT finish even multi-MB RPCs within their
+// size-proportional budgets, so the large-RPC starvation that sinks SRPT
+// in the paper's workload only partially materializes in ours.
+#include <array>
+#include <cstdio>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "runner/protocol_experiment.h"
+
+namespace {
+
+using namespace aeq;
+
+// Normalized SLO targets (per MTU); identical for every system.
+constexpr double kSloHPerMtu = 3.0;   // us
+constexpr double kSloMPerMtu = 6.0;  // us
+// Absolute deadlines for the deadline-aware systems (paper: 250us/300us).
+constexpr double kDeadlineH = 250.0;  // us
+constexpr double kDeadlineM = 300.0;  // us
+// Average per-host offered load (fraction of line rate).
+constexpr double kOfferedLoad = 0.8;
+
+rpc::SloConfig make_slo() {
+  return rpc::SloConfig::make(
+      {kSloHPerMtu * sim::kUsec, kSloMPerMtu * sim::kUsec, 0.0}, 99.9);
+}
+
+struct Row {
+  const char* name;
+  double met_h;      // % of QoS_h traffic meeting SLO
+  double met_m;      // % of QoS_m
+  double util;       // network utilization %
+  double p999[3];    // per-QoS p99.9 RNL (us)
+  double terminated; // % of deadline RPCs killed
+};
+
+template <typename Experiment>
+void attach_workload(Experiment& experiment, bool with_deadlines) {
+  bench::AllToAllSpec spec;
+  spec.mix = {0.5, 0.3, 0.2};
+  spec.sizes = {
+      experiment.own(workload::production_size_dist(rpc::Priority::kPC)),
+      experiment.own(workload::production_size_dist(rpc::Priority::kNC)),
+      experiment.own(workload::production_size_dist(rpc::Priority::kBE))};
+  if (with_deadlines) {
+    spec.deadline_budget = {kDeadlineH * sim::kUsec, kDeadlineM * sim::kUsec,
+                            0.0};
+  }
+  const double per_host_rate = spec.load * sim::gbps(100);
+  for (std::size_t h = 0; h < 33; ++h) {
+    workload::GeneratorConfig gen;
+    gen.burst_over_avg = spec.burst_load / spec.load;
+    gen.burst_period = spec.burst_period;
+    for (std::size_t c = 0; c < 3; ++c) {
+      workload::ClassLoad load;
+      load.priority = static_cast<rpc::Priority>(c);
+      load.byte_rate = spec.mix[c] * per_host_rate;
+      load.sizes = spec.sizes[c];
+      load.deadline_budget =
+          spec.deadline_budget.empty() ? 0.0 : spec.deadline_budget[c];
+      gen.classes.push_back(load);
+    }
+    experiment.add_generator(static_cast<net::HostId>(h), gen);
+  }
+}
+
+template <typename Experiment>
+Row collect(const char* name, Experiment& experiment, double utilization) {
+  const auto& metrics = experiment.metrics();
+  Row row{};
+  row.name = name;
+  row.met_h = 100 * metrics.slo_met_fraction_bytes(0);
+  row.met_m = 100 * metrics.slo_met_fraction_bytes(1);
+  row.util = 100 * utilization;
+  for (net::QoSLevel q = 0; q < 3; ++q) {
+    row.p999[q] = metrics.rnl_by_run_qos(q).p999() / sim::kUsec;
+  }
+  const double eligible = static_cast<double>(metrics.slo_eligible(0)) +
+                          static_cast<double>(metrics.slo_eligible(1));
+  const double killed = static_cast<double>(metrics.terminated(0)) +
+                        static_cast<double>(metrics.terminated(1));
+  row.terminated = eligible > 0 ? 100 * killed / eligible : 0.0;
+  return row;
+}
+
+Row run_aequitas() {
+  runner::ExperimentConfig config;
+  config.num_hosts = 33;
+  config.num_qos = 3;
+  config.wfq_weights = {8.0, 4.0, 1.0};
+  config.enable_aequitas = true;
+  config.slo = make_slo();
+  runner::Experiment experiment(config);
+  attach_workload(experiment, false);
+  experiment.run(12 * sim::kMsec, 15 * sim::kMsec);
+  // Utilization: downlink busy fraction relative to the offered load
+  // (0.8). Terminated/unsent traffic leaves links idle; queued-but-moving
+  // scavenger traffic still counts as useful work.
+  return collect("Aequitas", experiment,
+                 std::min(1.0, experiment.mean_downlink_utilization() /
+                                   kOfferedLoad));
+}
+
+Row run_baseline(runner::BaselineProtocol protocol) {
+  runner::ProtocolExperimentConfig config;
+  config.protocol = protocol;
+  config.num_hosts = 33;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  // QJump provisioned for the expected per-level load (0.4/0.24 of line
+  // rate on h/m): caps hold packet latency down but bursts above the cap
+  // queue at the host.
+  config.qjump_level_rate_fraction = {0.45, 0.30, 0.0};
+  runner::ProtocolExperiment experiment(config);
+  const bool deadlines = protocol == runner::BaselineProtocol::kD3 ||
+                         protocol == runner::BaselineProtocol::kPdq;
+
+  // For the deadline protocols the paper judges SLO attainment against the
+  // absolute deadline, not the normalized target.
+  std::array<std::uint64_t, 2> met_bytes{0, 0};
+  std::array<std::uint64_t, 2> eligible_bytes{0, 0};
+  if (deadlines) {
+    for (std::size_t h = 0; h < 33; ++h) {
+      experiment.stack(static_cast<net::HostId>(h))
+          .set_completion_listener([&](const rpc::RpcRecord& r) {
+            if (r.qos_requested > 1) return;
+            const double budget =
+                r.qos_requested == 0 ? kDeadlineH : kDeadlineM;
+            eligible_bytes[r.qos_requested] += r.bytes;
+            if (!r.terminated && r.rnl <= budget * sim::kUsec) {
+              met_bytes[r.qos_requested] += r.bytes;
+            }
+          });
+    }
+  }
+  attach_workload(experiment, deadlines);
+  experiment.run(12 * sim::kMsec, 15 * sim::kMsec);
+  Row row = collect(runner::baseline_name(protocol), experiment,
+                    std::min(1.0, experiment.mean_downlink_utilization() /
+                                      kOfferedLoad));
+  if (deadlines) {
+    for (int q = 0; q < 2; ++q) {
+      const double met =
+          eligible_bytes[q] ? 100.0 * static_cast<double>(met_bytes[q]) /
+                                  static_cast<double>(eligible_bytes[q])
+                            : 0.0;
+      (q == 0 ? row.met_h : row.met_m) = met;
+    }
+  }
+  return row;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::print_header("Figure 22",
+                      "Related-work comparison, 33-node, production sizes, "
+                      "input mix 50/30/20 (normalized SLO 3/6us per MTU; "
+                      "D3/PDQ deadlines 250/300us)");
+  // Optional argv filter: run only the named systems (case-sensitive),
+  // e.g. `fig22_related_work D3 PDQ`.
+  auto wanted = [&](const char* name) {
+    if (argc <= 1) return true;
+    for (int i = 1; i < argc; ++i) {
+      if (std::string_view(argv[i]) == name) return true;
+    }
+    return false;
+  };
+  std::printf("%-10s %-12s %-12s %-10s %-12s %-12s %-12s %-10s\n", "system",
+              "h meet SLO%", "m meet SLO%", "util%", "h p999(us)",
+              "m p999(us)", "l p999(us)", "killed%");
+  std::vector<Row> rows;
+  if (wanted("Aequitas")) rows.push_back(run_aequitas());
+  const runner::BaselineProtocol protocols[] = {
+      runner::BaselineProtocol::kPfabric, runner::BaselineProtocol::kQjump,
+      runner::BaselineProtocol::kD3, runner::BaselineProtocol::kPdq,
+      runner::BaselineProtocol::kHoma};
+  for (auto protocol : protocols) {
+    if (wanted(runner::baseline_name(protocol))) {
+      rows.push_back(run_baseline(protocol));
+    }
+  }
+  for (const Row& row : rows) {
+    std::printf("%-10s %-12.1f %-12.1f %-10.1f %-12.0f %-12.0f %-12.0f "
+                "%-10.1f\n",
+                row.name, row.met_h, row.met_m, row.util, row.p999[0],
+                row.p999[1], row.p999[2], row.terminated);
+  }
+  bench::print_footer();
+  return 0;
+}

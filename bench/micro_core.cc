@@ -1,0 +1,199 @@
+// Micro-benchmarks (google-benchmark) for the hot data structures: event
+// queue, queue disciplines, Swift, the Aequitas admission decision, and
+// whole-simulator packet throughput.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "core/aequitas.h"
+#include "net/dwrr.h"
+#include "sim/calendar_queue.h"
+#include "net/pfabric_queue.h"
+#include "net/spq.h"
+#include "net/wfq.h"
+#include "sim/event_queue.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "transport/host_stack.h"
+#include "transport/swift.h"
+
+namespace {
+
+using namespace aeq;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue queue;
+  sim::Rng rng(1);
+  double t = 0.0;
+  int dummy = 0;
+  for (int i = 0; i < 1000; ++i) {
+    queue.schedule(t + rng.uniform(), [&dummy] { ++dummy; });
+  }
+  for (auto _ : state) {
+    auto popped = queue.pop();
+    t = popped.time;
+    popped.handler();
+    queue.schedule(t + rng.uniform(), [&dummy] { ++dummy; });
+  }
+  benchmark::DoNotOptimize(dummy);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_CalendarQueueScheduleAndPop(benchmark::State& state) {
+  sim::CalendarQueue queue;
+  sim::Rng rng(1);
+  double t = 0.0;
+  int dummy = 0;
+  for (int i = 0; i < 1000; ++i) {
+    queue.schedule(t + rng.uniform(0, 1e-3), [&dummy] { ++dummy; });
+  }
+  for (auto _ : state) {
+    auto popped = queue.pop();
+    t = popped.time;
+    popped.handler();
+    queue.schedule(t + rng.uniform(0, 1e-3), [&dummy] { ++dummy; });
+  }
+  benchmark::DoNotOptimize(dummy);
+}
+BENCHMARK(BM_CalendarQueueScheduleAndPop);
+
+template <typename Queue>
+net::Packet make_packet(std::uint8_t qos, double priority = 0.0) {
+  net::Packet p;
+  p.qos = qos;
+  p.size_bytes = 4096;
+  p.priority = priority;
+  return p;
+}
+
+void BM_WfqEnqueueDequeue(benchmark::State& state) {
+  net::WfqQueue queue({8.0, 4.0, 1.0});
+  sim::Rng rng(2);
+  for (int i = 0; i < 64; ++i) {
+    queue.enqueue(make_packet<net::WfqQueue>(
+        static_cast<std::uint8_t>(rng.index(3))));
+  }
+  for (auto _ : state) {
+    queue.enqueue(make_packet<net::WfqQueue>(
+        static_cast<std::uint8_t>(rng.index(3))));
+    benchmark::DoNotOptimize(queue.dequeue());
+  }
+}
+BENCHMARK(BM_WfqEnqueueDequeue);
+
+void BM_DwrrEnqueueDequeue(benchmark::State& state) {
+  net::DwrrQueue queue({8.0, 4.0, 1.0});
+  sim::Rng rng(3);
+  for (int i = 0; i < 64; ++i) {
+    queue.enqueue(make_packet<net::DwrrQueue>(
+        static_cast<std::uint8_t>(rng.index(3))));
+  }
+  for (auto _ : state) {
+    queue.enqueue(make_packet<net::DwrrQueue>(
+        static_cast<std::uint8_t>(rng.index(3))));
+    benchmark::DoNotOptimize(queue.dequeue());
+  }
+}
+BENCHMARK(BM_DwrrEnqueueDequeue);
+
+void BM_SpqEnqueueDequeue(benchmark::State& state) {
+  net::SpqQueue queue(3);
+  sim::Rng rng(4);
+  for (int i = 0; i < 64; ++i) {
+    queue.enqueue(make_packet<net::SpqQueue>(
+        static_cast<std::uint8_t>(rng.index(3))));
+  }
+  for (auto _ : state) {
+    queue.enqueue(make_packet<net::SpqQueue>(
+        static_cast<std::uint8_t>(rng.index(3))));
+    benchmark::DoNotOptimize(queue.dequeue());
+  }
+}
+BENCHMARK(BM_SpqEnqueueDequeue);
+
+void BM_PfabricEnqueueDequeue(benchmark::State& state) {
+  net::PfabricQueue queue(64 * 4096);
+  sim::Rng rng(5);
+  for (int i = 0; i < 32; ++i) {
+    queue.enqueue(
+        make_packet<net::PfabricQueue>(0, rng.uniform(0, 1e6)));
+  }
+  for (auto _ : state) {
+    queue.enqueue(
+        make_packet<net::PfabricQueue>(0, rng.uniform(0, 1e6)));
+    benchmark::DoNotOptimize(queue.dequeue());
+  }
+}
+BENCHMARK(BM_PfabricEnqueueDequeue);
+
+void BM_SwiftOnAck(benchmark::State& state) {
+  transport::SwiftConfig config;
+  transport::SwiftCC cc(config);
+  sim::Rng rng(6);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1e-6;
+    cc.on_ack(now, rng.uniform(5e-6, 20e-6), 1.0, false);
+  }
+  benchmark::DoNotOptimize(cc.cwnd_packets());
+}
+BENCHMARK(BM_SwiftOnAck);
+
+void BM_AequitasAdmitDecision(benchmark::State& state) {
+  core::AequitasConfig config;
+  config.slo = rpc::SloConfig::make(
+      {15 * sim::kUsec, 25 * sim::kUsec, 0.0}, 99.9);
+  core::AequitasController controller(config, sim::Rng(7));
+  sim::Rng rng(8);
+  double now = 0.0;
+  for (auto _ : state) {
+    now += 1e-6;
+    const auto dst = static_cast<net::HostId>(rng.index(32));
+    benchmark::DoNotOptimize(controller.admit(now, 0, dst, 0, 4096));
+    controller.on_completion(now, 0, dst, 0,
+                             rng.uniform(5e-6, 30e-6), 8);
+  }
+}
+BENCHMARK(BM_AequitasAdmitDecision);
+
+// Whole-simulator throughput: 3-node star at line rate; reports simulated
+// packets per wall second.
+void BM_EndToEndPacketThroughput(benchmark::State& state) {
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator s;
+    topo::StarConfig config;
+    config.num_hosts = 3;
+    config.host_queue.weights = {4.0, 1.0};
+    config.switch_queue.weights = {4.0, 1.0};
+    topo::Network network = topo::build_star(s, config);
+    std::vector<std::unique_ptr<transport::HostStack>> stacks;
+    for (std::size_t i = 0; i < 3; ++i) {
+      stacks.push_back(std::make_unique<transport::HostStack>(
+          s, network.host(static_cast<net::HostId>(i)), 3,
+          transport::TransportConfig{}, [] {
+            return std::make_unique<transport::SwiftCC>(
+                transport::SwiftConfig{});
+          }));
+    }
+    int done = 0;
+    for (int m = 0; m < 100; ++m) {
+      transport::SendRequest request;
+      request.dst = 2;
+      request.qos = 0;
+      request.bytes = 64 * 1024;
+      request.rpc_id = static_cast<std::uint64_t>(m) + 1;
+      stacks[m % 2]->send_message(
+          request, [&done](const transport::MessageCompletion&) { ++done; });
+    }
+    state.ResumeTiming();
+    s.run();
+    benchmark::DoNotOptimize(done);
+    state.counters["events"] = static_cast<double>(s.events_processed());
+  }
+}
+BENCHMARK(BM_EndToEndPacketThroughput);
+
+}  // namespace
+
+BENCHMARK_MAIN();

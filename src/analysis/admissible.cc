@@ -1,0 +1,73 @@
+#include "analysis/admissible.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace aeq::analysis {
+
+bool is_admissible(const FluidConfig& config) {
+  const FluidResult result = simulate_fluid(config);
+  for (std::size_t k = 0; k + 1 < result.delay.size(); ++k) {
+    if (result.delay[k] > result.delay[k + 1] + 1e-9) return false;
+  }
+  return true;
+}
+
+double max_share_within_slo(const TwoQosParams& params,
+                            double normalized_delay_slo, double tolerance) {
+  AEQ_ASSERT(normalized_delay_slo >= 0.0);
+  AEQ_ASSERT(tolerance > 0.0);
+  // delay_high is nondecreasing up to its plateau then constant, so a scan
+  // from the right finds the crossing without assuming invertibility.
+  double best = 0.0;
+  for (double x = tolerance; x < 1.0; x += tolerance) {
+    if (delay_high(params, x) <= normalized_delay_slo) best = x;
+  }
+  return best;
+}
+
+double max_admissible_share(const TwoQosParams& params, double tolerance) {
+  AEQ_ASSERT(tolerance > 0.0);
+  double best = 0.0;
+  for (double x = tolerance; x < 1.0; x += tolerance) {
+    if (delay_high(params, x) <= delay_low(params, x) + 1e-12) best = x;
+  }
+  return best;
+}
+
+std::vector<SweepPoint> sweep_qosh_share(
+    const std::vector<double>& weights, const std::vector<double>& rest_ratio,
+    double mu, double rho, double lo, double hi, std::size_t steps) {
+  AEQ_ASSERT(weights.size() >= 2);
+  AEQ_ASSERT(rest_ratio.size() == weights.size() - 1);
+  AEQ_ASSERT(steps >= 2 && lo > 0.0 && hi < 1.0 && lo < hi);
+  double ratio_sum = 0.0;
+  for (double r : rest_ratio) {
+    AEQ_ASSERT(r >= 0.0);
+    ratio_sum += r;
+  }
+  AEQ_ASSERT(ratio_sum > 0.0);
+
+  std::vector<SweepPoint> points;
+  points.reserve(steps);
+  for (std::size_t s = 0; s < steps; ++s) {
+    const double x =
+        lo + (hi - lo) * static_cast<double>(s) /
+                 static_cast<double>(steps - 1);
+    FluidConfig config;
+    config.weights = weights;
+    config.mu = mu;
+    config.rho = rho;
+    config.shares.resize(weights.size());
+    config.shares[0] = x;
+    for (std::size_t i = 1; i < weights.size(); ++i) {
+      config.shares[i] = (1.0 - x) * rest_ratio[i - 1] / ratio_sum;
+    }
+    const FluidResult result = simulate_fluid(config);
+    points.push_back(SweepPoint{x, result.delay});
+  }
+  return points;
+}
+
+}  // namespace aeq::analysis

@@ -1,0 +1,44 @@
+// Operator tooling around the admissible region (paper §4.2, Lemma 1):
+// given WFQ weights and the traffic envelope (mu, rho), find the QoS-mixes
+// with no priority inversion and the maximum share a QoS level can carry
+// while staying under a normalized delay SLO. This is the "tool for
+// datacenter operators to define the admissible region and set the right
+// SLOs" the paper describes (§6.1).
+#pragma once
+
+#include <vector>
+
+#include "analysis/fluid.h"
+#include "analysis/wfq_delay.h"
+
+namespace aeq::analysis {
+
+// True when the given N-class QoS-mix has no priority inversion
+// (delay_bound_k <= delay_bound_{k+1} for all k — Equation 3), evaluated
+// with the fluid simulator.
+bool is_admissible(const FluidConfig& config);
+
+// Largest QoS_h share x (to `tolerance`) such that delay_high(x) <= the
+// normalized delay SLO, scanned over (0, 1). Returns 0 if even tiny shares
+// violate the SLO.
+double max_share_within_slo(const TwoQosParams& params,
+                            double normalized_delay_slo,
+                            double tolerance = 1e-4);
+
+// Largest QoS_h share before priority inversion for the 2-QoS closed form.
+double max_admissible_share(const TwoQosParams& params,
+                            double tolerance = 1e-4);
+
+// Sweep helper: delay profile of every class over QoS_h shares in
+// [lo, hi] with `steps` points, holding the remaining classes' relative
+// shares fixed (e.g. Figure 9 fixes QoS_m : QoS_l at 2:1).
+struct SweepPoint {
+  double qosh_share;
+  std::vector<double> delay;  // per class
+};
+std::vector<SweepPoint> sweep_qosh_share(
+    const std::vector<double>& weights,
+    const std::vector<double>& rest_ratio,  // relative shares of classes 1..
+    double mu, double rho, double lo, double hi, std::size_t steps);
+
+}  // namespace aeq::analysis

@@ -1,0 +1,185 @@
+#include "analysis/fluid.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+namespace aeq::analysis {
+
+namespace {
+constexpr double kEps = 1e-12;
+}
+
+void FluidConfig::validate() const {
+  AEQ_ASSERT(!weights.empty());
+  AEQ_ASSERT(weights.size() == shares.size());
+  double share_sum = 0.0;
+  for (double w : weights) AEQ_ASSERT(w > 0.0);
+  for (double s : shares) {
+    AEQ_ASSERT(s >= 0.0);
+    share_sum += s;
+  }
+  AEQ_ASSERT_MSG(std::abs(share_sum - 1.0) < 1e-9, "shares must sum to 1");
+  AEQ_ASSERT(mu > 0.0 && mu < 1.0);
+  AEQ_ASSERT(rho >= mu);
+}
+
+std::vector<double> gps_allocate(const std::vector<double>& arrival_rate,
+                                 const std::vector<bool>& backlogged,
+                                 const std::vector<double>& weights,
+                                 double rate) {
+  const std::size_t n = weights.size();
+  AEQ_ASSERT(arrival_rate.size() == n && backlogged.size() == n);
+  std::vector<double> alloc(n, 0.0);
+
+  // Total demand below capacity: serve everyone at demand (work conserving).
+  std::vector<bool> open(n, false);
+  double finite_demand = 0.0;
+  bool any_backlogged = false;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (backlogged[i]) {
+      open[i] = true;
+      any_backlogged = true;
+    } else if (arrival_rate[i] > kEps) {
+      open[i] = true;
+      finite_demand += arrival_rate[i];
+    }
+  }
+  if (!any_backlogged && finite_demand <= rate + kEps) {
+    for (std::size_t i = 0; i < n; ++i) alloc[i] = arrival_rate[i];
+    return alloc;
+  }
+
+  // Water-filling: repeatedly grant weighted shares; classes whose finite
+  // demand is met drop out and release capacity.
+  double remaining = rate;
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    double open_weight = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (open[i]) open_weight += weights[i];
+    }
+    if (open_weight <= kEps) break;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!open[i] || backlogged[i]) continue;
+      const double fair = weights[i] / open_weight * remaining;
+      if (arrival_rate[i] <= fair + kEps) {
+        alloc[i] = arrival_rate[i];
+        remaining -= arrival_rate[i];
+        open[i] = false;
+        changed = true;
+      }
+    }
+  }
+  double open_weight = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (open[i]) open_weight += weights[i];
+  }
+  if (open_weight > kEps) {
+    for (std::size_t i = 0; i < n; ++i) {
+      if (open[i]) alloc[i] = weights[i] / open_weight * remaining;
+    }
+  }
+  return alloc;
+}
+
+FluidResult simulate_fluid(const FluidConfig& config) {
+  config.validate();
+  const std::size_t n = config.weights.size();
+  const double burst_end = config.mu / config.rho;  // per Figure 7
+  // Piecewise-linear cumulative curves sampled at breakpoints.
+  struct Curve {
+    std::vector<double> t;
+    std::vector<double> v;
+  };
+  std::vector<Curve> arrival(n), service(n);
+  std::vector<double> backlog(n, 0.0), cum_arrival(n, 0.0),
+      cum_service(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    arrival[i].t.push_back(0.0);
+    arrival[i].v.push_back(0.0);
+    service[i].t.push_back(0.0);
+    service[i].v.push_back(0.0);
+  }
+
+  double t = 0.0;
+  const double horizon = 4.0;  // generous; mu<1 guarantees drain within 1
+  std::vector<double> drain_time(n, 0.0);
+  while (t < horizon) {
+    const bool in_burst = t < burst_end - kEps;
+    std::vector<double> arr(n, 0.0);
+    std::vector<bool> backlogged(n, false);
+    bool any_work = false;
+    for (std::size_t i = 0; i < n; ++i) {
+      if (in_burst) arr[i] = config.rho * config.shares[i];
+      backlogged[i] = backlog[i] > kEps;
+      if (backlogged[i] || arr[i] > kEps) any_work = true;
+    }
+    if (!any_work) break;
+
+    const std::vector<double> svc =
+        gps_allocate(arr, backlogged, config.weights, 1.0);
+
+    // Next breakpoint: burst end or a backlog hitting zero.
+    double dt = in_burst ? burst_end - t : horizon - t;
+    for (std::size_t i = 0; i < n; ++i) {
+      const double net = arr[i] - svc[i];
+      if (backlog[i] > kEps && net < -kEps) {
+        dt = std::min(dt, backlog[i] / -net);
+      }
+    }
+    AEQ_ASSERT(dt > 0.0);
+
+    t += dt;
+    for (std::size_t i = 0; i < n; ++i) {
+      cum_arrival[i] += arr[i] * dt;
+      cum_service[i] += svc[i] * dt;
+      backlog[i] = std::max(0.0, backlog[i] + (arr[i] - svc[i]) * dt);
+      arrival[i].t.push_back(t);
+      arrival[i].v.push_back(cum_arrival[i]);
+      service[i].t.push_back(t);
+      service[i].v.push_back(cum_service[i]);
+      if (backlog[i] <= kEps && drain_time[i] == 0.0 && cum_arrival[i] > 0.0) {
+        drain_time[i] = t;
+      }
+    }
+  }
+
+  // Worst-case delay: the maximum horizontal distance between arrival and
+  // service curves. Both are piecewise linear and nondecreasing, so the
+  // distance as a function of the level v is piecewise linear and attains
+  // its maximum at a breakpoint level of either curve.
+  auto time_curve_reaches = [&](const Curve& c, double level) {
+    for (std::size_t k = 1; k < c.t.size(); ++k) {
+      if (c.v[k] + kEps >= level) {
+        const double dv = c.v[k] - c.v[k - 1];
+        if (dv <= kEps) return c.t[k - 1];
+        const double frac = (level - c.v[k - 1]) / dv;
+        return c.t[k - 1] + frac * (c.t[k] - c.t[k - 1]);
+      }
+    }
+    return c.t.empty() ? 0.0 : c.t.back();
+  };
+
+  FluidResult result;
+  result.delay.assign(n, 0.0);
+  result.drain_time = drain_time;
+  for (std::size_t i = 0; i < n; ++i) {
+    double worst = 0.0;
+    std::vector<double> levels = arrival[i].v;
+    levels.insert(levels.end(), service[i].v.begin(), service[i].v.end());
+    const double max_level = cum_arrival[i];
+    for (double level : levels) {
+      if (level <= kEps || level > max_level + kEps) continue;
+      const double gap = time_curve_reaches(service[i], level) -
+                         time_curve_reaches(arrival[i], level);
+      worst = std::max(worst, gap);
+    }
+    result.delay[i] = worst;
+  }
+  return result;
+}
+
+}  // namespace aeq::analysis

@@ -1,0 +1,44 @@
+// GPS (fluid) simulation of a WFQ server with N classes under the burst/idle
+// arrival pattern of Figure 7, used to extend the closed-form 2-QoS analysis
+// to arbitrary class counts (paper Figure 9) and to cross-check Equation 1.
+//
+// The fluid model advances between rate-change breakpoints (burst end,
+// backlog drains) and allocates service by weighted water-filling, so it is
+// exact for piecewise-constant arrivals. Per-class worst-case delay is the
+// maximum horizontal distance between the cumulative arrival and service
+// curves, as in Network Calculus.
+#pragma once
+
+#include <vector>
+
+#include "sim/assert.h"
+
+namespace aeq::analysis {
+
+struct FluidConfig {
+  std::vector<double> weights;  // per class, index 0 = highest QoS
+  std::vector<double> shares;   // QoS-mix: fraction of arrivals per class
+  double mu = 0.8;              // average load over the unit period
+  double rho = 1.4;             // burst load (> mu; > 1 for overload)
+
+  void validate() const;
+};
+
+struct FluidResult {
+  // Worst-case delay per class, normalized to the period (= 1 time unit).
+  std::vector<double> delay;
+  // Time each class finished draining its backlog.
+  std::vector<double> drain_time;
+};
+
+FluidResult simulate_fluid(const FluidConfig& config);
+
+// Weighted water-filling allocation of capacity `rate` given per-class
+// demands (`backlogged[i]` -> unbounded demand; else demand = arrival[i]).
+// Exposed for testing.
+std::vector<double> gps_allocate(const std::vector<double>& arrival_rate,
+                                 const std::vector<bool>& backlogged,
+                                 const std::vector<double>& weights,
+                                 double rate);
+
+}  // namespace aeq::analysis

@@ -1,0 +1,61 @@
+#include "analysis/wfq_delay.h"
+
+#include <algorithm>
+
+namespace aeq::analysis {
+
+double delay_high(const TwoQosParams& params, double x) {
+  params.validate();
+  AEQ_ASSERT(x > 0.0 && x < 1.0);
+  const double phi = params.phi;
+  const double mu = params.mu;
+  const double rho = params.rho;
+  const double w = phi / (phi + 1.0);  // guaranteed share of QoS_h
+
+  // Case (1): arrivals fit within the guaranteed rate — no delay.
+  if (x <= w / rho) return 0.0;
+  // Case (2): both classes backlogged, QoS_h drains before QoS_l.
+  if (x <= w) return mu * ((phi + 1.0) / phi * x - 1.0 / rho);
+  // Case (3): both backlogged, QoS_l drains first (priority inversion zone).
+  if (x <= std::min(1.0 - 1.0 / ((phi + 1.0) * rho), 1.0 / rho)) {
+    return mu * (1.0 - x) * (phi + 1.0 - phi / (rho * x));
+  }
+  // Case (4): QoS_l under its guarantee (no QoS_l delay), QoS_h delayed.
+  if (x <= 1.0 / rho) return mu * (1.0 / rho - 1.0 / (rho * rho)) / x;
+  // Case (5): QoS_h arrival rate alone exceeds the line rate.
+  return mu * (1.0 - 1.0 / rho);
+}
+
+double delay_low(const TwoQosParams& params, double x) {
+  params.validate();
+  AEQ_ASSERT(x > 0.0 && x < 1.0);
+  // Equation 8 is delay_high under the exchange (phi, x) -> (1/phi, 1-x):
+  // the two GPS classes are symmetric, so the QoS_l bound equals the bound
+  // of a "high" class with weight ratio 1:phi carrying share (1-x). The
+  // substitution reproduces Eq 8's five cases exactly (e.g. its case
+  // mu((phi+1)(1-x) - 1/rho) is case (2) of Eq 1 after the exchange) while
+  // sidestepping the empty-subdomain bookkeeping the paper warns about.
+  const TwoQosParams mirrored{
+      .phi = 1.0 / params.phi, .mu = params.mu, .rho = params.rho};
+  return delay_high(mirrored, 1.0 - x);
+}
+
+double delay_high_infinite_weight(const TwoQosParams& params, double x) {
+  params.validate();
+  AEQ_ASSERT(x > 0.0 && x < 1.0);
+  if (x <= 1.0 / params.rho) return 0.0;
+  return params.mu * (x - 1.0 / params.rho);
+}
+
+double inversion_boundary(const TwoQosParams& params) {
+  params.validate();
+  return params.phi / (params.phi + 1.0);
+}
+
+double guaranteed_admitted_share(double weight_share, double mu, double rho) {
+  AEQ_ASSERT(weight_share > 0.0 && weight_share <= 1.0);
+  AEQ_ASSERT(mu > 0.0 && rho >= mu);
+  return weight_share * mu / rho;
+}
+
+}  // namespace aeq::analysis

@@ -1,0 +1,46 @@
+// Closed-form worst-case WFQ delay bounds for the 2-QoS case (paper §4.1 and
+// Appendix B), under the burst/idle arrival pattern of Figure 7:
+//   * traffic arrives at instantaneous rate rho * r for the first mu/rho of
+//     a unit period and is idle for the rest (average load mu < 1);
+//   * a fraction x of arrivals is QoS_h, (1-x) QoS_l;
+//   * WFQ weights are phi : 1.
+// Delays are normalized to the period length.
+#pragma once
+
+#include "sim/assert.h"
+
+namespace aeq::analysis {
+
+struct TwoQosParams {
+  double phi = 4.0;  // QoS_h : QoS_l weight ratio
+  double mu = 0.8;   // average load (fraction of line rate), in (0, 1)
+  double rho = 1.2;  // burst load (instantaneous arrival / line rate), > 1
+
+  void validate() const {
+    AEQ_ASSERT(phi > 0.0);
+    AEQ_ASSERT(mu > 0.0 && mu < 1.0);
+    AEQ_ASSERT(rho > 1.0);
+    AEQ_ASSERT_MSG(mu <= rho, "burst load cannot be below average load");
+  }
+};
+
+// Worst-case normalized delay of QoS_h as a function of its traffic share
+// x in (0, 1) — Equation 1.
+double delay_high(const TwoQosParams& params, double x);
+
+// Worst-case normalized delay of QoS_l — Equation 8.
+double delay_low(const TwoQosParams& params, double x);
+
+// Equation 4: the limit of delay_high as phi -> infinity (single-QoS view).
+double delay_high_infinite_weight(const TwoQosParams& params, double x);
+
+// Lemma 1: the QoS_h-share boundary phi/(phi+1) beyond which priority
+// inversion can occur when both classes exceed their guaranteed rates.
+double inversion_boundary(const TwoQosParams& params);
+
+// §5.2: the average rate guaranteed to be admitted on a class with weight
+// share w = phi_i / sum(phi), independent of the SLO: r * w * mu / rho
+// (expressed as a fraction of line rate r = 1).
+double guaranteed_admitted_share(double weight_share, double mu, double rho);
+
+}  // namespace aeq::analysis

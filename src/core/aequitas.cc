@@ -1,0 +1,73 @@
+#include "core/aequitas.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace aeq::core {
+
+AequitasController::AequitasController(const AequitasConfig& config,
+                                       sim::Rng rng)
+    : config_(config), rng_(rng) {
+  AEQ_ASSERT(config_.slo.num_qos() >= 2);
+  AEQ_ASSERT(config_.slo.target_percentile.size() == config_.slo.num_qos());
+  AEQ_ASSERT(config_.alpha > 0.0 && config_.beta_per_mtu > 0.0);
+  AEQ_ASSERT(config_.p_admit_floor >= 0.0 && config_.p_admit_floor <= 1.0);
+  for (std::size_t q = 0; q + 1 < config_.slo.num_qos(); ++q) {
+    const double pctl = config_.slo.target_percentile[q];
+    AEQ_ASSERT_MSG(pctl > 0.0 && pctl < 100.0,
+                   "target percentile must be in (0, 100)");
+  }
+}
+
+sim::Time AequitasController::increment_window(net::QoSLevel qos) const {
+  AEQ_ASSERT(config_.slo.has_slo(qos));
+  return config_.slo.latency_target_per_mtu[qos] * 100.0 /
+         (100.0 - config_.slo.target_percentile[qos]);
+}
+
+rpc::AdmissionDecision AequitasController::admit(
+    sim::Time /*now*/, net::HostId /*src*/, net::HostId dst,
+    net::QoSLevel qos_requested, std::uint64_t /*bytes*/) {
+  if (!config_.slo.has_slo(qos_requested)) {
+    // Lowest QoS: scavenger, always admitted.
+    return {qos_requested, false, false};
+  }
+  State& state = states_[key(dst, qos_requested)];
+  if (rng_.uniform() <= state.p_admit) {
+    return {qos_requested, false, false};
+  }
+  return {lowest_qos(), true, false};
+}
+
+void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,
+                                       net::HostId dst,
+                                       net::QoSLevel qos_run, sim::Time rnl,
+                                       std::uint64_t size_mtus) {
+  if (!config_.slo.has_slo(qos_run)) return;  // no SLO on the lowest QoS
+  AEQ_ASSERT(size_mtus >= 1);
+  State& state = states_[key(dst, qos_run)];
+  const sim::Time target = config_.slo.latency_target_per_mtu[qos_run];
+  if (rnl / static_cast<double>(size_mtus) < target) {
+    // Additive increase, rate limited to one per increment window so the
+    // increase rate is independent of how many RPCs the channel sends.
+    if (now - state.t_last_increase > increment_window(qos_run)) {
+      state.p_admit = std::min(state.p_admit + config_.alpha, 1.0);
+      state.t_last_increase = now;
+    }
+  } else {
+    // Multiplicative decrease, proportional to RPC size: an SLO miss on a
+    // 10-MTU RPC behaves like ten misses on 1-MTU RPCs.
+    state.p_admit =
+        std::max(state.p_admit - config_.beta_per_mtu *
+                                     static_cast<double>(size_mtus),
+                 config_.p_admit_floor);
+  }
+}
+
+double AequitasController::p_admit(net::HostId dst, net::QoSLevel qos) const {
+  auto it = states_.find(key(dst, qos));
+  return it == states_.end() ? 1.0 : it->second.p_admit;
+}
+
+}  // namespace aeq::core

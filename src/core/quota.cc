@@ -1,0 +1,144 @@
+#include "core/quota.h"
+
+#include <algorithm>
+
+#include "analysis/fluid.h"
+#include "sim/assert.h"
+
+namespace aeq::core {
+
+QuotaServer::QuotaServer(sim::Simulator& simulator,
+                         const QuotaServerConfig& config)
+    : sim_(simulator), config_(config) {
+  AEQ_ASSERT(config_.allocation_interval > 0.0);
+  AEQ_ASSERT(!config_.qos_budget_bytes_per_sec.empty());
+}
+
+QuotaServer::TenantId QuotaServer::register_tenant(double weight) {
+  AEQ_ASSERT(weight > 0.0);
+  Tenant tenant;
+  tenant.weight = weight;
+  tenant.demand_bytes.assign(config_.qos_budget_bytes_per_sec.size(), 0.0);
+  // Until the first allocation, grant the weighted fair share so tenants
+  // are not stalled at startup.
+  tenant.allocation.resize(config_.qos_budget_bytes_per_sec.size());
+  tenants_.push_back(std::move(tenant));
+  double total_weight = 0.0;
+  for (const Tenant& t : tenants_) total_weight += t.weight;
+  for (Tenant& t : tenants_) {
+    for (std::size_t q = 0; q < t.allocation.size(); ++q) {
+      t.allocation[q] =
+          config_.qos_budget_bytes_per_sec[q] * t.weight / total_weight;
+    }
+  }
+  arm();
+  return static_cast<TenantId>(tenants_.size() - 1);
+}
+
+void QuotaServer::report_demand(TenantId tenant, net::QoSLevel qos,
+                                double bytes) {
+  AEQ_ASSERT(tenant < tenants_.size());
+  if (qos >= tenants_[tenant].demand_bytes.size()) return;
+  tenants_[tenant].demand_bytes[qos] += bytes;
+}
+
+double QuotaServer::allocation(TenantId tenant, net::QoSLevel qos) const {
+  AEQ_ASSERT(tenant < tenants_.size());
+  if (qos >= tenants_[tenant].allocation.size()) return 0.0;
+  return tenants_[tenant].allocation[qos];
+}
+
+void QuotaServer::arm() {
+  if (armed_) return;
+  armed_ = true;
+  sim_.schedule_in(config_.allocation_interval, [this] {
+    armed_ = false;
+    allocate();
+    if (!tenants_.empty()) arm();
+  });
+}
+
+void QuotaServer::allocate() {
+  if (tenants_.empty()) return;
+  std::vector<double> weights;
+  weights.reserve(tenants_.size());
+  for (const Tenant& tenant : tenants_) weights.push_back(tenant.weight);
+
+  for (std::size_t q = 0; q < config_.qos_budget_bytes_per_sec.size(); ++q) {
+    // Demands as rates over the elapsed interval, inflated slightly so a
+    // tenant that exactly consumed its allocation can still grow.
+    std::vector<double> demand(tenants_.size());
+    std::vector<bool> unbounded(tenants_.size(), false);
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      demand[t] = 1.25 * tenants_[t].demand_bytes[q] /
+                  config_.allocation_interval;
+    }
+    // Max-min by weight with demand caps == GPS water-filling.
+    const std::vector<double> alloc = analysis::gps_allocate(
+        demand, unbounded, weights, config_.qos_budget_bytes_per_sec[q]);
+    for (std::size_t t = 0; t < tenants_.size(); ++t) {
+      tenants_[t].allocation[q] = alloc[t];
+      tenants_[t].demand_bytes[q] = 0.0;
+    }
+  }
+}
+
+QuotaController::QuotaController(
+    sim::Simulator& simulator, QuotaServer& server,
+    QuotaServer::TenantId tenant,
+    std::unique_ptr<AequitasController> aequitas,
+    const QuotaControllerConfig& config)
+    : sim_(simulator),
+      server_(server),
+      tenant_(tenant),
+      aequitas_(std::move(aequitas)),
+      config_(config) {
+  AEQ_ASSERT(aequitas_ != nullptr);
+  buckets_.resize(server_.config().qos_budget_bytes_per_sec.size());
+}
+
+bool QuotaController::take_tokens(sim::Time now, net::QoSLevel qos,
+                                  double bytes) {
+  if (qos >= buckets_.size()) return true;  // no quota on this level
+  Bucket& bucket = buckets_[qos];
+  const double rate = server_.allocation(tenant_, qos);
+  const double cap =
+      config_.burst_intervals * rate * server_.config().allocation_interval;
+  bucket.tokens = std::min(
+      cap, bucket.tokens + rate * (now - bucket.last_refill));
+  bucket.last_refill = now;
+  if (bucket.tokens >= bytes) {
+    bucket.tokens -= bytes;
+    return true;
+  }
+  return false;
+}
+
+rpc::AdmissionDecision QuotaController::admit(sim::Time now,
+                                              net::HostId src,
+                                              net::HostId dst,
+                                              net::QoSLevel qos_requested,
+                                              std::uint64_t bytes) {
+  server_.report_demand(tenant_, qos_requested,
+                        static_cast<double>(bytes));
+  rpc::AdmissionDecision decision =
+      aequitas_->admit(now, src, dst, qos_requested, bytes);
+  if (decision.downgraded || decision.dropped) return decision;
+  if (!aequitas_->config().slo.has_slo(decision.qos_run)) return decision;
+  if (!take_tokens(now, decision.qos_run, static_cast<double>(bytes))) {
+    ++over_quota_;
+    if (config_.drop_over_quota) {
+      return {decision.qos_run, false, true};
+    }
+    return {lowest_qos(), true, false};
+  }
+  return decision;
+}
+
+void QuotaController::on_completion(sim::Time now, net::HostId src,
+                                    net::HostId dst, net::QoSLevel qos_run,
+                                    sim::Time rnl, std::uint64_t size_mtus) {
+  aequitas_->on_completion(now, src, dst, qos_run, rnl, size_mtus);
+}
+
+}  // namespace aeq::core

@@ -1,0 +1,80 @@
+#include "net/dwrr.h"
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+DwrrQueue::DwrrQueue(std::vector<double> weights,
+                     std::uint64_t capacity_bytes,
+                     std::uint64_t quantum_scale)
+    : capacity_bytes_(capacity_bytes) {
+  AEQ_ASSERT(!weights.empty());
+  classes_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    AEQ_ASSERT(weights[i] > 0.0);
+    classes_[i].quantum = weights[i] * static_cast<double>(quantum_scale);
+  }
+}
+
+bool DwrrQueue::enqueue(const Packet& packet) {
+  AEQ_ASSERT(packet.qos < classes_.size());
+  if (capacity_bytes_ != 0 &&
+      backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    return false;
+  }
+  ClassState& cls = classes_[packet.qos];
+  cls.fifo.push_back(packet);
+  cls.backlog_bytes += packet.size_bytes;
+  backlog_bytes_ += packet.size_bytes;
+  ++backlog_packets_;
+  ++stats_.enqueued_packets;
+  return true;
+}
+
+std::optional<Packet> DwrrQueue::dequeue() {
+  if (backlog_packets_ == 0) return std::nullopt;
+  // Walk classes round-robin; a class with backlog whose deficit covers the
+  // head packet sends. A visited empty class forfeits its deficit.
+  for (std::size_t scanned = 0; scanned < 2 * classes_.size() + 1; ++scanned) {
+    ClassState& cls = classes_[round_cursor_];
+    if (cls.fifo.empty()) {
+      cls.deficit = 0.0;
+      round_cursor_ = (round_cursor_ + 1) % classes_.size();
+      cursor_fresh_ = true;
+      continue;
+    }
+    if (cursor_fresh_) {
+      cls.deficit += cls.quantum;
+      cursor_fresh_ = false;
+    }
+    const Packet& head = cls.fifo.front();
+    if (cls.deficit >= static_cast<double>(head.size_bytes)) {
+      Packet p = head;
+      cls.fifo.pop_front();
+      cls.deficit -= static_cast<double>(p.size_bytes);
+      cls.backlog_bytes -= p.size_bytes;
+      backlog_bytes_ -= p.size_bytes;
+      --backlog_packets_;
+      ++stats_.dequeued_packets;
+      stats_.dequeued_bytes += p.size_bytes;
+      if (cls.fifo.empty()) cls.deficit = 0.0;
+      maybe_mark_ecn(p);
+      return p;
+    }
+    round_cursor_ = (round_cursor_ + 1) % classes_.size();
+    cursor_fresh_ = true;
+  }
+  // Deficits grow by a full quantum per visit, so one extra lap always
+  // releases a packet; reaching here would be a logic error.
+  AEQ_ASSERT_MSG(false, "DWRR failed to release a packet");
+  return std::nullopt;
+}
+
+std::uint64_t DwrrQueue::class_backlog_bytes(QoSLevel qos) const {
+  if (qos >= classes_.size()) return 0;
+  return classes_[qos].backlog_bytes;
+}
+
+}  // namespace aeq::net

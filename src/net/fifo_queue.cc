@@ -1,0 +1,29 @@
+#include "net/fifo_queue.h"
+
+namespace aeq::net {
+
+bool FifoQueue::enqueue(const Packet& packet) {
+  if (capacity_bytes_ != 0 &&
+      backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    return false;
+  }
+  queue_.push_back(packet);
+  backlog_bytes_ += packet.size_bytes;
+  ++stats_.enqueued_packets;
+  return true;
+}
+
+std::optional<Packet> FifoQueue::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  Packet p = queue_.front();
+  queue_.pop_front();
+  backlog_bytes_ -= p.size_bytes;
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += p.size_bytes;
+  maybe_mark_ecn(p);
+  return p;
+}
+
+}  // namespace aeq::net

@@ -1,0 +1,30 @@
+// Single tail-drop FIFO queue (the baseline discipline).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/queue.h"
+
+namespace aeq::net {
+
+class FifoQueue final : public QueueDiscipline {
+ public:
+  // capacity_bytes == 0 means unbounded.
+  explicit FifoQueue(std::uint64_t capacity_bytes = 0)
+      : capacity_bytes_(capacity_bytes) {}
+
+  bool enqueue(const Packet& packet) override;
+  std::optional<Packet> dequeue() override;
+
+  bool empty() const override { return queue_.empty(); }
+  std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
+  std::uint64_t backlog_packets() const override { return queue_.size(); }
+
+ private:
+  std::uint64_t capacity_bytes_;
+  std::uint64_t backlog_bytes_ = 0;
+  std::deque<Packet> queue_;
+};
+
+}  // namespace aeq::net

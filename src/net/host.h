@@ -1,0 +1,43 @@
+// A host endpoint: an egress port toward the fabric plus a delivery callback
+// the transport layer installs to receive packets addressed to this host.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "net/packet.h"
+#include "net/port.h"
+
+namespace aeq::net {
+
+class Host final : public PacketSink {
+ public:
+  using DeliveryHandler = std::function<void(const Packet&)>;
+
+  Host(HostId id, std::unique_ptr<Port> egress)
+      : id_(id), egress_(std::move(egress)) {}
+
+  HostId id() const { return id_; }
+
+  // Sends a packet into the fabric via this host's NIC port.
+  void send(const Packet& packet) { egress_->send(packet); }
+
+  // Installs the upper-layer receive handler (transport demux).
+  void set_delivery_handler(DeliveryHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  void receive(const Packet& packet) override {
+    if (handler_) handler_(packet);
+  }
+
+  Port& egress() { return *egress_; }
+  const Port& egress() const { return *egress_; }
+
+ private:
+  HostId id_;
+  std::unique_ptr<Port> egress_;
+  DeliveryHandler handler_;
+};
+
+}  // namespace aeq::net

@@ -1,0 +1,82 @@
+// Packet model shared by every protocol in the simulator.
+//
+// One concrete struct (rather than a class hierarchy) keeps the hot path
+// allocation-free and copyable; protocol-specific fields are documented and
+// ignored by components that do not use them.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/units.h"
+
+namespace aeq::net {
+
+// Host identifier within a topology. Switches use a separate id space.
+using HostId = std::int32_t;
+inline constexpr HostId kNoHost = -1;
+
+// QoS level index: 0 is the highest priority (QoS_h). The number of levels
+// in play is a property of the experiment (2 or 3 in the paper).
+using QoSLevel = std::uint8_t;
+inline constexpr QoSLevel kQoSHigh = 0;
+inline constexpr QoSLevel kQoSMid = 1;
+inline constexpr QoSLevel kQoSLow = 2;
+inline constexpr std::size_t kMaxQoSLevels = 8;
+
+enum class PacketType : std::uint8_t {
+  kData,         // payload-carrying segment
+  kAck,          // transport acknowledgment
+  kGrant,        // Homa receiver grant
+  kRateRequest,  // D3/PDQ header-only control packet (piggybacked in practice)
+  kRateResponse, // D3/PDQ allocation feedback
+};
+
+struct Packet {
+  std::uint64_t id = 0;        // globally unique, assigned at creation
+  HostId src = kNoHost;
+  HostId dst = kNoHost;
+  std::uint32_t size_bytes = 0;
+  QoSLevel qos = kQoSHigh;
+  PacketType type = PacketType::kData;
+
+  std::uint64_t flow_id = 0;  // (src, dst, qos) stream the packet belongs to
+  std::uint64_t rpc_id = 0;   // RPC/message the payload belongs to
+  std::uint64_t seq = 0;      // byte offset of first payload byte
+  std::uint64_t ack_seq = 0;  // cumulative ack (next expected byte)
+  std::uint64_t msg_bytes = 0;  // total message size (message-based stacks)
+
+  sim::Time sent_time = 0.0;  // stamped by sender; echoed by ACKs for RTT
+
+  // pFabric: remaining bytes of the message at send time (lower = higher
+  // priority). Homa: network priority level chosen by the receiver.
+  double priority = 0.0;
+
+  // Deadline-aware protocols (D3/PDQ).
+  sim::Time deadline = 0.0;     // absolute
+  double requested_rate = 0.0;  // bytes/sec
+  double granted_rate = 0.0;    // bytes/sec
+
+  // Homa grants: offset granted up to.
+  std::uint64_t grant_offset = 0;
+
+  // Application-level correlation tag carried end-to-end with the message
+  // (request/response matching in the two-sided RPC layer).
+  std::uint64_t app_tag = 0;
+
+  // ECN: congestion-experienced mark set by queues past their marking
+  // threshold; echoed back by ACKs for DCTCP-style senders.
+  bool ecn_ce = false;
+  bool ecn_echo = false;
+
+  bool is_control() const { return type != PacketType::kData; }
+};
+
+// Receives packets delivered by a link. Implemented by switches and by the
+// host-side demultiplexer.
+class PacketSink {
+ public:
+  virtual ~PacketSink() = default;
+  virtual void receive(const Packet& packet) = 0;
+};
+
+}  // namespace aeq::net

@@ -1,0 +1,85 @@
+#include "net/pfabric_queue.h"
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+PfabricQueue::PfabricQueue(std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  AEQ_ASSERT_MSG(capacity_bytes_ > 0, "pFabric requires a finite buffer");
+}
+
+std::size_t PfabricQueue::min_priority_index() const {
+  AEQ_DCHECK(!queue_.empty());
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const auto& a = queue_[i];
+    const auto& b = queue_[best];
+    if (a.packet.priority < b.packet.priority ||
+        (a.packet.priority == b.packet.priority &&
+         a.arrival_seq < b.arrival_seq)) {
+      best = i;
+    }
+  }
+  return best;
+}
+
+std::size_t PfabricQueue::max_priority_index() const {
+  AEQ_DCHECK(!queue_.empty());
+  std::size_t worst = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const auto& a = queue_[i];
+    const auto& b = queue_[worst];
+    if (a.packet.priority > b.packet.priority ||
+        (a.packet.priority == b.packet.priority &&
+         a.arrival_seq > b.arrival_seq)) {
+      worst = i;
+    }
+  }
+  return worst;
+}
+
+bool PfabricQueue::enqueue(const Packet& packet) {
+  ++stats_.enqueued_packets;
+  Entry incoming{packet, next_arrival_seq_++};
+  // Evict lowest-urgency packets until the newcomer fits; if the newcomer is
+  // itself the least urgent, it is the one dropped.
+  while (backlog_bytes_ + incoming.packet.size_bytes > capacity_bytes_) {
+    if (queue_.empty()) {
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += incoming.packet.size_bytes;
+      return false;
+    }
+    const std::size_t worst = max_priority_index();
+    if (queue_[worst].packet.priority > incoming.packet.priority ||
+        (queue_[worst].packet.priority == incoming.packet.priority)) {
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += queue_[worst].packet.size_bytes;
+      backlog_bytes_ -= queue_[worst].packet.size_bytes;
+      queue_[worst] = queue_.back();
+      queue_.pop_back();
+    } else {
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += incoming.packet.size_bytes;
+      return false;
+    }
+  }
+  backlog_bytes_ += incoming.packet.size_bytes;
+  queue_.push_back(incoming);
+  return true;
+}
+
+std::optional<Packet> PfabricQueue::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  const std::size_t best = min_priority_index();
+  Packet p = queue_[best].packet;
+  queue_[best] = queue_.back();
+  queue_.pop_back();
+  backlog_bytes_ -= p.size_bytes;
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += p.size_bytes;
+  maybe_mark_ecn(p);
+  return p;
+}
+
+}  // namespace aeq::net

@@ -1,0 +1,49 @@
+#include "net/port.h"
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+Port::Port(sim::Simulator& simulator, sim::Rate rate_bytes_per_sec,
+           sim::Time propagation_delay, std::unique_ptr<QueueDiscipline> queue)
+    : sim_(simulator),
+      rate_(rate_bytes_per_sec),
+      propagation_(propagation_delay),
+      queue_(std::move(queue)) {
+  AEQ_ASSERT(rate_ > 0.0);
+  AEQ_ASSERT(propagation_ >= 0.0);
+  AEQ_ASSERT(queue_ != nullptr);
+}
+
+void Port::send(const Packet& packet) {
+  AEQ_ASSERT_MSG(peer_ != nullptr, "port not connected");
+  queue_->enqueue(packet);  // drop decision belongs to the discipline
+  try_transmit();
+}
+
+void Port::deliver_head() {
+  AEQ_DCHECK(!in_flight_.empty());
+  const Packet packet = in_flight_.front();
+  in_flight_.pop_front();
+  peer_->receive(packet);
+}
+
+void Port::try_transmit() {
+  if (busy_) return;
+  auto next = queue_->dequeue();
+  if (!next) return;
+  const sim::Time ser =
+      sim::serialization_delay(next->size_bytes, rate_);
+  busy_ = true;
+  busy_time_ += ser;
+  // Deliver at tx-complete + propagation; free the transmitter at
+  // tx-complete and immediately look for more work.
+  in_flight_.push_back(*next);
+  sim_.schedule_in(ser + propagation_, [this] { deliver_head(); });
+  sim_.schedule_in(ser, [this] {
+    busy_ = false;
+    try_transmit();
+  });
+}
+
+}  // namespace aeq::net

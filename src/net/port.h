@@ -1,0 +1,65 @@
+// An egress port: a queue discipline drained onto a link.
+//
+// The port serializes one packet at a time at the link rate and delivers it
+// to the connected peer after the propagation delay. It is the only
+// component that consumes simulated link time, so per-port busy time gives
+// exact utilization.
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "net/packet.h"
+#include "net/queue.h"
+#include "sim/simulator.h"
+
+namespace aeq::net {
+
+class Port {
+ public:
+  Port(sim::Simulator& simulator, sim::Rate rate_bytes_per_sec,
+       sim::Time propagation_delay, std::unique_ptr<QueueDiscipline> queue);
+
+  Port(const Port&) = delete;
+  Port& operator=(const Port&) = delete;
+
+  // Sets the receiving end of the link. Must be called before send().
+  void connect(PacketSink* peer) { peer_ = peer; }
+
+  // Enqueues a packet and starts transmitting if the link is idle.
+  void send(const Packet& packet);
+
+  QueueDiscipline& queue() { return *queue_; }
+  const QueueDiscipline& queue() const { return *queue_; }
+
+  sim::Rate rate() const { return rate_; }
+  sim::Time propagation_delay() const { return propagation_; }
+
+  // Cumulative time spent serializing packets.
+  sim::Time busy_time() const { return busy_time_; }
+
+  // Fraction of [0, now] the link spent transmitting.
+  double utilization(sim::Time now) const {
+    return now > 0 ? busy_time_ / now : 0.0;
+  }
+
+ private:
+  void try_transmit();
+  void deliver_head();
+
+  sim::Simulator& sim_;
+  sim::Rate rate_;
+  sim::Time propagation_;
+  std::unique_ptr<QueueDiscipline> queue_;
+  PacketSink* peer_ = nullptr;
+  bool busy_ = false;
+  sim::Time busy_time_ = 0.0;
+  // Packets serialized but not yet delivered (propagation in progress).
+  // Delivery events are scheduled in FIFO order with a constant propagation
+  // delay, so the head is always the next to arrive; keeping the packets
+  // here lets the hot-path events capture only `this` (no allocation).
+  std::deque<Packet> in_flight_;
+};
+
+}  // namespace aeq::net

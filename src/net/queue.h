@@ -1,0 +1,68 @@
+// Queue-discipline interface for egress ports.
+//
+// A discipline decides the order packets leave a port and which packets are
+// dropped when the (shared) buffer is full. Implementations: FIFO, WFQ
+// (virtual-time), DWRR, SPQ, and pFabric's priority queue.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "net/packet.h"
+
+namespace aeq::net {
+
+struct QueueStats {
+  std::uint64_t enqueued_packets = 0;
+  std::uint64_t dropped_packets = 0;
+  std::uint64_t dropped_bytes = 0;
+  std::uint64_t dequeued_packets = 0;
+  std::uint64_t dequeued_bytes = 0;
+};
+
+class QueueDiscipline {
+ public:
+  virtual ~QueueDiscipline() = default;
+
+  // Admits a packet; returns false when the packet was dropped.
+  virtual bool enqueue(const Packet& packet) = 0;
+
+  // Removes and returns the next packet to transmit, or nullopt when empty.
+  // Implementations must route the result through maybe_mark_ecn() so ECN
+  // marking applies uniformly.
+  virtual std::optional<Packet> dequeue() = 0;
+
+  // Enables ECN: packets dequeued while the backlog exceeds the threshold
+  // get the congestion-experienced mark (DCTCP-style instantaneous
+  // threshold marking). 0 disables marking.
+  void set_ecn_threshold(std::uint64_t threshold_bytes) {
+    ecn_threshold_bytes_ = threshold_bytes;
+  }
+  std::uint64_t ecn_threshold() const { return ecn_threshold_bytes_; }
+
+  virtual bool empty() const = 0;
+  virtual std::uint64_t backlog_bytes() const = 0;
+  virtual std::uint64_t backlog_packets() const = 0;
+
+  // Per-QoS backlog, for instrumentation; zero for disciplines without
+  // class separation.
+  virtual std::uint64_t class_backlog_bytes(QoSLevel /*qos*/) const {
+    return 0;
+  }
+
+  const QueueStats& stats() const { return stats_; }
+
+ protected:
+  // Applies the ECN mark if the (post-dequeue) backlog is past threshold.
+  void maybe_mark_ecn(Packet& packet) const {
+    if (ecn_threshold_bytes_ != 0 &&
+        backlog_bytes() >= ecn_threshold_bytes_) {
+      packet.ecn_ce = true;
+    }
+  }
+
+  QueueStats stats_;
+  std::uint64_t ecn_threshold_bytes_ = 0;
+};
+
+}  // namespace aeq::net

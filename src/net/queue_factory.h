@@ -1,0 +1,36 @@
+// Configuration-driven construction of queue disciplines, so topologies and
+// experiments can switch scheduler types without code changes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/queue.h"
+
+namespace aeq::net {
+
+enum class SchedulerType {
+  kFifo,
+  kWfq,      // virtual-time WFQ (default; what the paper assumes)
+  kDwrr,     // deficit weighted round robin
+  kSpq,      // strict priority
+  kPfabric,  // remaining-size priority queue with eviction
+};
+
+struct QueueConfig {
+  SchedulerType type = SchedulerType::kWfq;
+  // Per-QoS weights (WFQ/DWRR) or class count (SPQ). Index 0 = highest QoS.
+  std::vector<double> weights = {4.0, 1.0};
+  std::uint64_t capacity_bytes = 0;  // 0 = unbounded (except pFabric)
+  // ECN marking threshold for DCTCP-style senders (0 = no marking).
+  std::uint64_t ecn_threshold_bytes = 0;
+  // Per-class buffer cap for class-aware disciplines (WFQ/DWRR/SPQ):
+  // isolates drops so an overloaded scavenger class cannot tail-drop
+  // higher-QoS packets out of the shared buffer. 0 = shared buffer only.
+  std::uint64_t per_class_capacity_bytes = 0;
+};
+
+std::unique_ptr<QueueDiscipline> make_queue(const QueueConfig& config);
+
+}  // namespace aeq::net

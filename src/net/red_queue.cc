@@ -1,0 +1,58 @@
+#include "net/red_queue.h"
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+RedQueue::RedQueue(const RedConfig& config)
+    : config_(config), rng_(config.seed) {
+  AEQ_ASSERT(config_.capacity_bytes > 0);
+  AEQ_ASSERT(config_.min_threshold_bytes < config_.max_threshold_bytes);
+  AEQ_ASSERT(config_.max_threshold_bytes <= config_.capacity_bytes);
+  AEQ_ASSERT(config_.max_drop_probability > 0.0 &&
+             config_.max_drop_probability <= 1.0);
+  AEQ_ASSERT(config_.ewma_weight > 0.0 && config_.ewma_weight <= 1.0);
+}
+
+double RedQueue::drop_probability() const {
+  if (avg_backlog_ <= static_cast<double>(config_.min_threshold_bytes)) {
+    return 0.0;
+  }
+  if (avg_backlog_ >= static_cast<double>(config_.max_threshold_bytes)) {
+    return 1.0;
+  }
+  const double span = static_cast<double>(config_.max_threshold_bytes -
+                                          config_.min_threshold_bytes);
+  return config_.max_drop_probability *
+         (avg_backlog_ - static_cast<double>(config_.min_threshold_bytes)) /
+         span;
+}
+
+bool RedQueue::enqueue(const Packet& packet) {
+  avg_backlog_ = (1.0 - config_.ewma_weight) * avg_backlog_ +
+                 config_.ewma_weight * static_cast<double>(backlog_bytes_);
+  const bool hard_full =
+      backlog_bytes_ + packet.size_bytes > config_.capacity_bytes;
+  if (hard_full || rng_.bernoulli(drop_probability())) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    return false;
+  }
+  queue_.push_back(packet);
+  backlog_bytes_ += packet.size_bytes;
+  ++stats_.enqueued_packets;
+  return true;
+}
+
+std::optional<Packet> RedQueue::dequeue() {
+  if (queue_.empty()) return std::nullopt;
+  Packet p = queue_.front();
+  queue_.pop_front();
+  backlog_bytes_ -= p.size_bytes;
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += p.size_bytes;
+  maybe_mark_ecn(p);
+  return p;
+}
+
+}  // namespace aeq::net

@@ -1,0 +1,50 @@
+// Random Early Detection (Floyd & Jacobson 1993) FIFO queue.
+//
+// The paper positions Aequitas next to AQM (§7): both do probabilistic
+// admission, AQM per packet, Aequitas per RPC. This discipline provides the
+// packet-level comparand: the drop probability ramps linearly from 0 at
+// `min_threshold` to `max_drop_probability` at `max_threshold` of the EWMA
+// queue length, with hard drops beyond.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "net/queue.h"
+#include "sim/rng.h"
+
+namespace aeq::net {
+
+struct RedConfig {
+  std::uint64_t capacity_bytes = 1 << 20;
+  std::uint64_t min_threshold_bytes = 64 * 1024;
+  std::uint64_t max_threshold_bytes = 256 * 1024;
+  double max_drop_probability = 0.1;
+  double ewma_weight = 0.05;  // queue-average gain per arrival
+  std::uint64_t seed = 0xAE0;
+};
+
+class RedQueue final : public QueueDiscipline {
+ public:
+  explicit RedQueue(const RedConfig& config);
+
+  bool enqueue(const Packet& packet) override;
+  std::optional<Packet> dequeue() override;
+
+  bool empty() const override { return queue_.empty(); }
+  std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
+  std::uint64_t backlog_packets() const override { return queue_.size(); }
+
+  double average_backlog() const { return avg_backlog_; }
+
+ private:
+  double drop_probability() const;
+
+  RedConfig config_;
+  sim::Rng rng_;
+  std::deque<Packet> queue_;
+  std::uint64_t backlog_bytes_ = 0;
+  double avg_backlog_ = 0.0;
+};
+
+}  // namespace aeq::net

@@ -1,0 +1,106 @@
+// Shared switch buffering with Dynamic Threshold admission.
+//
+// Commodity switches share one buffer pool across ports "based on usage"
+// (paper footnote 2). The standard mechanism is the Dynamic Threshold (DT)
+// algorithm (Choudhury & Hahne): a queue may grow only up to
+// alpha * (free pool bytes), so heavily used ports are capped more tightly
+// as the pool fills, while an uncontended port can use most of the buffer.
+//
+// PooledQueue is a decorator: it wraps any QueueDiscipline and gates
+// enqueues through the pool. Topology builders create one pool per switch
+// when StarConfig/LeafSpineConfig::shared_buffer_bytes is set.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "net/queue.h"
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+class SharedBufferPool {
+ public:
+  SharedBufferPool(std::uint64_t total_bytes, double dt_alpha = 1.0)
+      : total_(total_bytes), alpha_(dt_alpha) {
+    AEQ_ASSERT(total_bytes > 0 && dt_alpha > 0.0);
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t used() const { return used_; }
+  std::uint64_t free_bytes() const { return total_ - used_; }
+
+  // Dynamic-threshold admission: the packet fits if the queue's backlog
+  // stays under alpha * free and the pool has room.
+  bool try_reserve(std::uint64_t bytes, std::uint64_t queue_backlog) {
+    if (used_ + bytes > total_) return false;
+    const double threshold = alpha_ * static_cast<double>(free_bytes());
+    if (static_cast<double>(queue_backlog + bytes) > threshold) return false;
+    used_ += bytes;
+    return true;
+  }
+
+  void release(std::uint64_t bytes) {
+    AEQ_ASSERT(bytes <= used_);
+    used_ -= bytes;
+  }
+
+ private:
+  std::uint64_t total_;
+  double alpha_;
+  std::uint64_t used_ = 0;
+};
+
+class PooledQueue final : public QueueDiscipline {
+ public:
+  PooledQueue(std::unique_ptr<QueueDiscipline> inner, SharedBufferPool& pool)
+      : inner_(std::move(inner)), pool_(pool) {
+    AEQ_ASSERT(inner_ != nullptr);
+  }
+
+  bool enqueue(const Packet& packet) override {
+    if (!pool_.try_reserve(packet.size_bytes, inner_->backlog_bytes())) {
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += packet.size_bytes;
+      return false;
+    }
+    if (!inner_->enqueue(packet)) {
+      pool_.release(packet.size_bytes);  // inner discipline dropped it
+      ++stats_.dropped_packets;
+      stats_.dropped_bytes += packet.size_bytes;
+      return false;
+    }
+    ++stats_.enqueued_packets;
+    return true;
+  }
+
+  std::optional<Packet> dequeue() override {
+    auto packet = inner_->dequeue();
+    if (packet) {
+      pool_.release(packet->size_bytes);
+      ++stats_.dequeued_packets;
+      stats_.dequeued_bytes += packet->size_bytes;
+    }
+    return packet;
+  }
+
+  bool empty() const override { return inner_->empty(); }
+  std::uint64_t backlog_bytes() const override {
+    return inner_->backlog_bytes();
+  }
+  std::uint64_t backlog_packets() const override {
+    return inner_->backlog_packets();
+  }
+  std::uint64_t class_backlog_bytes(QoSLevel qos) const override {
+    return inner_->class_backlog_bytes(qos);
+  }
+
+  QueueDiscipline& inner() { return *inner_; }
+
+ private:
+  std::unique_ptr<QueueDiscipline> inner_;
+  SharedBufferPool& pool_;
+};
+
+}  // namespace aeq::net

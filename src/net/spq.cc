@@ -1,0 +1,51 @@
+#include "net/spq.h"
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+SpqQueue::SpqQueue(std::size_t num_classes, std::uint64_t capacity_bytes)
+    : capacity_bytes_(capacity_bytes) {
+  AEQ_ASSERT(num_classes > 0 && num_classes <= kMaxQoSLevels);
+  classes_.resize(num_classes);
+}
+
+bool SpqQueue::enqueue(const Packet& packet) {
+  AEQ_ASSERT(packet.qos < classes_.size());
+  if (capacity_bytes_ != 0 &&
+      backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    return false;
+  }
+  ClassState& cls = classes_[packet.qos];
+  cls.fifo.push_back(packet);
+  cls.backlog_bytes += packet.size_bytes;
+  backlog_bytes_ += packet.size_bytes;
+  ++backlog_packets_;
+  ++stats_.enqueued_packets;
+  return true;
+}
+
+std::optional<Packet> SpqQueue::dequeue() {
+  for (auto& cls : classes_) {
+    if (cls.fifo.empty()) continue;
+    Packet p = cls.fifo.front();
+    cls.fifo.pop_front();
+    cls.backlog_bytes -= p.size_bytes;
+    backlog_bytes_ -= p.size_bytes;
+    --backlog_packets_;
+    ++stats_.dequeued_packets;
+    stats_.dequeued_bytes += p.size_bytes;
+    maybe_mark_ecn(p);
+    return p;
+  }
+  return std::nullopt;
+}
+
+std::uint64_t SpqQueue::class_backlog_bytes(QoSLevel qos) const {
+  if (qos >= classes_.size()) return 0;
+  return classes_[qos].backlog_bytes;
+}
+
+}  // namespace aeq::net

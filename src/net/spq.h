@@ -1,0 +1,38 @@
+// Strict Priority Queuing: the lowest-index non-empty class always sends.
+// Used for the SPQ comparison (paper §6.7) and as the network substrate for
+// QJump and Homa.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/queue.h"
+
+namespace aeq::net {
+
+class SpqQueue final : public QueueDiscipline {
+ public:
+  SpqQueue(std::size_t num_classes, std::uint64_t capacity_bytes = 0);
+
+  bool enqueue(const Packet& packet) override;
+  std::optional<Packet> dequeue() override;
+
+  bool empty() const override { return backlog_packets_ == 0; }
+  std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
+  std::uint64_t backlog_packets() const override { return backlog_packets_; }
+  std::uint64_t class_backlog_bytes(QoSLevel qos) const override;
+
+ private:
+  struct ClassState {
+    std::uint64_t backlog_bytes = 0;
+    std::deque<Packet> fifo;
+  };
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t backlog_bytes_ = 0;
+  std::uint64_t backlog_packets_ = 0;
+  std::vector<ClassState> classes_;
+};
+
+}  // namespace aeq::net

@@ -1,0 +1,39 @@
+#include "net/switch.h"
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+std::size_t Switch::add_port(std::unique_ptr<Port> port) {
+  AEQ_ASSERT(port != nullptr);
+  ports_.push_back(std::move(port));
+  return ports_.size() - 1;
+}
+
+void Switch::set_route(HostId dst, std::size_t port_index) {
+  AEQ_ASSERT(port_index < ports_.size());
+  routes_[dst] = {port_index};
+}
+
+void Switch::set_ecmp_route(HostId dst,
+                            std::vector<std::size_t> port_indices) {
+  AEQ_ASSERT(!port_indices.empty());
+  for (std::size_t i : port_indices) AEQ_ASSERT(i < ports_.size());
+  routes_[dst] = std::move(port_indices);
+}
+
+void Switch::receive(const Packet& packet) {
+  auto it = routes_.find(packet.dst);
+  AEQ_ASSERT_MSG(it != routes_.end(), "switch has no route for destination");
+  const auto& choices = it->second;
+  std::size_t index = 0;
+  if (choices.size() > 1) {
+    // Fibonacci-style hash keeps flows spread even for sequential ids.
+    index = static_cast<std::size_t>(
+        (packet.flow_id * 0x9E3779B97F4A7C15ull) >> 32) %
+            choices.size();
+  }
+  ports_[choices[index]]->send(packet);
+}
+
+}  // namespace aeq::net

@@ -1,0 +1,43 @@
+// Output-queued switch: routes each arriving packet to the egress port for
+// its destination and enqueues it there. Multi-path routes use deterministic
+// ECMP hashing on the flow id so a flow stays on one path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/port.h"
+
+namespace aeq::net {
+
+class Switch final : public PacketSink {
+ public:
+  explicit Switch(std::string name) : name_(std::move(name)) {}
+
+  // Takes ownership of an egress port; returns its index.
+  std::size_t add_port(std::unique_ptr<Port> port);
+
+  // Routes packets destined to `dst` out of `port_index`.
+  void set_route(HostId dst, std::size_t port_index);
+
+  // ECMP route: packets to `dst` hash (by flow id) across `port_indices`.
+  void set_ecmp_route(HostId dst, std::vector<std::size_t> port_indices);
+
+  void receive(const Packet& packet) override;
+
+  Port& port(std::size_t i) { return *ports_.at(i); }
+  const Port& port(std::size_t i) const { return *ports_.at(i); }
+  std::size_t num_ports() const { return ports_.size(); }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Port>> ports_;
+  std::unordered_map<HostId, std::vector<std::size_t>> routes_;
+};
+
+}  // namespace aeq::net

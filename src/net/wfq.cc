@@ -1,0 +1,83 @@
+#include "net/wfq.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+WfqQueue::WfqQueue(std::vector<double> weights, std::uint64_t capacity_bytes,
+                   std::uint64_t per_class_capacity_bytes)
+    : capacity_bytes_(capacity_bytes),
+      per_class_capacity_bytes_(per_class_capacity_bytes) {
+  AEQ_ASSERT_MSG(!weights.empty(), "WFQ needs at least one class");
+  AEQ_ASSERT(weights.size() <= kMaxQoSLevels);
+  classes_.resize(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    AEQ_ASSERT_MSG(weights[i] > 0.0, "WFQ weights must be positive");
+    classes_[i].weight = weights[i];
+  }
+}
+
+bool WfqQueue::enqueue(const Packet& packet) {
+  AEQ_ASSERT_MSG(packet.qos < classes_.size(), "packet QoS out of range");
+  if (capacity_bytes_ != 0 &&
+      backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    return false;
+  }
+  ClassState& cls = classes_[packet.qos];
+  if (per_class_capacity_bytes_ != 0 &&
+      cls.backlog_bytes + packet.size_bytes > per_class_capacity_bytes_) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+    return false;
+  }
+  const double start = std::max(virtual_time_, cls.last_finish);
+  const double finish =
+      start + static_cast<double>(packet.size_bytes) / cls.weight;
+  cls.last_finish = finish;
+  cls.fifo.push_back(Tagged{packet, start, finish});
+  cls.backlog_bytes += packet.size_bytes;
+  backlog_bytes_ += packet.size_bytes;
+  ++backlog_packets_;
+  ++stats_.enqueued_packets;
+  return true;
+}
+
+std::optional<Packet> WfqQueue::dequeue() {
+  if (backlog_packets_ == 0) return std::nullopt;
+  std::size_t best = classes_.size();
+  double best_finish = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const auto& cls = classes_[i];
+    if (cls.fifo.empty()) continue;
+    if (cls.fifo.front().finish_tag < best_finish) {
+      best_finish = cls.fifo.front().finish_tag;
+      best = i;
+    }
+  }
+  AEQ_ASSERT(best < classes_.size());
+  ClassState& cls = classes_[best];
+  Tagged tagged = cls.fifo.front();
+  cls.fifo.pop_front();
+  // Advance the virtual clock to the service start of the selected packet so
+  // that newly arriving classes do not accrue credit while idle.
+  virtual_time_ = std::max(virtual_time_, tagged.start_tag);
+  cls.backlog_bytes -= tagged.packet.size_bytes;
+  backlog_bytes_ -= tagged.packet.size_bytes;
+  --backlog_packets_;
+  ++stats_.dequeued_packets;
+  stats_.dequeued_bytes += tagged.packet.size_bytes;
+  maybe_mark_ecn(tagged.packet);
+  return tagged.packet;
+}
+
+std::uint64_t WfqQueue::class_backlog_bytes(QoSLevel qos) const {
+  if (qos >= classes_.size()) return 0;
+  return classes_[qos].backlog_bytes;
+}
+
+}  // namespace aeq::net

@@ -1,0 +1,63 @@
+// Weighted Fair Queuing via virtual-time packet tagging.
+//
+// Implementation follows the Parekh–Gallager PGPS / start-time fair queueing
+// family: each arriving packet gets a start tag S = max(V, F_class) and a
+// finish tag F = S + size/weight; the scheduler serves the packet with the
+// smallest finish tag and advances the virtual clock V to the start tag of
+// the packet entering service. Under continuous backlog every class receives
+// at least weight_i / sum(weights) of the link rate, which is the property
+// Aequitas' delay analysis builds on (paper §4.1).
+//
+// The buffer is shared across classes with tail drop, matching commodity
+// switch behaviour described in the paper (footnote 2).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "net/queue.h"
+
+namespace aeq::net {
+
+class WfqQueue final : public QueueDiscipline {
+ public:
+  // `weights[i]` is the WFQ weight of QoS level i (i == 0 highest priority).
+  // capacity_bytes == 0 means unbounded. `per_class_capacity_bytes` caps
+  // each class individually (drop isolation); 0 disables it.
+  WfqQueue(std::vector<double> weights, std::uint64_t capacity_bytes = 0,
+           std::uint64_t per_class_capacity_bytes = 0);
+
+  bool enqueue(const Packet& packet) override;
+  std::optional<Packet> dequeue() override;
+
+  bool empty() const override { return backlog_packets_ == 0; }
+  std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
+  std::uint64_t backlog_packets() const override { return backlog_packets_; }
+  std::uint64_t class_backlog_bytes(QoSLevel qos) const override;
+
+  std::size_t num_classes() const { return classes_.size(); }
+  double virtual_time() const { return virtual_time_; }
+
+ private:
+  struct Tagged {
+    Packet packet;
+    double start_tag;
+    double finish_tag;
+  };
+  struct ClassState {
+    double weight = 1.0;
+    double last_finish = 0.0;  // finish tag of the newest packet in class
+    std::uint64_t backlog_bytes = 0;
+    std::deque<Tagged> fifo;
+  };
+
+  std::uint64_t capacity_bytes_;
+  std::uint64_t per_class_capacity_bytes_;
+  std::uint64_t backlog_bytes_ = 0;
+  std::uint64_t backlog_packets_ = 0;
+  double virtual_time_ = 0.0;
+  std::vector<ClassState> classes_;
+};
+
+}  // namespace aeq::net

@@ -1,0 +1,194 @@
+#include "protocols/deadline_fabric.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace aeq::protocols {
+
+DeadlineFabric::DeadlineFabric(sim::Simulator& simulator, DeadlineMode mode,
+                               double capacity_bytes_per_sec,
+                               sim::Time epoch)
+    : sim_(simulator),
+      mode_(mode),
+      capacity_(capacity_bytes_per_sec),
+      epoch_(epoch) {
+  AEQ_ASSERT(capacity_ > 0.0 && epoch_ > 0.0);
+}
+
+void DeadlineFabric::register_flow(std::uint64_t rpc_id, net::HostId dst,
+                                   sim::Time deadline,
+                                   std::uint64_t remaining_bytes,
+                                   Notify notify) {
+  AEQ_ASSERT(notify != nullptr);
+  flows_.emplace(rpc_id, FlowState{rpc_id, dst, deadline, remaining_bytes,
+                                   next_order_++, std::move(notify)});
+  arm_epoch();
+  request_reallocate(dst);
+}
+
+void DeadlineFabric::update_remaining(std::uint64_t rpc_id,
+                                      std::uint64_t remaining_bytes) {
+  auto it = flows_.find(rpc_id);
+  if (it != flows_.end()) it->second.remaining = remaining_bytes;
+}
+
+void DeadlineFabric::remove_flow(std::uint64_t rpc_id) {
+  auto it = flows_.find(rpc_id);
+  if (it == flows_.end()) return;
+  const net::HostId dst = it->second.dst;
+  flows_.erase(it);
+  // A departure frees the bottleneck immediately (per-packet decisions in
+  // real PDQ switches); re-plan without waiting for the next epoch.
+  request_reallocate(dst);
+}
+
+void DeadlineFabric::request_reallocate(net::HostId dst) {
+  bool& pending = realloc_pending_[dst];
+  if (pending) return;
+  pending = true;
+  // Small control latency standing in for the header round trip.
+  sim_.schedule_in(2 * sim::kUsec, [this, dst] {
+    realloc_pending_[dst] = false;
+    reallocate_dst(dst);
+  });
+}
+
+void DeadlineFabric::reallocate_dst(net::HostId dst) {
+  std::vector<FlowState*> flows;
+  for (auto& [id, flow] : flows_) {
+    (void)id;
+    if (flow.dst == dst) flows.push_back(&flow);
+  }
+  if (flows.empty()) return;
+  if (mode_ == DeadlineMode::kD3) {
+    allocate_d3(flows);
+  } else {
+    allocate_pdq(flows);
+  }
+}
+
+void DeadlineFabric::arm_epoch() {
+  if (epoch_armed_) return;
+  epoch_armed_ = true;
+  sim_.schedule_in(epoch_, [this] {
+    epoch_armed_ = false;
+    reallocate();
+    if (!flows_.empty()) arm_epoch();
+  });
+}
+
+void DeadlineFabric::reallocate() {
+  // Group flows per destination downlink (the bottleneck we emulate).
+  std::map<net::HostId, std::vector<FlowState*>> per_dst;
+  for (auto& [id, flow] : flows_) {
+    (void)id;
+    per_dst[flow.dst].push_back(&flow);
+  }
+  for (auto& [dst, flows] : per_dst) {
+    (void)dst;
+    if (mode_ == DeadlineMode::kD3) {
+      allocate_d3(flows);
+    } else {
+      allocate_pdq(flows);
+    }
+  }
+}
+
+void DeadlineFabric::allocate_d3(std::vector<FlowState*>& flows) {
+  // FCFS over registration order, like headers traversing the router.
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowState* a, const FlowState* b) {
+              return a->order < b->order;
+            });
+  const sim::Time now = sim_.now();
+  double available = capacity_;
+  std::vector<double> granted(flows.size(), 0.0);
+  std::vector<bool> kill(flows.size(), false);
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    FlowState& flow = *flows[i];
+    if (flow.deadline <= 0.0) continue;  // best effort: base rate only
+    const sim::Time slack = flow.deadline - now;
+    if (slack <= 0.0) {
+      kill[i] = true;  // already hopeless
+      continue;
+    }
+    const double desired = static_cast<double>(flow.remaining) / slack;
+    const double grant = std::min(desired, available);
+    // Quench when the FCFS grant alone cannot meet the deadline — D3 does
+    // not let latecomers ride the base rate to a deadline they will miss
+    // ("better never than late").
+    if (grant < desired * 0.999) {
+      kill[i] = true;
+      continue;
+    }
+    granted[i] = grant;
+    available -= grant;
+  }
+  // Leftover split equally as base rate across surviving flows.
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (!kill[i]) ++survivors;
+  }
+  const double base =
+      survivors ? std::max(0.0, available) / static_cast<double>(survivors)
+                : 0.0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    if (kill[i]) {
+      ++terminated_;
+      const std::uint64_t id = flows[i]->id;
+      Notify notify = flows[i]->notify;  // keep alive across the erase
+      // Forget the flow before notifying: the callee usually also calls
+      // remove_flow (no-op then), but a passive owner must not be re-killed
+      // every epoch.
+      flows_.erase(id);
+      notify(0.0, true);
+    } else {
+      flows[i]->notify(granted[i] + base, false);
+    }
+  }
+}
+
+void DeadlineFabric::allocate_pdq(std::vector<FlowState*>& flows) {
+  // EDF order; deadline-less flows go last in arrival order.
+  std::sort(flows.begin(), flows.end(),
+            [](const FlowState* a, const FlowState* b) {
+              const bool a_dl = a->deadline > 0.0;
+              const bool b_dl = b->deadline > 0.0;
+              if (a_dl != b_dl) return a_dl;
+              if (a_dl && a->deadline != b->deadline) {
+                return a->deadline < b->deadline;
+              }
+              return a->order < b->order;
+            });
+  const sim::Time now = sim_.now();
+  sim::Time cumulative = 0.0;
+  // PDQ sends the head-of-line flow at full rate and keeps the next one
+  // warm at a small probe rate (the paper's "early start" suppresses the
+  // switchover bubble); everyone else is paused.
+  std::size_t active_granted = 0;
+  for (std::size_t i = 0; i < flows.size(); ++i) {
+    FlowState& flow = *flows[i];
+    const sim::Time service =
+        static_cast<double>(flow.remaining) / capacity_;
+    if (flow.deadline > 0.0 && now + cumulative + service > flow.deadline) {
+      ++terminated_;
+      const std::uint64_t id = flow.id;
+      Notify notify = flow.notify;
+      flows_.erase(id);  // see allocate_d3: never re-kill a passive owner
+      notify(0.0, true);
+      continue;
+    }
+    cumulative += service;
+    if (active_granted == 0) {
+      flow.notify(capacity_, false);
+    } else if (active_granted == 1) {
+      flow.notify(0.02 * capacity_, false);
+    } else {
+      flow.notify(0.0, false);
+    }
+    ++active_granted;
+  }
+}
+
+}  // namespace aeq::protocols

@@ -1,0 +1,81 @@
+// Emulated in-network rate allocation for the deadline-aware baselines
+// (D3, PDQ). The paper's simulator implements router state for these
+// protocols; we emulate the same decisions at each destination's downlink —
+// the bottleneck in the star topologies used for comparison — with a
+// periodic allocation epoch standing in for per-RTT header exchanges.
+// Documented simplification: control messages are delivered by scheduling
+// the sender notification at epoch granularity rather than as in-band
+// header packets.
+//
+// D3 mode (Wilson et al., SIGCOMM'11): senders ask for remaining/deadline;
+// the allocator grants requests greedily in arrival order, then splits
+// leftover capacity equally as base rate. A deadline flow whose grant makes
+// its deadline infeasible is quenched ("better never than late").
+//
+// PDQ mode (Hong et al., SIGCOMM'12): Earliest-Deadline-First preemption —
+// the flow(s) at the head of the EDF order send at (nearly) full rate,
+// everyone else is paused; flows whose EDF completion would overrun their
+// deadline are terminated.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace aeq::protocols {
+
+enum class DeadlineMode { kD3, kPdq };
+
+class DeadlineFabric {
+ public:
+  // `notify(rate_bytes_per_sec, terminate)`: allocation feedback pushed to
+  // the owning sender at each epoch.
+  using Notify = std::function<void(double rate, bool terminate)>;
+
+  DeadlineFabric(sim::Simulator& simulator, DeadlineMode mode,
+                 double capacity_bytes_per_sec,
+                 sim::Time epoch = 20 * sim::kUsec);
+
+  void register_flow(std::uint64_t rpc_id, net::HostId dst,
+                     sim::Time deadline, std::uint64_t remaining_bytes,
+                     Notify notify);
+  void update_remaining(std::uint64_t rpc_id, std::uint64_t remaining_bytes);
+  void remove_flow(std::uint64_t rpc_id);
+
+  std::uint64_t flows_terminated() const { return terminated_; }
+
+ private:
+  struct FlowState {
+    std::uint64_t id;
+    net::HostId dst;
+    sim::Time deadline;  // absolute; 0 = no deadline (best effort)
+    std::uint64_t remaining;
+    std::uint64_t order;  // registration order (FCFS for D3)
+    Notify notify;
+  };
+
+  void arm_epoch();
+  void reallocate();
+  void reallocate_dst(net::HostId dst);
+  void request_reallocate(net::HostId dst);
+  void allocate_d3(std::vector<FlowState*>& flows);
+  void allocate_pdq(std::vector<FlowState*>& flows);
+
+  sim::Simulator& sim_;
+  DeadlineMode mode_;
+  double capacity_;
+  sim::Time epoch_;
+  bool epoch_armed_ = false;
+  std::uint64_t next_order_ = 0;
+  std::uint64_t terminated_ = 0;
+  bool in_reallocate_ = false;
+  std::unordered_map<std::uint64_t, FlowState> flows_;  // by rpc_id
+  std::unordered_map<net::HostId, bool> realloc_pending_;  // per dst
+};
+
+}  // namespace aeq::protocols

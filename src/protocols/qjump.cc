@@ -1,0 +1,54 @@
+#include "protocols/qjump.h"
+
+#include "sim/assert.h"
+
+namespace aeq::protocols {
+
+QjumpTransport::QjumpTransport(sim::Simulator& simulator, net::Host& host,
+                               const QjumpConfig& config)
+    : BaseTransport(simulator, host, config.base), config_(config) {
+  AEQ_ASSERT(!config_.level_rate.empty());
+  levels_.resize(config_.level_rate.size());
+  for (std::size_t i = 0; i < levels_.size(); ++i) {
+    levels_[i].rate = config_.level_rate[i];
+  }
+}
+
+void QjumpTransport::on_message_start(OutMessage& message) {
+  AEQ_ASSERT(message.request.qos < levels_.size());
+  const std::size_t level = message.request.qos;
+  for (std::uint32_t i = 0; i < message.num_pkts; ++i) {
+    levels_[level].pending.emplace_back(message.request.rpc_id, i);
+  }
+  pump(level);
+}
+
+void QjumpTransport::pump(std::size_t level) {
+  LevelState& state = levels_[level];
+  while (!state.pending.empty()) {
+    if (state.rate > 0.0 && sim().now() < state.next_free) {
+      if (!state.timer_armed) {
+        state.timer_armed = true;
+        sim().schedule_at(state.next_free, [this, level] {
+          levels_[level].timer_armed = false;
+          pump(level);
+        });
+      }
+      return;
+    }
+    const auto [rpc_id, index] = state.pending.front();
+    state.pending.pop_front();
+    auto it = outgoing().find(rpc_id);
+    if (it == outgoing().end()) continue;  // message finished/terminated
+    OutMessage& message = it->second;
+    if (message.acked[index]) continue;
+    emit_packet(message, index);
+    if (index >= message.next_unsent) message.next_unsent = index + 1;
+    if (state.rate > 0.0) {
+      state.next_free =
+          sim().now() + payload_of(message, index) / state.rate;
+    }
+  }
+}
+
+}  // namespace aeq::protocols

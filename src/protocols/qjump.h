@@ -1,0 +1,48 @@
+// QJump host transport (Grosvenor et al., NSDI'15), simplified.
+//
+// Each QoS level is rate-limited at the host to a configured fraction of
+// the line rate (the QJump "throughput factor": the highest level is
+// throttled hard enough that even worst-case fan-in cannot build queues),
+// and the network runs strict priority queuing. Within a level, packets of
+// queued messages are emitted FIFO at the level's rate. QJump gives
+// excellent *packet*-level latency to the top level but caps its
+// throughput, which is what hurts its RPC-level SLO attainment in Fig 22.
+#pragma once
+
+#include <array>
+#include <deque>
+
+#include "protocols/base_transport.h"
+
+namespace aeq::protocols {
+
+struct QjumpConfig {
+  BaseTransportConfig base;
+  // Per-QoS-level host rate limit in bytes/sec; 0 = unthrottled.
+  std::vector<double> level_rate;
+};
+
+class QjumpTransport final : public BaseTransport {
+ public:
+  QjumpTransport(sim::Simulator& simulator, net::Host& host,
+                 const QjumpConfig& config);
+
+ protected:
+  void on_message_start(OutMessage& message) override;
+  void on_message_acked(OutMessage& /*message*/) override {}
+
+ private:
+  struct LevelState {
+    double rate = 0.0;  // bytes/sec; 0 = unlimited
+    sim::Time next_free = 0.0;
+    std::deque<std::pair<std::uint64_t, std::uint32_t>> pending;  // (rpc,pkt)
+    bool timer_armed = false;
+  };
+
+  void pump(std::size_t level);
+
+  QjumpConfig config_;
+  std::vector<LevelState> levels_;
+};
+
+}  // namespace aeq::protocols

@@ -1,0 +1,51 @@
+// Admission-control interface the RPC stack consults on every issue, and the
+// trivial pass-through used for "w/o Aequitas" baselines. The real policy
+// (Algorithm 1) lives in core/aequitas.h.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/units.h"
+
+namespace aeq::rpc {
+
+struct AdmissionDecision {
+  net::QoSLevel qos_run;
+  bool downgraded = false;
+  // Classic admission control: reject outright instead of downgrading.
+  // Aequitas never sets this; it exists for the downgrade-vs-drop ablation
+  // and for quota policies that enforce hard limits.
+  bool dropped = false;
+};
+
+class AdmissionController {
+ public:
+  virtual ~AdmissionController() = default;
+
+  // Decides the QoS an RPC of `bytes` payload requested at `qos_requested`
+  // actually runs at (or whether it is rejected).
+  virtual AdmissionDecision admit(sim::Time now, net::HostId src,
+                                  net::HostId dst,
+                                  net::QoSLevel qos_requested,
+                                  std::uint64_t bytes) = 0;
+
+  // Feedback on completion: measured RNL of an RPC that ran at `qos_run`.
+  virtual void on_completion(sim::Time now, net::HostId src, net::HostId dst,
+                             net::QoSLevel qos_run, sim::Time rnl,
+                             std::uint64_t size_mtus) = 0;
+};
+
+// Admits everything on its requested QoS (the pre-Aequitas world).
+class AlwaysAdmit final : public AdmissionController {
+ public:
+  AdmissionDecision admit(sim::Time, net::HostId, net::HostId,
+                          net::QoSLevel qos_requested,
+                          std::uint64_t) override {
+    return {qos_requested, false, false};
+  }
+  void on_completion(sim::Time, net::HostId, net::HostId, net::QoSLevel,
+                     sim::Time, std::uint64_t) override {}
+};
+
+}  // namespace aeq::rpc

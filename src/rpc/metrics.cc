@@ -1,0 +1,116 @@
+#include "rpc/metrics.h"
+
+#include "sim/assert.h"
+
+namespace aeq::rpc {
+
+RpcMetrics::RpcMetrics(std::size_t num_qos, const SloConfig& slo,
+                       std::size_t num_hosts)
+    : num_qos_(num_qos),
+      slo_(slo),
+      rnl_run_(num_qos),
+      rnl_requested_(num_qos),
+      rnl_per_mtu_run_(num_qos),
+      bytes_requested_(num_qos, 0),
+      bytes_admitted_(num_qos, 0),
+      bytes_completed_(num_qos, 0),
+      completed_(num_qos, 0),
+      downgraded_(num_qos, 0),
+      terminated_(num_qos, 0),
+      slo_eligible_(num_qos, 0),
+      slo_met_(num_qos, 0),
+      slo_eligible_bytes_(num_qos, 0),
+      slo_met_bytes_(num_qos, 0),
+      outstanding_(num_hosts, {0, 0}) {
+  AEQ_ASSERT(num_qos >= 2);
+}
+
+void RpcMetrics::on_issue(net::HostId dst, net::QoSLevel qos_requested,
+                          net::QoSLevel qos_run, std::uint64_t bytes) {
+  AEQ_ASSERT(qos_requested < num_qos_ && qos_run < num_qos_);
+  bytes_requested_[qos_requested] += bytes;
+  bytes_admitted_[qos_run] += bytes;
+  const int group =
+      static_cast<std::size_t>(qos_run) + 1 == num_qos_ ? 1 : 0;
+  ++outstanding_[static_cast<std::size_t>(dst)][group];
+}
+
+void RpcMetrics::record(const RpcRecord& record) {
+  AEQ_ASSERT(record.qos_requested < num_qos_ && record.qos_run < num_qos_);
+  if (record.downgraded) ++downgraded_[record.qos_requested];
+
+  const int group =
+      static_cast<std::size_t>(record.qos_run) + 1 == num_qos_ ? 1 : 0;
+  auto& gauge = outstanding_[static_cast<std::size_t>(record.dst)][group];
+  --gauge;
+  AEQ_DCHECK(gauge >= 0);
+
+  if (record.terminated) {
+    ++terminated_[record.qos_requested];
+    if (slo_.has_slo(record.qos_requested)) {
+      // A killed RPC misses its SLO.
+      ++slo_eligible_[record.qos_requested];
+      slo_eligible_bytes_[record.qos_requested] += record.bytes;
+    }
+    return;
+  }
+
+  ++completed_[record.qos_run];
+  bytes_completed_[record.qos_run] += record.bytes;
+
+  if (slo_.has_slo(record.qos_requested)) {
+    ++slo_eligible_[record.qos_requested];
+    slo_eligible_bytes_[record.qos_requested] += record.bytes;
+    if (record.rnl <=
+        slo_.absolute_target(record.qos_requested, record.size_mtus)) {
+      ++slo_met_[record.qos_requested];
+      slo_met_bytes_[record.qos_requested] += record.bytes;
+    }
+  }
+
+  if (record.issued >= warmup_end_) {
+    rnl_run_[record.qos_run].add(record.rnl);
+    rnl_requested_[record.qos_requested].add(record.rnl);
+    rnl_per_mtu_run_[record.qos_run].add(
+        record.rnl / static_cast<double>(record.size_mtus));
+  }
+}
+
+double RpcMetrics::admitted_share(net::QoSLevel qos) const {
+  std::uint64_t total = 0;
+  for (auto b : bytes_admitted_) total += b;
+  return total ? static_cast<double>(bytes_admitted_[qos]) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+double RpcMetrics::requested_share(net::QoSLevel qos) const {
+  std::uint64_t total = 0;
+  for (auto b : bytes_requested_) total += b;
+  return total ? static_cast<double>(bytes_requested_[qos]) /
+                     static_cast<double>(total)
+               : 0.0;
+}
+
+double RpcMetrics::slo_met_fraction(net::QoSLevel qos_requested) const {
+  const auto eligible = slo_eligible_[qos_requested];
+  return eligible ? static_cast<double>(slo_met_[qos_requested]) /
+                        static_cast<double>(eligible)
+                  : 0.0;
+}
+
+double RpcMetrics::slo_met_fraction_bytes(
+    net::QoSLevel qos_requested) const {
+  const auto eligible = slo_eligible_bytes_[qos_requested];
+  return eligible ? static_cast<double>(slo_met_bytes_[qos_requested]) /
+                        static_cast<double>(eligible)
+                  : 0.0;
+}
+
+std::uint64_t RpcMetrics::total_completed() const {
+  std::uint64_t total = 0;
+  for (auto c : completed_) total += c;
+  return total;
+}
+
+}  // namespace aeq::rpc

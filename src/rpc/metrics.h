@@ -1,0 +1,137 @@
+// Cluster-wide RPC metrics sink shared by all hosts in an experiment.
+//
+// Tracks, per QoS level: RNL percentiles (by the QoS the RPC ran at and by
+// the QoS it requested), admitted/downgraded counts and bytes, SLO
+// compliance, and outstanding-RPC gauges per destination (for Figure 13).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "net/packet.h"
+#include "rpc/priority.h"
+#include "rpc/slo.h"
+#include "sim/units.h"
+#include "stats/percentile.h"
+
+namespace aeq::rpc {
+
+struct RpcRecord {
+  std::uint64_t rpc_id = 0;
+  net::HostId src = net::kNoHost;
+  net::HostId dst = net::kNoHost;
+  Priority priority = Priority::kPC;
+  net::QoSLevel qos_requested = net::kQoSHigh;
+  net::QoSLevel qos_run = net::kQoSHigh;
+  bool downgraded = false;
+  bool terminated = false;  // killed by a deadline protocol (D3/PDQ)
+  std::uint64_t bytes = 0;
+  std::uint64_t size_mtus = 1;
+  sim::Time issued = 0.0;
+  sim::Time completed = 0.0;
+  sim::Time rnl = 0.0;
+};
+
+class RpcMetrics {
+ public:
+  RpcMetrics(std::size_t num_qos, const SloConfig& slo,
+             std::size_t num_hosts);
+
+  // Called by RpcStack when an RPC is issued / completes. Traffic-mix
+  // accounting (requested/admitted bytes) happens at issue time so the
+  // shares reflect offered traffic even when large messages are still in
+  // flight at the end of a run.
+  void on_issue(net::HostId dst, net::QoSLevel qos_requested,
+                net::QoSLevel qos_run, std::uint64_t bytes);
+  void record(const RpcRecord& record);
+
+  // Measurement window: records outside [t_start, inf) are counted for
+  // traffic accounting but excluded from latency percentiles.
+  void set_warmup(sim::Time t_start) { warmup_end_ = t_start; }
+
+  // --- latency ---
+  const stats::PercentileTracker& rnl_by_run_qos(net::QoSLevel qos) const {
+    return rnl_run_[qos];
+  }
+  const stats::PercentileTracker& rnl_by_requested_qos(
+      net::QoSLevel qos) const {
+    return rnl_requested_[qos];
+  }
+  // RNL divided by size in MTUs (the normalized quantity SLOs are set on).
+  const stats::PercentileTracker& rnl_per_mtu_by_run_qos(
+      net::QoSLevel qos) const {
+    return rnl_per_mtu_run_[qos];
+  }
+
+  // --- traffic mix ---
+  std::uint64_t bytes_requested(net::QoSLevel qos) const {
+    return bytes_requested_[qos];
+  }
+  std::uint64_t bytes_admitted(net::QoSLevel qos) const {
+    return bytes_admitted_[qos];
+  }
+  // Payload bytes of successfully completed (non-terminated) RPCs.
+  std::uint64_t bytes_completed(net::QoSLevel qos_run) const {
+    return bytes_completed_[qos_run];
+  }
+  // Fraction of issued bytes that ran on `qos` (the admitted QoS-mix).
+  double admitted_share(net::QoSLevel qos) const;
+  // Fraction of issued bytes that requested `qos` (the input QoS-mix).
+  double requested_share(net::QoSLevel qos) const;
+
+  std::uint64_t completed(net::QoSLevel qos_run) const {
+    return completed_[qos_run];
+  }
+  std::uint64_t downgraded(net::QoSLevel qos_requested) const {
+    return downgraded_[qos_requested];
+  }
+  std::uint64_t terminated(net::QoSLevel qos_requested) const {
+    return terminated_[qos_requested];
+  }
+
+  // --- SLO compliance (by requested QoS; paper §6.10) ---
+  std::uint64_t slo_eligible(net::QoSLevel qos_requested) const {
+    return slo_eligible_[qos_requested];
+  }
+  std::uint64_t slo_met(net::QoSLevel qos_requested) const {
+    return slo_met_[qos_requested];
+  }
+  double slo_met_fraction(net::QoSLevel qos_requested) const;
+  // Byte-weighted variant: fraction of SLO-bearing *traffic* meeting its
+  // target (large RPCs weigh more, as in the paper's Figure 22).
+  double slo_met_fraction_bytes(net::QoSLevel qos_requested) const;
+
+  // --- outstanding RPC gauges (per destination host) ---
+  // Group 0: all SLO-bearing QoS levels; group 1: the lowest QoS.
+  int outstanding(net::HostId dst, int group) const {
+    return outstanding_[static_cast<std::size_t>(dst)][group];
+  }
+  std::size_t num_hosts() const { return outstanding_.size(); }
+
+  std::uint64_t total_completed() const;
+  const SloConfig& slo() const { return slo_; }
+
+ private:
+  std::size_t num_qos_;
+  SloConfig slo_;
+  sim::Time warmup_end_ = 0.0;
+
+  std::vector<stats::PercentileTracker> rnl_run_;
+  std::vector<stats::PercentileTracker> rnl_requested_;
+  std::vector<stats::PercentileTracker> rnl_per_mtu_run_;
+
+  std::vector<std::uint64_t> bytes_requested_;
+  std::vector<std::uint64_t> bytes_admitted_;
+  std::vector<std::uint64_t> bytes_completed_;
+  std::vector<std::uint64_t> completed_;
+  std::vector<std::uint64_t> downgraded_;
+  std::vector<std::uint64_t> terminated_;
+  std::vector<std::uint64_t> slo_eligible_;
+  std::vector<std::uint64_t> slo_met_;
+  std::vector<std::uint64_t> slo_eligible_bytes_;
+  std::vector<std::uint64_t> slo_met_bytes_;
+  std::vector<std::array<int, 2>> outstanding_;
+};
+
+}  // namespace aeq::rpc

@@ -1,0 +1,83 @@
+#include "rpc/rpc_stack.h"
+
+#include "sim/assert.h"
+
+namespace aeq::rpc {
+
+RpcStack::RpcStack(sim::Simulator& simulator, net::HostId host_id,
+                   transport::MessageTransport& transport,
+                   AdmissionController& admission, RpcMetrics& metrics,
+                   const RpcStackConfig& config)
+    : sim_(simulator),
+      host_id_(host_id),
+      transport_(transport),
+      admission_(admission),
+      metrics_(metrics),
+      config_(config) {
+  AEQ_ASSERT(config_.num_qos >= 2 && config_.mtu_bytes > 0);
+}
+
+std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
+                              std::uint64_t bytes,
+                              sim::Time deadline_budget,
+                              std::uint64_t app_tag) {
+  AEQ_ASSERT(bytes > 0);
+  AEQ_ASSERT(dst != host_id_);
+  const std::uint64_t rpc_id =
+      (static_cast<std::uint64_t>(host_id_) << 40) | ++issued_;
+
+  const net::QoSLevel qos_requested =
+      qos_for_priority(priority, config_.num_qos);
+  const AdmissionDecision decision =
+      admission_.admit(sim_.now(), host_id_, dst, qos_requested, bytes);
+
+  RpcRecord record;
+  record.rpc_id = rpc_id;
+  record.src = host_id_;
+  record.dst = dst;
+  record.priority = priority;
+  record.qos_requested = qos_requested;
+  record.qos_run = decision.qos_run;
+  record.downgraded = decision.downgraded;
+  record.bytes = bytes;
+  record.size_mtus = size_in_mtus(bytes, config_.mtu_bytes);
+  record.issued = sim_.now();
+
+  if (decision.dropped) {
+    // Rejected at admission: never enters the network. Accounted like a
+    // terminated RPC (an SLO miss with zero goodput).
+    record.terminated = true;
+    record.completed = record.issued;
+    metrics_.on_issue(dst, qos_requested, decision.qos_run, bytes);
+    metrics_.record(record);
+    if (listener_) listener_(record);
+    return rpc_id;
+  }
+
+  metrics_.on_issue(dst, qos_requested, decision.qos_run, bytes);
+
+  transport::SendRequest request;
+  request.dst = dst;
+  request.qos = decision.qos_run;
+  request.bytes = bytes;
+  request.rpc_id = rpc_id;
+  request.deadline =
+      deadline_budget > 0.0 ? sim_.now() + deadline_budget : 0.0;
+  request.app_tag = app_tag;
+
+  transport_.send_message(
+      request, [this, record](const transport::MessageCompletion& done) {
+        RpcRecord finished = record;
+        finished.completed = done.completed;
+        finished.rnl = done.rnl();
+        finished.terminated = done.terminated;
+        admission_.on_completion(sim_.now(), finished.src, finished.dst,
+                                 finished.qos_run, finished.rnl,
+                                 finished.size_mtus);
+        metrics_.record(finished);
+        if (listener_) listener_(finished);
+      });
+  return rpc_id;
+}
+
+}  // namespace aeq::rpc

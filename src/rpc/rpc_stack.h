@@ -1,0 +1,63 @@
+// Per-host RPC stack (paper Figure 6): sits between the application (RPC
+// issues with a priority class) and the message transport. On issue it maps
+// priority -> requested QoS, consults the admission controller (Aequitas or
+// pass-through), and sends on the decided QoS; on completion it measures RNL
+// and feeds it back to the controller and the metrics sink. Downgrade
+// information is surfaced to the application via an optional listener.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+#include "rpc/admission.h"
+#include "rpc/metrics.h"
+#include "rpc/priority.h"
+#include "sim/simulator.h"
+#include "transport/message.h"
+
+namespace aeq::rpc {
+
+struct RpcStackConfig {
+  std::size_t num_qos = 3;
+  std::uint32_t mtu_bytes = 4096;
+};
+
+class RpcStack {
+ public:
+  RpcStack(sim::Simulator& simulator, net::HostId host_id,
+           transport::MessageTransport& transport,
+           AdmissionController& admission, RpcMetrics& metrics,
+           const RpcStackConfig& config);
+
+  // Issues one RPC of `bytes` payload at `priority` toward `dst`.
+  // `deadline_budget` (0 = none) is a relative deadline hint consumed only
+  // by deadline-aware transports; `app_tag` is delivered opaquely to the
+  // receiving host (two-sided RPC correlation). Returns the assigned
+  // rpc id.
+  std::uint64_t issue(net::HostId dst, Priority priority, std::uint64_t bytes,
+                      sim::Time deadline_budget = 0.0,
+                      std::uint64_t app_tag = 0);
+
+  // Application hook: invoked with the full record of every finished RPC
+  // (completions and terminations), e.g. to react to downgrades.
+  using CompletionListener = std::function<void(const RpcRecord&)>;
+  void set_completion_listener(CompletionListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  std::uint64_t issued_count() const { return issued_; }
+  net::HostId host_id() const { return host_id_; }
+
+ private:
+  sim::Simulator& sim_;
+  net::HostId host_id_;
+  transport::MessageTransport& transport_;
+  AdmissionController& admission_;
+  RpcMetrics& metrics_;
+  RpcStackConfig config_;
+  CompletionListener listener_;
+  std::uint64_t issued_ = 0;
+};
+
+}  // namespace aeq::rpc

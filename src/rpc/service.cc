@@ -1,0 +1,118 @@
+#include "rpc/service.h"
+
+#include "sim/assert.h"
+
+namespace aeq::rpc {
+
+namespace {
+
+constexpr std::uint64_t kKindShift = 62;
+constexpr std::uint64_t kPriorityShift = 60;
+constexpr std::uint64_t kPayloadShift = 24;
+constexpr std::uint64_t kPayloadMask = (1ull << 36) - 1;
+constexpr std::uint64_t kSeqMask = (1ull << 24) - 1;
+constexpr std::uint8_t kKindResponse = 3;
+
+std::uint64_t op_key(net::HostId peer, std::uint32_t seq) {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(peer))
+          << 24) |
+         (seq & kSeqMask);
+}
+
+}  // namespace
+
+std::uint64_t RpcServiceNode::encode_tag(std::uint8_t kind,
+                                         Priority priority,
+                                         std::uint64_t payload_bytes,
+                                         std::uint32_t op_seq) {
+  AEQ_ASSERT(kind >= 1 && kind <= 3);
+  AEQ_ASSERT(payload_bytes <= kPayloadMask);
+  return (static_cast<std::uint64_t>(kind) << kKindShift) |
+         (static_cast<std::uint64_t>(priority) << kPriorityShift) |
+         ((payload_bytes & kPayloadMask) << kPayloadShift) |
+         (op_seq & kSeqMask);
+}
+
+RpcServiceNode::RpcServiceNode(sim::Simulator& simulator, RpcStack& stack,
+                               transport::HostStack& transport,
+                               const ServiceConfig& config)
+    : sim_(simulator), stack_(stack), config_(config) {
+  AEQ_ASSERT(config_.control_bytes > 0);
+  transport.set_rpc_delivery_handler(
+      [this](const transport::DeliveredRpc& delivered) {
+        on_delivered(delivered);
+      });
+}
+
+std::uint64_t RpcServiceNode::read(net::HostId server,
+                                   std::uint64_t payload_bytes,
+                                   Priority priority) {
+  return start_op(RpcOp::kRead, server, payload_bytes, priority);
+}
+
+std::uint64_t RpcServiceNode::write(net::HostId server,
+                                    std::uint64_t payload_bytes,
+                                    Priority priority) {
+  return start_op(RpcOp::kWrite, server, payload_bytes, priority);
+}
+
+std::uint64_t RpcServiceNode::start_op(RpcOp op, net::HostId server,
+                                       std::uint64_t payload_bytes,
+                                       Priority priority) {
+  AEQ_ASSERT(payload_bytes > 0);
+  const std::uint32_t seq = next_seq_++ & kSeqMask;
+
+  PendingOp pending;
+  pending.completion.op_id = op_key(server, seq);
+  pending.completion.op = op;
+  pending.completion.peer = server;
+  pending.completion.priority = priority;
+  pending.completion.payload_bytes = payload_bytes;
+  pending.completion.started = sim_.now();
+  pending_.emplace(pending.completion.op_id, pending);
+
+  const std::uint64_t tag = encode_tag(
+      static_cast<std::uint8_t>(op), priority, payload_bytes, seq);
+  const std::uint64_t request_bytes =
+      op == RpcOp::kWrite ? payload_bytes : config_.control_bytes;
+  stack_.issue(server, priority, request_bytes, /*deadline_budget=*/0.0,
+               tag);
+  return pending.completion.op_id;
+}
+
+void RpcServiceNode::on_delivered(const transport::DeliveredRpc& delivered) {
+  if (delivered.app_tag == 0) return;  // plain one-sided RPC
+  const auto kind =
+      static_cast<std::uint8_t>(delivered.app_tag >> kKindShift);
+  const auto priority = static_cast<Priority>(
+      (delivered.app_tag >> kPriorityShift) & 0x3);
+  const std::uint64_t payload =
+      (delivered.app_tag >> kPayloadShift) & kPayloadMask;
+  const auto seq =
+      static_cast<std::uint32_t>(delivered.app_tag & kSeqMask);
+
+  if (kind == kKindResponse) {
+    // Client side: the operation is complete.
+    auto it = pending_.find(op_key(delivered.src, seq));
+    if (it == pending_.end()) return;  // duplicate / stale
+    OpCompletion completion = it->second.completion;
+    pending_.erase(it);
+    completion.finished = sim_.now();
+    ++completed_;
+    if (listener_) listener_(completion);
+    return;
+  }
+
+  // Server side: respond. WRITE requests carried the payload, so the
+  // response is small; READ requests ask for `payload` bytes back.
+  ++served_;
+  const std::uint64_t response_bytes =
+      kind == static_cast<std::uint8_t>(RpcOp::kRead)
+          ? payload
+          : config_.control_bytes;
+  stack_.issue(delivered.src, priority, response_bytes,
+               /*deadline_budget=*/0.0,
+               encode_tag(kKindResponse, priority, payload, seq));
+}
+
+}  // namespace aeq::rpc

@@ -1,0 +1,92 @@
+// Two-sided RPC operations (paper Appendix A): a complete storage operation
+// is a request followed by a response, where one side carries the payload —
+// the request for WRITEs (~400:1 vs its response) and the response for
+// READs (~200:1). RNL continues to be measured per message by the normal
+// RPC stack (the payload side dominates, as the paper argues); this layer
+// adds the end-to-end *operation* latency and the server-side responder.
+//
+// Correlation and the READ payload size ride in the message's app_tag
+// (layout below), so no extra wire format is needed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+
+#include "rpc/rpc_stack.h"
+#include "sim/simulator.h"
+#include "transport/host_stack.h"
+
+namespace aeq::rpc {
+
+enum class RpcOp : std::uint8_t { kRead = 1, kWrite = 2 };
+
+struct ServiceConfig {
+  // Size of the non-payload side (request of a READ / response of a WRITE).
+  std::uint64_t control_bytes = 256;
+};
+
+// One service endpoint per host; acts as both client (read/write) and
+// server (auto-responder).
+class RpcServiceNode {
+ public:
+  struct OpCompletion {
+    std::uint64_t op_id = 0;
+    RpcOp op = RpcOp::kRead;
+    net::HostId peer = net::kNoHost;
+    Priority priority = Priority::kPC;
+    std::uint64_t payload_bytes = 0;
+    sim::Time started = 0.0;
+    sim::Time finished = 0.0;
+    sim::Time latency() const { return finished - started; }
+  };
+  using OpListener = std::function<void(const OpCompletion&)>;
+
+  RpcServiceNode(sim::Simulator& simulator, RpcStack& stack,
+                 transport::HostStack& transport,
+                 const ServiceConfig& config = {});
+
+  // Client API: starts an operation toward `server`; returns the op id.
+  std::uint64_t read(net::HostId server, std::uint64_t payload_bytes,
+                     Priority priority);
+  std::uint64_t write(net::HostId server, std::uint64_t payload_bytes,
+                      Priority priority);
+
+  void set_op_listener(OpListener listener) {
+    listener_ = std::move(listener);
+  }
+
+  std::uint64_t completed_ops() const { return completed_; }
+  std::uint64_t served_requests() const { return served_; }
+
+  // --- app_tag layout (documented for interop/testing) ---
+  // [63:62] kind: 1 = READ request, 2 = WRITE request, 3 = response
+  // [61:60] priority of the operation
+  // [59:24] payload bytes (36 bits; READ requests tell the server how much
+  //         to send back)
+  // [23:0]  operation sequence number, unique per (client, server)
+  static std::uint64_t encode_tag(std::uint8_t kind, Priority priority,
+                                  std::uint64_t payload_bytes,
+                                  std::uint32_t op_seq);
+
+ private:
+  std::uint64_t start_op(RpcOp op, net::HostId server,
+                         std::uint64_t payload_bytes, Priority priority);
+  void on_delivered(const transport::DeliveredRpc& delivered);
+
+  struct PendingOp {
+    OpCompletion completion;
+  };
+
+  sim::Simulator& sim_;
+  RpcStack& stack_;
+  ServiceConfig config_;
+  OpListener listener_;
+  // Outstanding ops keyed by (peer, op_seq) packed into one key.
+  std::unordered_map<std::uint64_t, PendingOp> pending_;
+  std::uint32_t next_seq_ = 1;
+  std::uint64_t completed_ = 0;
+  std::uint64_t served_ = 0;
+};
+
+}  // namespace aeq::rpc

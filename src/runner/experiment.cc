@@ -1,0 +1,151 @@
+#include "runner/experiment.h"
+
+#include <utility>
+
+#include "sim/assert.h"
+
+namespace aeq::runner {
+
+Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
+  AEQ_ASSERT(config_.num_qos >= 2);
+  AEQ_ASSERT_MSG(config_.slo.num_qos() == config_.num_qos,
+                 "SLO config must cover every QoS level");
+
+  net::QueueConfig queue;
+  queue.type = config_.scheduler;
+  queue.weights = config_.wfq_weights;
+  queue.capacity_bytes = config_.buffer_bytes;
+  queue.ecn_threshold_bytes = config_.ecn_threshold_bytes;
+  queue.per_class_capacity_bytes = config_.per_class_buffer_bytes;
+  if (config_.cc_kind == ExperimentConfig::CcKind::kDctcp &&
+      queue.ecn_threshold_bytes == 0) {
+    // DCTCP needs marking; default to ~20 MTUs as in its paper's guidance.
+    queue.ecn_threshold_bytes = 20ull * config_.transport.mtu_bytes;
+  }
+  AEQ_ASSERT(config_.scheduler == net::SchedulerType::kPfabric ||
+             config_.wfq_weights.size() == config_.num_qos);
+
+  if (config_.use_leaf_spine) {
+    topo::LeafSpineConfig ls = config_.leaf_spine;
+    ls.host_queue = queue;
+    ls.switch_queue = queue;
+    network_ = topo::build_leaf_spine(sim_, ls);
+    config_.num_hosts = network_.num_hosts();
+  } else {
+    topo::StarConfig star;
+    star.num_hosts = config_.num_hosts;
+    star.link_rate = config_.link_rate;
+    star.link_delay = config_.link_delay;
+    star.host_queue = queue;
+    star.switch_queue = queue;
+    network_ = topo::build_star(sim_, star);
+  }
+
+  metrics_ = std::make_unique<rpc::RpcMetrics>(config_.num_qos, config_.slo,
+                                               network_.num_hosts());
+
+  sim::Rng seeder(config_.seed);
+  rpc::RpcStackConfig stack_config;
+  stack_config.num_qos = config_.num_qos;
+  stack_config.mtu_bytes = config_.transport.mtu_bytes;
+
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    const auto id = static_cast<net::HostId>(i);
+    auto cc_factory = [this]() -> std::unique_ptr<transport::CongestionControl> {
+      if (config_.use_fixed_window ||
+          config_.cc_kind == ExperimentConfig::CcKind::kFixedWindow) {
+        return std::make_unique<transport::FixedWindowCC>(
+            config_.fixed_window_packets);
+      }
+      if (config_.cc_kind == ExperimentConfig::CcKind::kDctcp) {
+        return std::make_unique<transport::DctcpCC>(config_.dctcp);
+      }
+      return std::make_unique<transport::SwiftCC>(config_.swift);
+    };
+    host_stacks_.push_back(std::make_unique<transport::HostStack>(
+        sim_, network_.host(id), network_.num_hosts(), config_.transport,
+        cc_factory));
+
+    if (config_.admission_factory) {
+      aequitas_.push_back(nullptr);
+      controllers_.push_back(
+          config_.admission_factory(sim_, id, seeder.fork()));
+    } else if (config_.enable_aequitas) {
+      core::AequitasConfig aeq;
+      aeq.alpha = config_.alpha;
+      aeq.beta_per_mtu = config_.beta_per_mtu;
+      aeq.p_admit_floor = config_.p_admit_floor;
+      aeq.slo = config_.slo;
+      auto controller =
+          std::make_unique<core::AequitasController>(aeq, seeder.fork());
+      aequitas_.push_back(controller.get());
+      controllers_.push_back(std::move(controller));
+    } else {
+      aequitas_.push_back(nullptr);
+      controllers_.push_back(std::make_unique<rpc::AlwaysAdmit>());
+    }
+
+    stacks_.push_back(std::make_unique<rpc::RpcStack>(
+        sim_, id, *host_stacks_.back(), *controllers_.back(), *metrics_,
+        stack_config));
+  }
+}
+
+const workload::SizeDistribution* Experiment::own(
+    std::unique_ptr<workload::SizeDistribution> dist) {
+  owned_dists_.push_back(std::move(dist));
+  return owned_dists_.back().get();
+}
+
+workload::TrafficGenerator& Experiment::add_generator(
+    net::HostId id, const workload::GeneratorConfig& generator_config,
+    workload::DestinationPicker picker) {
+  if (!picker) {
+    picker = workload::uniform_destinations(network_.num_hosts(), id);
+  }
+  sim::Rng rng(config_.seed * 7919 + static_cast<std::uint64_t>(id) + 1);
+  generators_.push_back(std::make_unique<workload::TrafficGenerator>(
+      sim_, stack(id), std::move(picker), generator_config, rng));
+  return *generators_.back();
+}
+
+void Experiment::sample_every(sim::Time interval,
+                              std::function<void(sim::Time)> fn) {
+  AEQ_ASSERT(interval > 0.0 && fn != nullptr);
+  samplers_.push_back(Sampler{interval, std::move(fn)});
+}
+
+void Experiment::schedule_sampler(std::size_t index, sim::Time at) {
+  if (at >= run_end_) return;
+  sim_.schedule_at(at, [this, index, at] {
+    samplers_[index].fn(at);
+    schedule_sampler(index, at + samplers_[index].interval);
+  });
+}
+
+void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
+  AEQ_ASSERT(duration > 0.0);
+  metrics_->set_warmup(warmup);
+  run_end_ = warmup + duration;
+  for (auto& generator : generators_) {
+    generator->run(sim_.now(), run_end_);
+  }
+  for (std::size_t s = 0; s < samplers_.size(); ++s) {
+    schedule_sampler(s, sim_.now() + samplers_[s].interval);
+  }
+  sim_.run_until(run_end_);
+  // Let in-flight RPCs finish so tail percentiles include them.
+  sim_.run_until(run_end_ + drain);
+}
+
+double Experiment::mean_downlink_utilization() const {
+  double total = 0.0;
+  const sim::Time now = sim_.now();
+  if (now <= 0.0) return 0.0;
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    total += network_.downlink(static_cast<net::HostId>(i)).utilization(now);
+  }
+  return total / static_cast<double>(network_.num_hosts());
+}
+
+}  // namespace aeq::runner

@@ -1,0 +1,130 @@
+// Experiment harness: wires a topology, per-host transport stacks, RPC
+// stacks, admission controllers, the shared metrics sink, and traffic
+// generators into one runnable object. Every bench/example builds on this.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "core/aequitas.h"
+#include "net/queue_factory.h"
+#include "rpc/metrics.h"
+#include "rpc/rpc_stack.h"
+#include "sim/simulator.h"
+#include "topo/builders.h"
+#include "transport/dctcp.h"
+#include "transport/host_stack.h"
+#include "transport/swift.h"
+#include "workload/generator.h"
+#include "workload/size_dist.h"
+
+namespace aeq::runner {
+
+struct ExperimentConfig {
+  // Topology (single-switch star unless use_leaf_spine).
+  std::size_t num_hosts = 3;
+  sim::Rate link_rate = sim::gbps(100);
+  sim::Time link_delay = 0.5 * sim::kUsec;
+  bool use_leaf_spine = false;
+  topo::LeafSpineConfig leaf_spine;  // consulted when use_leaf_spine
+
+  // QoS plane.
+  std::size_t num_qos = 3;
+  std::vector<double> wfq_weights = {8.0, 4.0, 1.0};
+  net::SchedulerType scheduler = net::SchedulerType::kWfq;
+  std::uint64_t buffer_bytes = 8 * sim::kMiB;  // per port, shared
+  // Per-class drop isolation at every port (see QueueConfig); 0 = off.
+  std::uint64_t per_class_buffer_bytes = 0;
+
+  // Transport.
+  enum class CcKind { kSwift, kDctcp, kFixedWindow };
+  transport::TransportConfig transport;
+  CcKind cc_kind = CcKind::kSwift;
+  transport::SwiftConfig swift;
+  transport::DctcpConfig dctcp;
+  // ECN marking threshold applied to every queue (needed by DCTCP).
+  std::uint64_t ecn_threshold_bytes = 0;
+  bool use_fixed_window = false;  // legacy alias for CcKind::kFixedWindow
+  double fixed_window_packets = 64.0;
+
+  // Admission control: Aequitas when true, pass-through otherwise.
+  // `admission_factory`, when set, overrides both and installs a custom
+  // controller per host (ablations, quota policies, misalignment models).
+  std::function<std::unique_ptr<rpc::AdmissionController>(
+      sim::Simulator&, net::HostId, sim::Rng)>
+      admission_factory;
+  bool enable_aequitas = true;
+  double alpha = 0.01;
+  double beta_per_mtu = 0.01;
+  double p_admit_floor = 0.01;
+  rpc::SloConfig slo;  // required (also drives SLO-met accounting)
+
+  std::uint64_t seed = 1;
+};
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+
+  sim::Simulator& simulator() { return sim_; }
+  topo::Network& network() { return network_; }
+  rpc::RpcMetrics& metrics() { return *metrics_; }
+  rpc::RpcStack& stack(net::HostId id) {
+    return *stacks_.at(static_cast<std::size_t>(id));
+  }
+  transport::HostStack& host_stack(net::HostId id) {
+    return *host_stacks_.at(static_cast<std::size_t>(id));
+  }
+  // Null when Aequitas is disabled.
+  core::AequitasController* aequitas(net::HostId id) {
+    return aequitas_.at(static_cast<std::size_t>(id));
+  }
+
+  const ExperimentConfig& config() const { return config_; }
+
+  // Registers and owns a size distribution for the experiment's lifetime.
+  const workload::SizeDistribution* own(
+      std::unique_ptr<workload::SizeDistribution> dist);
+
+  // Attaches a generator to host `id`; destinations default to uniform
+  // all-to-all.
+  workload::TrafficGenerator& add_generator(
+      net::HostId id, const workload::GeneratorConfig& generator_config,
+      workload::DestinationPicker picker = nullptr);
+
+  // Runs generators over [0, warmup + duration); metrics exclude RPCs
+  // issued during warmup. Afterwards drains in-flight work for up to
+  // `drain` extra simulated seconds.
+  void run(sim::Time warmup, sim::Time duration,
+           sim::Time drain = 2 * sim::kMsec);
+
+  // Registers a callback invoked every `interval` of simulated time during
+  // run() (e.g. to sample p_admit or outstanding gauges).
+  void sample_every(sim::Time interval, std::function<void(sim::Time)> fn);
+
+  // Aggregate utilization of all host downlinks over [0, now].
+  double mean_downlink_utilization() const;
+
+ private:
+  void schedule_sampler(std::size_t index, sim::Time at);
+
+  ExperimentConfig config_;
+  sim::Simulator sim_;
+  topo::Network network_;
+  std::unique_ptr<rpc::RpcMetrics> metrics_;
+  std::vector<std::unique_ptr<transport::HostStack>> host_stacks_;
+  std::vector<std::unique_ptr<rpc::AdmissionController>> controllers_;
+  std::vector<core::AequitasController*> aequitas_;
+  std::vector<std::unique_ptr<rpc::RpcStack>> stacks_;
+  std::vector<std::unique_ptr<workload::TrafficGenerator>> generators_;
+  std::vector<std::unique_ptr<workload::SizeDistribution>> owned_dists_;
+  struct Sampler {
+    sim::Time interval;
+    std::function<void(sim::Time)> fn;
+  };
+  std::vector<Sampler> samplers_;
+  sim::Time run_end_ = 0.0;
+};
+
+}  // namespace aeq::runner

@@ -1,0 +1,37 @@
+// Lightweight contract-checking macros used across the library.
+//
+// AEQ_ASSERT is active in all build types (the simulator is a research tool:
+// a silently-corrupted run is worse than an abort). Use AEQ_DCHECK for checks
+// that are too hot for release builds.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace aeq::detail {
+
+[[noreturn]] inline void assert_fail(const char* expr, const char* file,
+                                     int line, const char* msg) {
+  std::fprintf(stderr, "AEQ_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+}  // namespace aeq::detail
+
+#define AEQ_ASSERT(expr)                                              \
+  do {                                                                \
+    if (!(expr)) ::aeq::detail::assert_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define AEQ_ASSERT_MSG(expr, msg)                                      \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::aeq::detail::assert_fail(#expr, __FILE__, __LINE__, (msg));    \
+  } while (0)
+
+#ifdef NDEBUG
+#define AEQ_DCHECK(expr) ((void)0)
+#else
+#define AEQ_DCHECK(expr) AEQ_ASSERT(expr)
+#endif

@@ -1,0 +1,126 @@
+#include "sim/calendar_queue.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace aeq::sim {
+
+CalendarQueue::CalendarQueue(Time initial_bucket_width,
+                             std::size_t initial_buckets)
+    : buckets_(initial_buckets), width_(initial_bucket_width) {
+  AEQ_ASSERT(initial_bucket_width > 0.0 && initial_buckets >= 2);
+}
+
+EventId CalendarQueue::schedule(Time t, Handler handler) {
+  AEQ_ASSERT(handler != nullptr);
+  AEQ_ASSERT_MSG(t >= current_, "cannot schedule into the past");
+  EventId id{next_seq_++};
+  insert(Node{t, id.seq, std::move(handler)});
+  ++live_;
+  maybe_resize();
+  return id;
+}
+
+void CalendarQueue::insert(Node node) {
+  auto& bucket = buckets_[bucket_of(node.t)];
+  // Keep buckets sorted by (t, seq): bucket lists are short by design, so
+  // the linear scan stays cheap and pop() can take the front.
+  auto it = bucket.begin();
+  while (it != bucket.end() &&
+         (it->t < node.t || (it->t == node.t && it->seq < node.seq))) {
+    ++it;
+  }
+  bucket.insert(it, std::move(node));
+}
+
+bool CalendarQueue::cancel(EventId id) {
+  if (!id) return false;
+  // Lazy: mark and skip at pop. Membership is implied by the seq being
+  // smaller than next_seq_ and not yet popped; we cannot check cheaply, so
+  // only pending ids may be cancelled (same contract as EventQueue enforced
+  // by callers; double-cancel returns false).
+  auto [it, inserted] = cancelled_.insert(id.seq);
+  (void)it;
+  if (!inserted) return false;
+  AEQ_ASSERT(live_ > 0);
+  --live_;
+  return true;
+}
+
+CalendarQueue::Node CalendarQueue::take_earliest() {
+  // Scan buckets from the cursor; an event "belongs" to the current
+  // rotation when its time falls inside the cursor bucket's window.
+  for (std::size_t scanned = 0; scanned <= buckets_.size(); ++scanned) {
+    auto& bucket = buckets_[cursor_];
+    const Time window_end = current_ + width_;
+    while (!bucket.empty()) {
+      if (bucket.front().t >= window_end) break;  // future rotation
+      Node node = std::move(bucket.front());
+      bucket.pop_front();
+      if (cancelled_.erase(node.seq) > 0) continue;  // skip cancelled
+      // Re-anchor the epoch at the popped event so current_ never exceeds
+      // simulated time (resizes can leave it misaligned).
+      current_ = std::floor(node.t / width_) * width_;
+      cursor_ = bucket_of(node.t);
+      return node;
+    }
+    cursor_ = (cursor_ + 1) % buckets_.size();
+    current_ += width_;
+  }
+  // A full rotation found nothing in-window: events are sparse. Jump the
+  // calendar to the earliest event anywhere (direct search).
+  Time best = std::numeric_limits<Time>::infinity();
+  for (auto& bucket : buckets_) {
+    // Drop cancelled heads so the scan sees live minima.
+    while (!bucket.empty() && cancelled_.count(bucket.front().seq)) {
+      cancelled_.erase(bucket.front().seq);
+      bucket.pop_front();
+    }
+    if (!bucket.empty()) best = std::min(best, bucket.front().t);
+  }
+  AEQ_ASSERT_MSG(best < std::numeric_limits<Time>::infinity(),
+                 "take_earliest on empty calendar");
+  current_ = best - std::fmod(best, width_);
+  cursor_ = bucket_of(best);
+  return take_earliest();
+}
+
+CalendarQueue::Popped CalendarQueue::pop() {
+  AEQ_ASSERT_MSG(live_ > 0, "pop() on empty calendar queue");
+  Node node = take_earliest();
+  --live_;
+  maybe_resize();
+  return Popped{node.t, std::move(node.handler)};
+}
+
+Time CalendarQueue::next_time() {
+  AEQ_ASSERT(live_ > 0);
+  Node node = take_earliest();
+  const Time t = node.t;
+  insert(std::move(node));  // put it back
+  return t;
+}
+
+void CalendarQueue::maybe_resize() {
+  const std::size_t n = buckets_.size();
+  if (live_ > 2 * n && n < (1u << 20)) {
+    resize(n * 2, width_ / 2);
+  } else if (live_ < n / 4 && n > 256) {
+    resize(n / 2, width_ * 2);
+  }
+}
+
+void CalendarQueue::resize(std::size_t new_buckets, Time new_width) {
+  std::vector<std::list<Node>> old = std::move(buckets_);
+  buckets_.assign(new_buckets, {});
+  width_ = new_width;
+  current_ = std::floor(current_ / width_) * width_;  // re-align the epoch
+  cursor_ = bucket_of(current_);
+  for (auto& bucket : old) {
+    for (auto& node : bucket) insert(std::move(node));
+  }
+}
+
+}  // namespace aeq::sim

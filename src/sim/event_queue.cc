@@ -1,0 +1,50 @@
+#include "sim/event_queue.h"
+
+#include <utility>
+
+namespace aeq::sim {
+
+EventId EventQueue::schedule(Time t, Handler handler) {
+  AEQ_ASSERT(handler != nullptr);
+  EventId id{next_seq_++};
+  heap_.push(Node{t, id.seq, std::move(handler)});
+  pending_.insert(id.seq);
+  return id;
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (!id) return false;
+  // Only genuinely pending events can be cancelled; a fired or already
+  // cancelled id is a no-op. The heap entry is skipped lazily by pop().
+  if (pending_.erase(id.seq) == 0) return false;
+  cancelled_.insert(id.seq);
+  return true;
+}
+
+void EventQueue::drop_cancelled_head() const {
+  while (!heap_.empty()) {
+    auto it = cancelled_.find(heap_.top().seq);
+    if (it == cancelled_.end()) return;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+EventQueue::Popped EventQueue::pop() {
+  drop_cancelled_head();
+  AEQ_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
+  // priority_queue::top() is const&; move out via const_cast on the handler
+  // is UB, so copy the node instead. Handlers are small closures in practice.
+  Node node = heap_.top();
+  heap_.pop();
+  pending_.erase(node.seq);
+  return Popped{node.t, std::move(node.handler)};
+}
+
+Time EventQueue::next_time() const {
+  drop_cancelled_head();
+  AEQ_ASSERT_MSG(!heap_.empty(), "next_time() on empty event queue");
+  return heap_.top().t;
+}
+
+}  // namespace aeq::sim

@@ -1,0 +1,80 @@
+// The discrete-event priority queue at the heart of the simulator.
+//
+// Events are arbitrary callables scheduled at an absolute simulated time.
+// Ties are broken by insertion order (a monotonically increasing sequence
+// number), which makes every run deterministic for a fixed seed.
+// Cancellation is lazy: cancelled events stay in the heap and are skipped
+// when popped, which keeps schedule/cancel O(log n)/O(1).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "sim/assert.h"
+#include "sim/units.h"
+
+namespace aeq::sim {
+
+// Opaque handle to a scheduled event; value 0 means "no event".
+struct EventId {
+  std::uint64_t seq = 0;
+  explicit operator bool() const { return seq != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
+};
+
+class EventQueue {
+ public:
+  using Handler = std::function<void()>;
+
+  // Schedules `handler` to run at absolute time `t`. `t` must not be in the
+  // past relative to the last popped event.
+  EventId schedule(Time t, Handler handler);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or the id is invalid.
+  bool cancel(EventId id);
+
+  // Pops the earliest pending (non-cancelled) event and returns it.
+  // Precondition: !empty().
+  struct Popped {
+    Time time;
+    Handler handler;
+  };
+  Popped pop();
+
+  // True when no live (non-cancelled) events remain.
+  bool empty() const { return pending_.empty(); }
+
+  // Number of live events.
+  std::size_t size() const { return pending_.size(); }
+
+  // Time of the earliest live event. Precondition: !empty().
+  Time next_time() const;
+
+ private:
+  struct Node {
+    Time t;
+    std::uint64_t seq;
+    Handler handler;
+  };
+  struct Later {
+    bool operator()(const Node& a, const Node& b) const {
+      if (a.t != b.t) return a.t > b.t;
+      return a.seq > b.seq;
+    }
+  };
+
+  void drop_cancelled_head() const;
+
+  mutable std::priority_queue<Node, std::vector<Node>, Later> heap_;
+  // Seqs scheduled and not yet fired or cancelled. Needed so cancel() of an
+  // already-fired id is a reliable no-op.
+  mutable std::unordered_set<std::uint64_t> pending_;
+  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::uint64_t next_seq_ = 1;
+};
+
+}  // namespace aeq::sim

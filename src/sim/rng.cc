@@ -1,0 +1,24 @@
+#include "sim/rng.h"
+
+#include <numeric>
+
+namespace aeq::sim {
+
+std::size_t Rng::discrete(std::span<const double> weights) {
+  AEQ_ASSERT(!weights.empty());
+  double total = 0.0;
+  for (double w : weights) {
+    AEQ_DCHECK(w >= 0.0);
+    total += w;
+  }
+  AEQ_ASSERT_MSG(total > 0.0, "discrete distribution needs positive mass");
+  double target = uniform() * total;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    cumulative += weights[i];
+    if (target < cumulative) return i;
+  }
+  return weights.size() - 1;  // guard against floating-point round-off
+}
+
+}  // namespace aeq::sim

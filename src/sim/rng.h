@@ -1,0 +1,61 @@
+// Deterministic random number generation for simulations.
+//
+// Every stochastic component takes an explicit Rng (seeded by the experiment
+// config) so that runs are reproducible and components can be reseeded
+// independently. No global RNG state (C++ Core Guidelines I.2/I.3).
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+#include <vector>
+
+#include "sim/assert.h"
+
+namespace aeq::sim {
+
+// A thin, deterministic wrapper around std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  // Uniform double in [0, 1).
+  double uniform() { return unit_(engine_); }
+
+  // Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    AEQ_DCHECK(lo <= hi);
+    return lo + (hi - lo) * uniform();
+  }
+
+  // Uniform integer in [0, n).
+  std::uint64_t index(std::uint64_t n) {
+    AEQ_DCHECK(n > 0);
+    return std::uniform_int_distribution<std::uint64_t>(0, n - 1)(engine_);
+  }
+
+  // Bernoulli trial with success probability p (clamped to [0,1]).
+  bool bernoulli(double p) { return uniform() < p; }
+
+  // Exponentially distributed value with the given mean.
+  double exponential(double mean) {
+    AEQ_DCHECK(mean > 0);
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  // Samples an index from a discrete distribution with the given
+  // (not necessarily normalized, non-negative) weights.
+  std::size_t discrete(std::span<const double> weights);
+
+  // Derives a new independent generator; useful for giving each component
+  // its own stream.
+  Rng fork() { return Rng(engine_()); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uniform_real_distribution<double> unit_{0.0, 1.0};
+};
+
+}  // namespace aeq::sim

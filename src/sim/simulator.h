@@ -1,0 +1,54 @@
+// The simulation executive: a clock plus the event queue.
+//
+// A Simulator is an explicit object passed (by reference) to every component
+// that needs to schedule work; there is no global simulation state.
+#pragma once
+
+#include <cstdint>
+
+#include "sim/event_queue.h"
+#include "sim/units.h"
+
+namespace aeq::sim {
+
+class Simulator {
+ public:
+  // Current simulated time.
+  Time now() const { return now_; }
+
+  // Schedules `handler` at absolute time `t` (must be >= now()).
+  EventId schedule_at(Time t, EventQueue::Handler handler);
+
+  // Schedules `handler` `dt` seconds from now (dt >= 0).
+  EventId schedule_in(Time dt, EventQueue::Handler handler) {
+    return schedule_at(now_ + dt, std::move(handler));
+  }
+
+  // Cancels a pending event; safe to call with an already-fired id.
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  // Runs until the event queue drains or stop() is called.
+  void run();
+
+  // Runs all events with time <= `t_end`; afterwards now() == t_end
+  // (even if the queue drained earlier). Pending later events remain queued.
+  void run_until(Time t_end);
+
+  // Requests that run()/run_until() return after the current event.
+  void stop() { stopped_ = true; }
+
+  // Total events dispatched so far (for micro-benchmarks and sanity checks).
+  std::uint64_t events_processed() const { return events_processed_; }
+
+  std::size_t pending_events() const { return queue_.size(); }
+
+ private:
+  void dispatch_one();
+
+  EventQueue queue_;
+  Time now_ = 0.0;
+  bool stopped_ = false;
+  std::uint64_t events_processed_ = 0;
+};
+
+}  // namespace aeq::sim

@@ -1,0 +1,36 @@
+// Time and rate units used throughout the simulator.
+//
+// Simulated time is a double in seconds. Rates are bytes per second.
+// The helpers below keep unit conversions explicit and greppable.
+#pragma once
+
+#include <cstdint>
+
+namespace aeq::sim {
+
+// Simulated time, in seconds.
+using Time = double;
+
+inline constexpr Time kSec = 1.0;
+inline constexpr Time kMsec = 1e-3;
+inline constexpr Time kUsec = 1e-6;
+inline constexpr Time kNsec = 1e-9;
+
+// Rate, in bytes per second.
+using Rate = double;
+
+// Converts a link speed in gigabits per second to bytes per second.
+constexpr Rate gbps(double gigabits_per_sec) {
+  return gigabits_per_sec * 1e9 / 8.0;
+}
+
+// Time to serialize `bytes` onto a link of rate `r` bytes/sec.
+constexpr Time serialization_delay(std::uint64_t bytes, Rate r) {
+  return static_cast<Time>(bytes) / r;
+}
+
+// Common payload sizes.
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * 1024;
+
+}  // namespace aeq::sim

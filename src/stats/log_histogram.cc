@@ -1,0 +1,55 @@
+#include "stats/log_histogram.h"
+
+#include <algorithm>
+
+namespace aeq::stats {
+
+LogHistogram::LogHistogram(double min_value, double max_value,
+                           double precision)
+    : min_value_(min_value), max_value_(max_value) {
+  AEQ_ASSERT(min_value > 0.0 && max_value > min_value);
+  AEQ_ASSERT(precision > 0.0 && precision < 1.0);
+  log_base_ = std::log1p(2.0 * precision);
+  const auto buckets = static_cast<std::size_t>(
+      std::ceil(std::log(max_value / min_value) / log_base_)) + 1;
+  buckets_.assign(buckets, 0);
+}
+
+std::size_t LogHistogram::index_of(double value) const {
+  const double clamped = std::clamp(value, min_value_, max_value_);
+  const auto index = static_cast<std::size_t>(
+      std::log(clamped / min_value_) / log_base_);
+  return std::min(index, buckets_.size() - 1);
+}
+
+void LogHistogram::add(double value, std::uint64_t weight) {
+  buckets_[index_of(value)] += weight;
+  total_ += weight;
+}
+
+double LogHistogram::percentile(double pct) const {
+  if (total_ == 0) return 0.0;
+  AEQ_ASSERT(pct >= 0.0 && pct <= 100.0);
+  const auto target = static_cast<std::uint64_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(total_)));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    seen += buckets_[i];
+    if (seen >= target) {
+      // Upper edge of bucket i.
+      return min_value_ * std::exp(log_base_ * static_cast<double>(i + 1));
+    }
+  }
+  return max_value_;
+}
+
+void LogHistogram::merge(const LogHistogram& other) {
+  AEQ_ASSERT(buckets_.size() == other.buckets_.size());
+  AEQ_ASSERT(min_value_ == other.min_value_);
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    buckets_[i] += other.buckets_[i];
+  }
+  total_ += other.total_;
+}
+
+}  // namespace aeq::stats

@@ -1,0 +1,52 @@
+#include "stats/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aeq::stats {
+
+void PercentileTracker::add(double x) {
+  summary_.add(x);
+  if (capacity_ == 0 || samples_.size() < capacity_) {
+    samples_.push_back(x);
+    sorted_ = false;
+    return;
+  }
+  // Vitter's Algorithm R: replace a uniformly random existing slot with
+  // probability capacity/count so the reservoir is a uniform sample.
+  const std::uint64_t n = summary_.count();
+  const std::uint64_t slot = rng_.index(n);
+  if (slot < capacity_) {
+    samples_[static_cast<std::size_t>(slot)] = x;
+    sorted_ = false;
+  }
+}
+
+void PercentileTracker::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double PercentileTracker::percentile(double pct) const {
+  if (samples_.empty()) return 0.0;
+  AEQ_ASSERT(pct >= 0.0 && pct <= 100.0);
+  ensure_sorted();
+  if (pct <= 0.0) return samples_.front();
+  // Nearest-rank: the smallest value with at least pct% of mass at or below.
+  const auto n = samples_.size();
+  auto rank = static_cast<std::size_t>(
+      std::ceil(pct / 100.0 * static_cast<double>(n)));
+  if (rank == 0) rank = 1;
+  if (rank > n) rank = n;
+  return samples_[rank - 1];
+}
+
+void PercentileTracker::clear() {
+  samples_.clear();
+  summary_ = Summary{};
+  sorted_ = true;
+}
+
+}  // namespace aeq::stats

@@ -1,0 +1,54 @@
+// Exact percentile tracking over collected samples.
+//
+// Tail percentiles (p99.9) are the paper's headline metric, so we keep exact
+// samples rather than sketches. An optional reservoir cap bounds memory for
+// very long runs while keeping the tail estimate unbiased.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/rng.h"
+#include "stats/summary.h"
+
+namespace aeq::stats {
+
+class PercentileTracker {
+ public:
+  // Unbounded storage.
+  PercentileTracker() = default;
+
+  // Reservoir-sampled storage with at most `capacity` samples, using `seed`
+  // for the replacement draws.
+  PercentileTracker(std::size_t capacity, std::uint64_t seed)
+      : capacity_(capacity), rng_(seed) {}
+
+  void add(double x);
+
+  // Percentile in [0, 100]; e.g. 99.9 for p99.9. Returns 0 when empty.
+  // Uses the nearest-rank method on a sorted copy (lazy, cached).
+  double percentile(double pct) const;
+
+  double p50() const { return percentile(50.0); }
+  double p99() const { return percentile(99.0); }
+  double p999() const { return percentile(99.9); }
+
+  std::uint64_t count() const { return summary_.count(); }
+  double mean() const { return summary_.mean(); }
+  double max() const { return summary_.max(); }
+  double min() const { return summary_.min(); }
+  const Summary& summary() const { return summary_; }
+
+  void clear();
+
+ private:
+  void ensure_sorted() const;
+
+  std::size_t capacity_ = 0;  // 0 => unbounded
+  sim::Rng rng_{0x5eed};
+  Summary summary_;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = true;
+};
+
+}  // namespace aeq::stats

@@ -1,0 +1,63 @@
+// Sliding-window percentile tracking: percentiles over only the samples
+// recorded in the last `window` of simulated time. This is what a
+// production SLO monitor actually computes (the paper's alerts fire on
+// windowed tail latency, not all-of-history percentiles).
+#pragma once
+
+#include <algorithm>
+#include <deque>
+
+#include "sim/assert.h"
+#include "sim/units.h"
+
+namespace aeq::stats {
+
+class SlidingWindowPercentile {
+ public:
+  explicit SlidingWindowPercentile(sim::Time window) : window_(window) {
+    AEQ_ASSERT(window > 0.0);
+  }
+
+  void add(sim::Time now, double value) {
+    evict(now);
+    samples_.push_back({now, value});
+  }
+
+  // Percentile over samples within (now - window, now]; 0 when empty.
+  double percentile(sim::Time now, double pct) {
+    AEQ_ASSERT(pct >= 0.0 && pct <= 100.0);
+    evict(now);
+    if (samples_.empty()) return 0.0;
+    std::vector<double> values;
+    values.reserve(samples_.size());
+    for (const auto& s : samples_) values.push_back(s.value);
+    auto rank = static_cast<std::size_t>(
+        std::ceil(pct / 100.0 * static_cast<double>(values.size())));
+    if (rank == 0) rank = 1;
+    std::nth_element(values.begin(), values.begin() + (rank - 1),
+                     values.end());
+    return values[rank - 1];
+  }
+
+  std::size_t count(sim::Time now) {
+    evict(now);
+    return samples_.size();
+  }
+
+ private:
+  struct Sample {
+    sim::Time t;
+    double value;
+  };
+
+  void evict(sim::Time now) {
+    while (!samples_.empty() && samples_.front().t <= now - window_) {
+      samples_.pop_front();
+    }
+  }
+
+  sim::Time window_;
+  std::deque<Sample> samples_;
+};
+
+}  // namespace aeq::stats

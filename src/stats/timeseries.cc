@@ -1,0 +1,64 @@
+#include "stats/timeseries.h"
+
+#include <algorithm>
+
+#include "sim/assert.h"
+
+namespace aeq::stats {
+
+double TimeSeries::average_in(sim::Time t0, sim::Time t1) const {
+  double sum = 0.0;
+  std::size_t n = 0;
+  for (const auto& p : points_) {
+    if (p.t >= t0 && p.t < t1) {
+      sum += p.value;
+      ++n;
+    }
+  }
+  return n ? sum / static_cast<double>(n) : 0.0;
+}
+
+double TimeSeries::value_at(sim::Time t) const {
+  double v = 0.0;
+  for (const auto& p : points_) {
+    if (p.t > t) break;
+    v = p.value;
+  }
+  return v;
+}
+
+std::vector<TimePoint> TimeSeries::resample(std::size_t n) const {
+  std::vector<TimePoint> out;
+  if (points_.empty() || n == 0) return out;
+  const sim::Time t0 = points_.front().t;
+  const sim::Time t1 = points_.back().t;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const sim::Time t =
+        n == 1 ? t1
+               : t0 + (t1 - t0) * static_cast<double>(i) /
+                          static_cast<double>(n - 1);
+    out.push_back({t, value_at(t)});
+  }
+  return out;
+}
+
+void RateMeter::add(sim::Time now, double bytes) {
+  AEQ_DCHECK(now >= window_start_);
+  while (now >= window_start_ + window_) {
+    series_.record(window_start_, accumulated_ / window_);
+    accumulated_ = 0.0;
+    window_start_ += window_;
+  }
+  accumulated_ += bytes;
+}
+
+void RateMeter::finish(sim::Time now) {
+  if (now > window_start_) {
+    series_.record(window_start_, accumulated_ / (now - window_start_));
+    accumulated_ = 0.0;
+    window_start_ = now;
+  }
+}
+
+}  // namespace aeq::stats

@@ -1,0 +1,56 @@
+// (time, value) series recording for convergence plots (Figures 17/18/28/29).
+#pragma once
+
+#include <vector>
+
+#include "sim/units.h"
+
+namespace aeq::stats {
+
+struct TimePoint {
+  sim::Time t;
+  double value;
+};
+
+class TimeSeries {
+ public:
+  void record(sim::Time t, double value) { points_.push_back({t, value}); }
+
+  const std::vector<TimePoint>& points() const { return points_; }
+  bool empty() const { return points_.empty(); }
+
+  // Average of values recorded in [t0, t1).
+  double average_in(sim::Time t0, sim::Time t1) const;
+
+  // Value of the last point at or before t (0 if none).
+  double value_at(sim::Time t) const;
+
+  // Resamples to `n` evenly spaced points over the recorded span using the
+  // last-value-before semantics; useful for compact printing.
+  std::vector<TimePoint> resample(std::size_t n) const;
+
+ private:
+  std::vector<TimePoint> points_;
+};
+
+// A windowed throughput meter: count bytes, read rate per window.
+class RateMeter {
+ public:
+  explicit RateMeter(sim::Time window) : window_(window) {}
+
+  void add(sim::Time now, double bytes);
+
+  // Completed-window series of (window start, bytes/sec).
+  const TimeSeries& series() const { return series_; }
+
+  // Flush the current partial window into the series.
+  void finish(sim::Time now);
+
+ private:
+  sim::Time window_;
+  sim::Time window_start_ = 0.0;
+  double accumulated_ = 0.0;
+  TimeSeries series_;
+};
+
+}  // namespace aeq::stats

@@ -1,0 +1,85 @@
+#include "tools/flags.h"
+
+namespace aeq::tools {
+
+bool Flags::parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      error_ = "expected --flag, got '" + arg + "'";
+      return false;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      values_[arg] = argv[++i];
+    } else {
+      values_[arg] = "true";  // bare boolean flag
+    }
+  }
+  return true;
+}
+
+std::string Flags::get(const std::string& name,
+                       const std::string& fallback) const {
+  queried_[name] = true;
+  auto it = values_.find(name);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Flags::get_double(const std::string& name, double fallback) const {
+  const std::string value = get(name);
+  if (value.empty()) return fallback;
+  try {
+    return std::stod(value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+std::int64_t Flags::get_int(const std::string& name,
+                            std::int64_t fallback) const {
+  const std::string value = get(name);
+  if (value.empty()) return fallback;
+  try {
+    return std::stoll(value);
+  } catch (const std::exception&) {
+    return fallback;
+  }
+}
+
+bool Flags::get_bool(const std::string& name, bool fallback) const {
+  const std::string value = get(name);
+  if (value.empty()) return fallback;
+  return value == "1" || value == "true" || value == "yes" || value == "on";
+}
+
+std::vector<double> Flags::get_list(const std::string& name,
+                                    std::vector<double> fallback) const {
+  const std::string value = get(name);
+  if (value.empty()) return fallback;
+  std::vector<double> out;
+  std::stringstream stream(value);
+  std::string token;
+  while (std::getline(stream, token, ',')) {
+    try {
+      out.push_back(std::stod(token));
+    } catch (const std::exception&) {
+      return fallback;
+    }
+  }
+  return out.empty() ? fallback : out;
+}
+
+std::vector<std::string> Flags::unused() const {
+  std::vector<std::string> out;
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    if (!queried_.count(name)) out.push_back(name);
+  }
+  return out;
+}
+
+}  // namespace aeq::tools

@@ -1,0 +1,40 @@
+// Minimal command-line flag parsing for the CLI tools: --name=value or
+// --name value; typed getters with defaults; collects unknown-flag errors.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace aeq::tools {
+
+class Flags {
+ public:
+  // Parses argv; returns false (and fills error()) on malformed input.
+  bool parse(int argc, char** argv);
+
+  bool has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string get(const std::string& name,
+                  const std::string& fallback = "") const;
+  double get_double(const std::string& name, double fallback) const;
+  std::int64_t get_int(const std::string& name, std::int64_t fallback) const;
+  bool get_bool(const std::string& name, bool fallback) const;
+  // Comma-separated list of doubles, e.g. --mix=0.5,0.3,0.2.
+  std::vector<double> get_list(const std::string& name,
+                               std::vector<double> fallback) const;
+
+  // Names seen on the command line but never queried — typo detection.
+  std::vector<std::string> unused() const;
+
+  const std::string& error() const { return error_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  mutable std::map<std::string, bool> queried_;
+  std::string error_;
+};
+
+}  // namespace aeq::tools

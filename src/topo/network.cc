@@ -1,0 +1,21 @@
+#include "topo/network.h"
+
+#include "sim/assert.h"
+
+namespace aeq::topo {
+
+net::Host* Network::add_host(std::unique_ptr<net::Host> host) {
+  AEQ_ASSERT(host != nullptr);
+  AEQ_ASSERT_MSG(host->id() == static_cast<net::HostId>(hosts_.size()),
+                 "hosts must be added in id order");
+  hosts_.push_back(std::move(host));
+  return hosts_.back().get();
+}
+
+net::Switch* Network::add_switch(std::unique_ptr<net::Switch> sw) {
+  AEQ_ASSERT(sw != nullptr);
+  switches_.push_back(std::move(sw));
+  return switches_.back().get();
+}
+
+}  // namespace aeq::topo

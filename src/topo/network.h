@@ -1,0 +1,59 @@
+// Owning container for a built topology: hosts, switches, and convenience
+// accessors for the instrumented ports (each host's downlink is the usual
+// oversubscription point in the paper's experiments).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "net/host.h"
+#include "net/shared_buffer.h"
+#include "net/switch.h"
+
+namespace aeq::topo {
+
+class Network {
+ public:
+  Network() = default;
+  Network(Network&&) = default;
+  Network& operator=(Network&&) = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  net::Host& host(net::HostId id) {
+    return *hosts_.at(static_cast<std::size_t>(id));
+  }
+  const net::Host& host(net::HostId id) const {
+    return *hosts_.at(static_cast<std::size_t>(id));
+  }
+  std::size_t num_hosts() const { return hosts_.size(); }
+
+  net::Switch& fabric_switch(std::size_t i) { return *switches_.at(i); }
+  std::size_t num_switches() const { return switches_.size(); }
+
+  // The switch egress port that feeds host `id` (its downlink).
+  net::Port& downlink(net::HostId id) {
+    return *downlinks_.at(static_cast<std::size_t>(id));
+  }
+  const net::Port& downlink(net::HostId id) const {
+    return *downlinks_.at(static_cast<std::size_t>(id));
+  }
+
+  // Builder API.
+  net::Host* add_host(std::unique_ptr<net::Host> host);
+  net::Switch* add_switch(std::unique_ptr<net::Switch> sw);
+  void register_downlink(net::Port* port) { downlinks_.push_back(port); }
+  net::SharedBufferPool* add_buffer_pool(
+      std::unique_ptr<net::SharedBufferPool> pool) {
+    pools_.push_back(std::move(pool));
+    return pools_.back().get();
+  }
+
+ private:
+  std::vector<std::unique_ptr<net::Host>> hosts_;
+  std::vector<std::unique_ptr<net::Switch>> switches_;
+  std::vector<std::unique_ptr<net::SharedBufferPool>> pools_;
+  std::vector<net::Port*> downlinks_;  // indexed by host id
+};
+
+}  // namespace aeq::topo

@@ -1,0 +1,46 @@
+// Congestion-control interface used by transport flows.
+//
+// The window is expressed in packets (doubles: Swift allows cwnd < 1, in
+// which case the flow paces packets with an inter-send gap of rtt/cwnd).
+#pragma once
+
+#include <memory>
+
+#include "sim/units.h"
+
+namespace aeq::transport {
+
+class CongestionControl {
+ public:
+  virtual ~CongestionControl() = default;
+
+  // Called on every cumulative-ACK advance with the measured RTT, the
+  // number of packets newly acknowledged (fractional for partial MTUs), and
+  // whether the ACK carried an ECN echo.
+  virtual void on_ack(sim::Time now, sim::Time rtt, double acked_packets,
+                      bool ecn_echo) = 0;
+
+  // Called on loss detection (fast retransmit or RTO).
+  virtual void on_loss(sim::Time now) = 0;
+
+  // Called when the flow resumes after an idle period: stale congestion
+  // state no longer reflects the path (Swift-style window restart).
+  virtual void on_idle_restart() {}
+
+  virtual double cwnd_packets() const = 0;
+};
+
+// Fixed window: no reaction to congestion. Used for validation experiments
+// where the paper disables CC (§6.1) and in unit tests.
+class FixedWindowCC final : public CongestionControl {
+ public:
+  explicit FixedWindowCC(double cwnd_packets) : cwnd_(cwnd_packets) {}
+  void on_ack(sim::Time, sim::Time, double, bool) override {}
+  void on_loss(sim::Time) override {}
+  double cwnd_packets() const override { return cwnd_; }
+
+ private:
+  double cwnd_;
+};
+
+}  // namespace aeq::transport

@@ -1,0 +1,191 @@
+#include "transport/flow.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "sim/assert.h"
+
+namespace aeq::transport {
+
+Flow::Flow(sim::Simulator& simulator, net::Host& src_host, net::HostId dst,
+           net::QoSLevel qos, std::uint64_t flow_id,
+           const TransportConfig& config,
+           std::unique_ptr<CongestionControl> cc)
+    : sim_(simulator),
+      src_host_(src_host),
+      dst_(dst),
+      qos_(qos),
+      flow_id_(flow_id),
+      config_(config),
+      cc_(std::move(cc)) {
+  AEQ_ASSERT(cc_ != nullptr);
+  AEQ_ASSERT(config_.mtu_bytes > 0);
+}
+
+void Flow::send_message(std::uint64_t bytes, std::uint64_t rpc_id,
+                        CompletionHandler on_complete,
+                        std::uint64_t app_tag) {
+  AEQ_ASSERT_MSG(bytes > 0, "empty message");
+  if (next_seq_ == stream_end_ && bytes_in_flight() == 0 &&
+      sim_.now() - last_activity_ > config_.idle_restart_after) {
+    cc_->on_idle_restart();
+  }
+  stream_end_ += bytes;
+  messages_.push_back(PendingMessage{stream_end_, bytes, rpc_id, app_tag,
+                                     sim_.now(), std::move(on_complete)});
+  try_send();
+}
+
+const Flow::PendingMessage& Flow::message_at(std::uint64_t offset) const {
+  // messages_ is sorted by end_offset; find the first end > offset.
+  auto it = std::lower_bound(
+      messages_.begin(), messages_.end(), offset,
+      [](const PendingMessage& m, std::uint64_t off) {
+        return m.end_offset <= off;
+      });
+  AEQ_ASSERT_MSG(it != messages_.end(), "offset beyond queued messages");
+  return *it;
+}
+
+sim::Time Flow::pace_gap() const {
+  const sim::Time base = srtt_ > 0.0 ? srtt_ : config_.initial_rtt;
+  const double cwnd = std::max(cc_->cwnd_packets(), 1e-6);
+  return base / cwnd;
+}
+
+void Flow::try_send() {
+  while (next_seq_ < stream_end_) {
+    const double cwnd_pkts = cc_->cwnd_packets();
+    const std::uint64_t in_flight = next_seq_ - acked_;
+    // Segments never span message boundaries so every packet can carry its
+    // message's identity for receiver-side RPC delivery detection.
+    const PendingMessage& msg = message_at(next_seq_);
+    const auto payload = static_cast<std::uint32_t>(std::min<std::uint64_t>(
+        config_.mtu_bytes, msg.end_offset - next_seq_));
+    if (cwnd_pkts >= 1.0) {
+      const double cwnd_bytes =
+          cwnd_pkts * static_cast<double>(config_.mtu_bytes);
+      if (in_flight > 0 &&
+          static_cast<double>(in_flight + payload) > cwnd_bytes) {
+        break;
+      }
+    } else {
+      // Sub-packet window: at most one packet in flight, paced.
+      if (in_flight > 0) break;
+      if (sim_.now() < next_pace_time_) {
+        if (!pace_event_) {
+          pace_event_ = sim_.schedule_at(next_pace_time_, [this] {
+            pace_event_ = sim::EventId{};
+            try_send();
+          });
+        }
+        break;
+      }
+    }
+    send_segment(next_seq_, payload);
+    next_seq_ += payload;
+    if (cc_->cwnd_packets() < 1.0) {
+      next_pace_time_ = sim_.now() + pace_gap();
+    }
+  }
+  rearm_rto();
+}
+
+void Flow::send_segment(std::uint64_t offset, std::uint32_t payload) {
+  const PendingMessage& msg = message_at(offset);
+  net::Packet p;
+  p.src = src_host_.id();
+  p.dst = dst_;
+  p.size_bytes = payload;
+  p.qos = qos_;
+  p.type = net::PacketType::kData;
+  p.flow_id = flow_id_;
+  p.seq = offset;
+  p.rpc_id = msg.rpc_id;
+  p.msg_bytes = msg.bytes;
+  p.grant_offset = msg.end_offset;  // stream offset the message ends at
+  p.app_tag = msg.app_tag;
+  p.sent_time = sim_.now();
+  last_activity_ = sim_.now();
+  src_host_.send(p);
+}
+
+void Flow::update_srtt(sim::Time sample) {
+  srtt_ = srtt_ == 0.0 ? sample : 0.875 * srtt_ + 0.125 * sample;
+}
+
+sim::Time Flow::rto() const {
+  const sim::Time base = srtt_ > 0.0 ? srtt_ : config_.initial_rtt;
+  return std::max(config_.min_rto, config_.rto_srtt_multiplier * base);
+}
+
+void Flow::rearm_rto() {
+  if (rto_event_) {
+    sim_.cancel(rto_event_);
+    rto_event_ = sim::EventId{};
+  }
+  if (bytes_in_flight() == 0) return;
+  rto_event_ = sim_.schedule_in(rto(), [this] {
+    rto_event_ = sim::EventId{};
+    on_rto();
+  });
+}
+
+void Flow::on_rto() {
+  if (bytes_in_flight() == 0) return;
+  cc_->on_loss(sim_.now());
+  retransmit_from_ack();
+}
+
+void Flow::retransmit_from_ack() {
+  next_seq_ = acked_;  // go-back-N
+  next_pace_time_ = 0.0;
+  try_send();
+}
+
+void Flow::handle_ack(const net::Packet& ack) {
+  AEQ_DCHECK(ack.flow_id == flow_id_);
+  if (ack.ack_seq > acked_) {
+    const std::uint64_t advanced = ack.ack_seq - acked_;
+    acked_ = ack.ack_seq;
+    // GBN can rewind next_seq_ below an ACK raced in flight.
+    next_seq_ = std::max(next_seq_, acked_);
+    dup_acks_ = 0;
+    const sim::Time rtt = sim_.now() - ack.sent_time;
+    update_srtt(rtt);
+    cc_->on_ack(sim_.now(), rtt,
+                static_cast<double>(advanced) /
+                    static_cast<double>(config_.mtu_bytes),
+                ack.ecn_echo);
+    complete_messages();
+    rearm_rto();
+    try_send();
+  } else if (config_.fast_retransmit && ack.ack_seq == acked_ &&
+             bytes_in_flight() > 0) {
+    if (++dup_acks_ >= 3) {
+      dup_acks_ = 0;
+      cc_->on_loss(sim_.now());
+      retransmit_from_ack();
+    }
+  }
+}
+
+void Flow::complete_messages() {
+  while (!messages_.empty() && messages_.front().end_offset <= acked_) {
+    PendingMessage msg = std::move(messages_.front());
+    messages_.pop_front();
+    if (msg.on_complete) {
+      MessageCompletion done;
+      done.rpc_id = msg.rpc_id;
+      done.src = src_host_.id();
+      done.dst = dst_;
+      done.qos = qos_;
+      done.bytes = msg.bytes;
+      done.issued = msg.issued;
+      done.completed = sim_.now();
+      msg.on_complete(done);
+    }
+  }
+}
+
+}  // namespace aeq::transport

@@ -1,0 +1,114 @@
+// A reliable, congestion-controlled byte stream between two hosts at a fixed
+// QoS level. Messages (RPCs) are queued FIFO onto the stream; a message
+// completes when its last byte is cumulatively acknowledged — so RNL includes
+// sender-side queueing behind earlier messages, which is exactly the
+// "queued for long periods at the sending hosts" effect of §2.2.1.
+//
+// Loss recovery is go-back-N with duplicate-ACK fast retransmit and an RTO,
+// which is sufficient because per-flow packets stay in order through the
+// per-class FIFO queues of this simulator.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+
+#include "net/host.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+#include "transport/congestion_control.h"
+#include "transport/message.h"
+
+namespace aeq::transport {
+
+struct TransportConfig {
+  std::uint32_t mtu_bytes = 4096;
+  std::uint32_t ack_bytes = 64;
+  sim::Time initial_rtt = 10 * sim::kUsec;  // seeds pacing/RTO before samples
+  sim::Time min_rto = 200 * sim::kUsec;
+  double rto_srtt_multiplier = 4.0;
+  bool fast_retransmit = true;
+  // A flow idle longer than this gets a congestion-window restart before
+  // its next message (stale state no longer reflects the path).
+  sim::Time idle_restart_after = 500 * sim::kUsec;
+  // Messages larger than this use a separate flow ("lane") per (dst, QoS),
+  // emulating the production practice of mapping an RPC channel onto
+  // multiple per-QoS sockets (paper §6.11) so bulk transfers do not
+  // head-of-line-block small RPCs. 0 (default) keeps a single lane: with
+  // heavy-tailed sizes the per-(dst,QoS) AIMD otherwise settles where small
+  // RPCs meet and large ones chronically miss, hurting byte-weighted
+  // compliance (see EXPERIMENTS.md, Fig 22 notes).
+  std::uint64_t large_message_lane_threshold = 0;
+};
+
+class Flow {
+ public:
+  Flow(sim::Simulator& simulator, net::Host& src_host, net::HostId dst,
+       net::QoSLevel qos, std::uint64_t flow_id, const TransportConfig& config,
+       std::unique_ptr<CongestionControl> cc);
+
+  Flow(const Flow&) = delete;
+  Flow& operator=(const Flow&) = delete;
+
+  // Appends a message to the stream. `issued` is stamped now. `app_tag`
+  // rides every data packet of the message and is surfaced to the
+  // receiver's RPC-delivery hook (request/response correlation).
+  void send_message(std::uint64_t bytes, std::uint64_t rpc_id,
+                    CompletionHandler on_complete, std::uint64_t app_tag = 0);
+
+  // Cumulative-ACK input from the receiving host (demuxed by HostStack).
+  void handle_ack(const net::Packet& ack);
+
+  std::uint64_t flow_id() const { return flow_id_; }
+  net::QoSLevel qos() const { return qos_; }
+  net::HostId dst() const { return dst_; }
+  std::uint64_t bytes_in_flight() const { return next_seq_ - acked_; }
+  std::uint64_t backlog_bytes() const { return stream_end_ - next_seq_; }
+  std::uint64_t queued_messages() const { return messages_.size(); }
+  const CongestionControl& cc() const { return *cc_; }
+
+ private:
+  struct PendingMessage {
+    std::uint64_t end_offset;  // stream offset one past the last byte
+    std::uint64_t bytes;
+    std::uint64_t rpc_id;
+    std::uint64_t app_tag;
+    sim::Time issued;
+    CompletionHandler on_complete;
+  };
+
+  // The queued message containing stream offset `offset`.
+  const PendingMessage& message_at(std::uint64_t offset) const;
+
+  void try_send();
+  void send_segment(std::uint64_t offset, std::uint32_t payload);
+  void complete_messages();
+  void update_srtt(sim::Time sample);
+  sim::Time rto() const;
+  void rearm_rto();
+  void on_rto();
+  void retransmit_from_ack();
+  sim::Time pace_gap() const;
+
+  sim::Simulator& sim_;
+  net::Host& src_host_;
+  net::HostId dst_;
+  net::QoSLevel qos_;
+  std::uint64_t flow_id_;
+  TransportConfig config_;
+  std::unique_ptr<CongestionControl> cc_;
+
+  std::uint64_t stream_end_ = 0;  // total bytes enqueued
+  std::uint64_t next_seq_ = 0;    // next byte to (re)transmit
+  std::uint64_t acked_ = 0;       // cumulative ack point
+  std::deque<PendingMessage> messages_;
+
+  sim::Time srtt_ = 0.0;
+  sim::Time last_activity_ = 0.0;
+  int dup_acks_ = 0;
+  sim::EventId rto_event_;
+  sim::EventId pace_event_;
+  sim::Time next_pace_time_ = 0.0;
+};
+
+}  // namespace aeq::transport

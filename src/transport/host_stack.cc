@@ -1,0 +1,134 @@
+#include "transport/host_stack.h"
+
+#include <utility>
+
+#include "sim/assert.h"
+
+namespace aeq::transport {
+
+HostStack::HostStack(sim::Simulator& simulator, net::Host& host,
+                     std::size_t num_hosts, const TransportConfig& config,
+                     CcFactory cc_factory)
+    : sim_(simulator),
+      host_(host),
+      num_hosts_(num_hosts),
+      config_(config),
+      cc_factory_(std::move(cc_factory)) {
+  AEQ_ASSERT(cc_factory_ != nullptr);
+  host_.set_delivery_handler(
+      [this](const net::Packet& packet) { on_packet(packet); });
+}
+
+std::uint64_t HostStack::flow_key(net::HostId dst, net::QoSLevel qos,
+                                  int lane) const {
+  AEQ_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < num_hosts_);
+  AEQ_ASSERT(qos < net::kMaxQoSLevels);
+  AEQ_ASSERT(lane >= 0 && static_cast<std::uint64_t>(lane) < kLanes);
+  return ((static_cast<std::uint64_t>(host_.id()) * num_hosts_ +
+           static_cast<std::uint64_t>(dst)) *
+              net::kMaxQoSLevels +
+          qos) *
+             kLanes +
+         static_cast<std::uint64_t>(lane) + 1;
+}
+
+Flow& HostStack::flow_to(net::HostId dst, net::QoSLevel qos, int lane) {
+  const std::uint64_t key = flow_key(dst, qos, lane);
+  auto it = flows_.find(key);
+  if (it == flows_.end()) {
+    it = flows_
+             .emplace(key, std::make_unique<Flow>(sim_, host_, dst, qos, key,
+                                                  config_, cc_factory_()))
+             .first;
+  }
+  return *it->second;
+}
+
+void HostStack::send_message(const SendRequest& request,
+                             CompletionHandler on_complete) {
+  const int lane = config_.large_message_lane_threshold != 0 &&
+                           request.bytes >
+                               config_.large_message_lane_threshold
+                       ? 1
+                       : 0;
+  flow_to(request.dst, request.qos, lane)
+      .send_message(request.bytes, request.rpc_id, std::move(on_complete),
+                    request.app_tag);
+}
+
+void HostStack::on_packet(const net::Packet& packet) {
+  if (control_handler_ && control_handler_(packet)) return;
+  switch (packet.type) {
+    case net::PacketType::kData:
+      handle_data(packet);
+      break;
+    case net::PacketType::kAck: {
+      auto it = flows_.find(packet.flow_id);
+      if (it != flows_.end()) it->second->handle_ack(packet);
+      break;
+    }
+    default:
+      // Control packets for protocol stacks that installed no handler.
+      break;
+  }
+}
+
+void HostStack::handle_data(const net::Packet& packet) {
+  ReceiverState& r = receivers_[packet.flow_id];
+  const std::uint64_t begin = packet.seq;
+  const std::uint64_t end = packet.seq + packet.size_bytes;
+  const std::uint64_t before = r.next_expected;
+
+  if (rpc_delivery_handler_ && packet.grant_offset > r.next_expected) {
+    DeliveredRpc info;
+    info.rpc_id = packet.rpc_id;
+    info.app_tag = packet.app_tag;
+    info.src = packet.src;
+    info.qos = packet.qos;
+    info.bytes = packet.msg_bytes;
+    r.pending_rpcs.emplace(packet.grant_offset, info);
+  }
+
+  if (end > r.next_expected) {
+    if (begin <= r.next_expected) {
+      r.next_expected = end;
+      // Absorb buffered segments now contiguous.
+      auto it = r.out_of_order.begin();
+      while (it != r.out_of_order.end() && it->first <= r.next_expected) {
+        r.next_expected = std::max(r.next_expected, it->second);
+        it = r.out_of_order.erase(it);
+      }
+    } else {
+      auto [it, inserted] = r.out_of_order.emplace(begin, end);
+      if (!inserted) it->second = std::max(it->second, end);
+    }
+  }
+
+  const std::uint64_t advanced = r.next_expected - before;
+  bytes_delivered_ += advanced;
+  bytes_delivered_per_qos_[packet.qos] += advanced;
+
+  if (rpc_delivery_handler_) {
+    auto it = r.pending_rpcs.begin();
+    while (it != r.pending_rpcs.end() && it->first <= r.next_expected) {
+      DeliveredRpc info = it->second;
+      info.delivered = sim_.now();
+      it = r.pending_rpcs.erase(it);
+      rpc_delivery_handler_(info);
+    }
+  }
+
+  net::Packet ack;
+  ack.src = host_.id();
+  ack.dst = packet.src;
+  ack.size_bytes = config_.ack_bytes;
+  ack.qos = packet.qos;
+  ack.type = net::PacketType::kAck;
+  ack.flow_id = packet.flow_id;
+  ack.ack_seq = r.next_expected;
+  ack.sent_time = packet.sent_time;  // echo for RTT
+  ack.ecn_echo = packet.ecn_ce;
+  host_.send(ack);
+}
+
+}  // namespace aeq::transport

@@ -1,0 +1,48 @@
+// Message-level transport API shared by the Swift stack and the baseline
+// protocol stacks (pFabric/QJump/D3/PDQ/Homa), so the RPC layer can run over
+// any of them.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "net/packet.h"
+#include "sim/units.h"
+
+namespace aeq::transport {
+
+struct MessageCompletion {
+  std::uint64_t rpc_id = 0;
+  net::HostId src = net::kNoHost;
+  net::HostId dst = net::kNoHost;
+  net::QoSLevel qos = net::kQoSHigh;
+  std::uint64_t bytes = 0;
+  sim::Time issued = 0.0;     // handed to the transport (t0 in Appendix A)
+  sim::Time completed = 0.0;  // last byte acknowledged (t1)
+  bool terminated = false;    // D3/PDQ quench: message was killed, not done
+
+  // RPC Network Latency as defined in §2.2.1.
+  sim::Time rnl() const { return completed - issued; }
+};
+
+using CompletionHandler = std::function<void(const MessageCompletion&)>;
+
+struct SendRequest {
+  net::HostId dst = net::kNoHost;
+  net::QoSLevel qos = net::kQoSHigh;
+  std::uint64_t bytes = 0;
+  std::uint64_t rpc_id = 0;
+  sim::Time deadline = 0.0;   // absolute; 0 = none (used by D3/PDQ)
+  std::uint64_t app_tag = 0;  // opaque, delivered with the message
+};
+
+// Anything that can carry a message to a destination host and report
+// completion. One instance per sending host.
+class MessageTransport {
+ public:
+  virtual ~MessageTransport() = default;
+  virtual void send_message(const SendRequest& request,
+                            CompletionHandler on_complete) = 0;
+};
+
+}  // namespace aeq::transport

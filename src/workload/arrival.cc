@@ -1,0 +1,38 @@
+#include "workload/arrival.h"
+
+namespace aeq::workload {
+
+BurstCycleArrivals::BurstCycleArrivals(double avg_events_per_sec,
+                                       double burst_over_avg,
+                                       sim::Time period)
+    : avg_rate_(avg_events_per_sec),
+      burst_rate_(avg_events_per_sec * burst_over_avg),
+      period_(period),
+      window_(period / burst_over_avg) {
+  AEQ_ASSERT(avg_rate_ > 0.0);
+  AEQ_ASSERT(burst_over_avg >= 1.0);
+  AEQ_ASSERT(period_ > 0.0);
+}
+
+sim::Time BurstCycleArrivals::to_burst_time(sim::Time t) const {
+  const double k = std::floor(t / period_);
+  const sim::Time offset = t - k * period_;
+  return k * window_ + std::min(offset, window_);
+}
+
+sim::Time BurstCycleArrivals::to_real_time(sim::Time bt) const {
+  const double k = std::floor(bt / window_);
+  sim::Time offset = bt - k * window_;
+  return k * period_ + offset;
+}
+
+sim::Time BurstCycleArrivals::next_arrival(sim::Time now, sim::Rng& rng) {
+  const sim::Time bt = to_burst_time(now);
+  const sim::Time next_bt = bt + rng.exponential(1.0 / burst_rate_);
+  sim::Time next = to_real_time(next_bt);
+  // Guard against float round-off producing a non-advancing clock.
+  if (next <= now) next = now + 1e-12;
+  return next;
+}
+
+}  // namespace aeq::workload

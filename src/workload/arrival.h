@@ -1,0 +1,61 @@
+// Arrival processes. PoissonArrivals is the open-loop default; BurstCycle
+// reproduces Figure 7's envelope: arrivals at rate (rho/mu) * avg_rate
+// during the first mu/rho fraction of each period, idle for the rest, so the
+// period-average stays avg_rate while the instantaneous (burst) load is
+// rho/mu times higher. Within the burst window arrivals are Poisson (paper
+// §6.1: "with Poisson arrivals").
+#pragma once
+
+#include <cmath>
+
+#include "sim/rng.h"
+#include "sim/units.h"
+
+namespace aeq::workload {
+
+class ArrivalProcess {
+ public:
+  virtual ~ArrivalProcess() = default;
+  // Absolute time of the next arrival strictly after `now`.
+  virtual sim::Time next_arrival(sim::Time now, sim::Rng& rng) = 0;
+  virtual double average_rate() const = 0;
+};
+
+class PoissonArrivals final : public ArrivalProcess {
+ public:
+  explicit PoissonArrivals(double events_per_sec) : rate_(events_per_sec) {
+    AEQ_ASSERT(rate_ > 0.0);
+  }
+  sim::Time next_arrival(sim::Time now, sim::Rng& rng) override {
+    return now + rng.exponential(1.0 / rate_);
+  }
+  double average_rate() const override { return rate_; }
+
+ private:
+  double rate_;
+};
+
+class BurstCycleArrivals final : public ArrivalProcess {
+ public:
+  // `burst_over_avg` = rho/mu (>= 1; 1 degenerates to plain Poisson).
+  BurstCycleArrivals(double avg_events_per_sec, double burst_over_avg,
+                     sim::Time period);
+
+  sim::Time next_arrival(sim::Time now, sim::Rng& rng) override;
+  double average_rate() const override { return avg_rate_; }
+
+  sim::Time burst_window() const { return window_; }
+
+ private:
+  // Map real time <-> cumulative "burst time" (time spent inside burst
+  // windows); arrivals are Poisson in burst time at the burst rate.
+  sim::Time to_burst_time(sim::Time t) const;
+  sim::Time to_real_time(sim::Time bt) const;
+
+  double avg_rate_;
+  double burst_rate_;
+  sim::Time period_;
+  sim::Time window_;
+};
+
+}  // namespace aeq::workload

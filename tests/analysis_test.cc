@@ -1,0 +1,240 @@
+// Tests for the network-calculus analysis: closed-form 2-QoS delay bounds
+// (Eq 1 / Eq 8), the GPS fluid simulator, cross-validation between the two,
+// and admissible-region tooling.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "analysis/admissible.h"
+#include "analysis/fluid.h"
+#include "analysis/wfq_delay.h"
+
+namespace aeq::analysis {
+namespace {
+
+TEST(WfqDelayTest, PaperWorkedExample) {
+  // Appendix B.2: phi=4, rho=2, mu=0.8 gives Delay_h = 0 for x<=0.4,
+  // x-0.4 for 0.4<x<=0.8, 0.4 for x>0.8.
+  TwoQosParams p{.phi = 4.0, .mu = 0.8, .rho = 2.0};
+  EXPECT_DOUBLE_EQ(delay_high(p, 0.2), 0.0);
+  EXPECT_DOUBLE_EQ(delay_high(p, 0.4), 0.0);
+  EXPECT_NEAR(delay_high(p, 0.5), 0.1, 1e-12);
+  EXPECT_NEAR(delay_high(p, 0.8), 0.4, 1e-12);
+  EXPECT_NEAR(delay_high(p, 0.9), 0.4, 1e-12);
+  EXPECT_NEAR(delay_high(p, 0.99), 0.4, 1e-12);
+}
+
+TEST(WfqDelayTest, ZeroDelayWithinGuaranteedRate) {
+  TwoQosParams p{.phi = 4.0, .mu = 0.8, .rho = 1.2};
+  // x <= phi/(phi+1)/rho = 0.666..: no delay for QoS_h.
+  EXPECT_DOUBLE_EQ(delay_high(p, 0.1), 0.0);
+  EXPECT_DOUBLE_EQ(delay_high(p, 0.6), 0.0);
+  EXPECT_GT(delay_high(p, 0.7), 0.0);
+}
+
+TEST(WfqDelayTest, ContinuityAcrossCaseBoundaries) {
+  // The piecewise formula must be continuous in x for many parameter sets.
+  // The steepest segment has slope <= mu * (phi + 1) (case L4/H2 family), so
+  // a step of dx may move the value by at most ~mu*(phi+1)*dx; allow 2x.
+  const double dx = 0.001;
+  for (double phi : {1.0, 2.0, 4.0, 8.0, 50.0}) {
+    for (double rho : {1.1, 1.4, 2.0, 3.0}) {
+      TwoQosParams p{.phi = phi, .mu = 0.8, .rho = rho};
+      const double tolerance = 2.0 * p.mu * (phi + 1.0) * dx + 1e-9;
+      double prev_h = delay_high(p, dx);
+      double prev_l = delay_low(p, dx);
+      for (double x = 2 * dx; x < 0.999; x += dx) {
+        const double h = delay_high(p, x);
+        const double l = delay_low(p, x);
+        EXPECT_NEAR(h, prev_h, tolerance)
+            << "discontinuity in delay_high at x=" << x << " phi=" << phi
+            << " rho=" << rho;
+        EXPECT_NEAR(l, prev_l, tolerance)
+            << "discontinuity in delay_low at x=" << x << " phi=" << phi
+            << " rho=" << rho;
+        prev_h = h;
+        prev_l = l;
+      }
+    }
+  }
+}
+
+TEST(WfqDelayTest, SymmetryBetweenClasses) {
+  // With equal weights, Delay_h(x) == Delay_l(1-x).
+  TwoQosParams p{.phi = 1.0, .mu = 0.8, .rho = 1.5};
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    EXPECT_NEAR(delay_high(p, x), delay_low(p, 1.0 - x), 1e-9) << "x=" << x;
+  }
+}
+
+TEST(WfqDelayTest, InfiniteWeightLimit) {
+  // As phi grows, delay_high approaches the Eq-4 limit.
+  TwoQosParams limit{.phi = 1e9, .mu = 0.8, .rho = 1.25};
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    EXPECT_NEAR(delay_high(limit, x), delay_high_infinite_weight(limit, x),
+                1e-6)
+        << "x=" << x;
+  }
+}
+
+TEST(WfqDelayTest, PriorityInversionBeyondBoundary) {
+  TwoQosParams p{.phi = 4.0, .mu = 0.8, .rho = 1.2};
+  const double boundary = inversion_boundary(p);
+  EXPECT_DOUBLE_EQ(boundary, 0.8);
+  // Inside the admissible region QoS_h is no worse than QoS_l.
+  for (double x = 0.05; x < boundary - 1e-9; x += 0.05) {
+    EXPECT_LE(delay_high(p, x), delay_low(p, x) + 1e-9) << "x=" << x;
+  }
+  // Past the boundary the ordering flips (where QoS_l has drained).
+  EXPECT_GT(delay_high(p, 0.95), delay_low(p, 0.95));
+}
+
+TEST(WfqDelayTest, GuaranteedShareMatchesZeroDelayBoundary) {
+  // §5.2: traffic up to r * w * mu/rho is always admitted because it sees
+  // zero delay — i.e. expressed as a share of arrivals (x = X/(mu*r)) it is
+  // exactly the case-1 boundary w/rho of Equation 1.
+  for (double phi : {2.0, 4.0, 8.0}) {
+    for (double rho : {1.2, 1.6, 2.2}) {
+      const analysis::TwoQosParams p{.phi = phi, .mu = 0.8, .rho = rho};
+      const double w = phi / (phi + 1.0);
+      const double boundary_share =
+          analysis::guaranteed_admitted_share(w, p.mu, p.rho) / p.mu;
+      EXPECT_NEAR(boundary_share, w / rho, 1e-12);
+      EXPECT_DOUBLE_EQ(analysis::delay_high(p, boundary_share - 1e-6), 0.0);
+      EXPECT_GT(analysis::delay_high(p, boundary_share + 1e-3), 0.0);
+    }
+  }
+}
+
+TEST(WfqDelayTest, GuaranteedAdmittedShare) {
+  // Section 5.2: X_i <= r * (phi_i/sum phi) * mu/rho.
+  EXPECT_DOUBLE_EQ(guaranteed_admitted_share(0.8, 0.8, 1.6), 0.4);
+  EXPECT_DOUBLE_EQ(guaranteed_admitted_share(1.0, 0.9, 1.8), 0.5);
+}
+
+TEST(GpsAllocateTest, WorkConservingUnderload) {
+  const auto alloc = gps_allocate({0.3, 0.2}, {false, false}, {4.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.3);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.2);
+}
+
+TEST(GpsAllocateTest, WeightedSplitWhenAllBacklogged) {
+  const auto alloc = gps_allocate({0.0, 0.0}, {true, true}, {4.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.8);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.2);
+}
+
+TEST(GpsAllocateTest, ExcessRedistributed) {
+  // Class 0 needs only 0.1; class 1 (backlogged) absorbs the rest.
+  const auto alloc = gps_allocate({0.1, 0.0}, {false, true}, {4.0, 1.0}, 1.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.1);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.9);
+}
+
+TEST(GpsAllocateTest, CascadedCaps) {
+  // Three classes; two capped below their fair share in sequence.
+  const auto alloc =
+      gps_allocate({0.05, 0.10, 0.0}, {false, false, true}, {8.0, 4.0, 1.0},
+                   1.0);
+  EXPECT_DOUBLE_EQ(alloc[0], 0.05);
+  EXPECT_DOUBLE_EQ(alloc[1], 0.10);
+  EXPECT_NEAR(alloc[2], 0.85, 1e-12);
+}
+
+// Property: the fluid simulator must match the closed form for 2 QoS levels
+// across the (phi, rho, x) grid.
+class FluidVsClosedForm
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(FluidVsClosedForm, MatchesEquationOne) {
+  const auto [phi, rho] = GetParam();
+  TwoQosParams p{.phi = phi, .mu = 0.8, .rho = rho};
+  for (double x = 0.05; x < 1.0; x += 0.05) {
+    FluidConfig config;
+    config.weights = {phi, 1.0};
+    config.shares = {x, 1.0 - x};
+    config.mu = p.mu;
+    config.rho = p.rho;
+    const FluidResult result = simulate_fluid(config);
+    EXPECT_NEAR(result.delay[0], delay_high(p, x), 1e-6)
+        << "QoS_h phi=" << phi << " rho=" << rho << " x=" << x;
+    EXPECT_NEAR(result.delay[1], delay_low(p, x), 1e-6)
+        << "QoS_l phi=" << phi << " rho=" << rho << " x=" << x;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ParamGrid, FluidVsClosedForm,
+    ::testing::Combine(::testing::Values(1.0, 2.0, 4.0, 8.0, 50.0),
+                       ::testing::Values(1.1, 1.2, 1.4, 2.0, 2.5)));
+
+TEST(FluidTest, ThreeClassSanity) {
+  // Figure 9(a) setting: weights 8:4:1, mu=0.8, rho=1.4, QoS_m:QoS_l = 2:1.
+  FluidConfig config;
+  config.weights = {8.0, 4.0, 1.0};
+  config.mu = 0.8;
+  config.rho = 1.4;
+  config.shares = {0.4, 0.4, 0.2};
+  const FluidResult result = simulate_fluid(config);
+  ASSERT_EQ(result.delay.size(), 3u);
+  // At 40% QoS_h share the high class is within its guarantee: no delay.
+  EXPECT_NEAR(result.delay[0], 0.0, 1e-9);
+  EXPECT_GT(result.delay[2], result.delay[1]);
+}
+
+TEST(FluidTest, TotalServiceConserved) {
+  FluidConfig config;
+  config.weights = {8.0, 4.0, 1.0};
+  config.mu = 0.7;
+  config.rho = 1.6;
+  config.shares = {0.5, 0.3, 0.2};
+  const FluidResult result = simulate_fluid(config);
+  // Everything drains within the period since mu < 1.
+  for (double drain : result.drain_time) EXPECT_LE(drain, 1.0 + 1e-9);
+}
+
+TEST(AdmissibleTest, MaxShareWithinSloMonotoneInSlo) {
+  TwoQosParams p{.phi = 4.0, .mu = 0.8, .rho = 1.4};
+  const double strict = max_share_within_slo(p, 0.01);
+  const double loose = max_share_within_slo(p, 0.10);
+  EXPECT_LT(strict, loose);
+  EXPECT_GT(strict, 0.0);
+}
+
+TEST(AdmissibleTest, MaxAdmissibleShareNearLemmaBoundary) {
+  TwoQosParams p{.phi = 4.0, .mu = 0.8, .rho = 1.2};
+  const double x_max = max_admissible_share(p);
+  // Lemma 1 predicts inversion beyond phi/(phi+1) = 0.8 — but inversion can
+  // bind slightly later because QoS_l keeps draining; the numeric boundary
+  // must be at or beyond the lemma's.
+  EXPECT_GE(x_max, 0.8 - 1e-6);
+  EXPECT_LT(x_max, 0.95);
+}
+
+TEST(AdmissibleTest, SweepShapesMatchFigure9) {
+  // Increasing QoS_h weight from 8 to 50 moves the inversion point right.
+  auto inversion_point = [](double w_high) {
+    const auto sweep = sweep_qosh_share({w_high, 4.0, 1.0}, {2.0, 1.0}, 0.8,
+                                        1.4, 0.05, 0.95, 91);
+    for (const auto& point : sweep) {
+      if (point.delay[0] > point.delay[1] + 1e-9) return point.qosh_share;
+    }
+    return 1.0;
+  };
+  EXPECT_GT(inversion_point(50.0), inversion_point(8.0));
+}
+
+TEST(AdmissibleTest, IsAdmissibleAgreesWithDelayOrdering) {
+  FluidConfig config;
+  config.weights = {8.0, 4.0, 1.0};
+  config.mu = 0.8;
+  config.rho = 1.4;
+  config.shares = {0.3, 0.4, 0.3};
+  EXPECT_TRUE(is_admissible(config));
+  config.shares = {0.93, 0.05, 0.02};
+  EXPECT_FALSE(is_admissible(config));
+}
+
+}  // namespace
+}  // namespace aeq::analysis

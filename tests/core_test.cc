@@ -1,0 +1,166 @@
+// Unit tests for the Aequitas admission controller (Algorithm 1): coin-flip
+// admission, the AI window discipline, size-proportional MD, the floor, the
+// scavenger class, and per-(dst, QoS) state independence.
+#include <gtest/gtest.h>
+
+#include "core/aequitas.h"
+
+namespace aeq::core {
+namespace {
+
+AequitasConfig make_config(double target_us = 15.0, double pctl = 99.9,
+                           std::size_t num_qos = 3) {
+  AequitasConfig config;
+  std::vector<sim::Time> targets(num_qos, target_us * sim::kUsec);
+  std::vector<double> pctls(num_qos, pctl);
+  config.slo.latency_target_per_mtu = targets;
+  config.slo.target_percentile = pctls;
+  return config;
+}
+
+TEST(AequitasTest, StartsFullyAdmitting) {
+  AequitasController c(make_config(), sim::Rng(1));
+  EXPECT_DOUBLE_EQ(c.p_admit(1, 0), 1.0);
+  const auto decision = c.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  EXPECT_EQ(decision.qos_run, net::kQoSHigh);
+  EXPECT_FALSE(decision.downgraded);
+}
+
+TEST(AequitasTest, LowestQosNeverGated) {
+  AequitasController c(make_config(), sim::Rng(1));
+  // Hammer the controller with misses on the lowest QoS: nothing changes.
+  for (int i = 0; i < 100; ++i) {
+    c.on_completion(i * 1e-3, 0, 1, net::kQoSLow, 1.0, 1);
+    const auto decision = c.admit(i * 1e-3, 0, 1, net::kQoSLow, 4096);
+    EXPECT_EQ(decision.qos_run, net::kQoSLow);
+    EXPECT_FALSE(decision.downgraded);
+  }
+}
+
+TEST(AequitasTest, IncrementWindowFollowsPercentile) {
+  // window = target * 100 / (100 - pctl): 15us @ p99.9 -> 15ms; @ p99 -> 1.5ms.
+  AequitasController tail999(make_config(15.0, 99.9), sim::Rng(1));
+  AequitasController tail99(make_config(15.0, 99.0), sim::Rng(1));
+  EXPECT_NEAR(tail999.increment_window(0), 15 * sim::kMsec, 1e-12);
+  EXPECT_NEAR(tail99.increment_window(0), 1.5 * sim::kMsec, 1e-12);
+}
+
+TEST(AequitasTest, MultiplicativeDecreaseProportionalToSize) {
+  AequitasController c(make_config(), sim::Rng(1));
+  const sim::Time miss = 1.0;  // way over any target
+  c.on_completion(0.0, 0, 1, net::kQoSHigh, miss, 10);
+  EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 1.0 - 0.01 * 10, 1e-12);
+  c.on_completion(0.0, 0, 1, net::kQoSHigh, miss, 1);
+  EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 1.0 - 0.01 * 11, 1e-12);
+}
+
+TEST(AequitasTest, DecreaseFloorsAtConfiguredMinimum) {
+  auto config = make_config();
+  config.p_admit_floor = 0.05;
+  AequitasController c(config, sim::Rng(1));
+  for (int i = 0; i < 500; ++i) {
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 8);
+  }
+  EXPECT_DOUBLE_EQ(c.p_admit(1, net::kQoSHigh), 0.05);
+}
+
+TEST(AequitasTest, AdditiveIncreaseAtMostOncePerWindow) {
+  AequitasController c(make_config(), sim::Rng(1));
+  // Knock p_admit down, then feed many fast completions within one window.
+  c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 50);  // p = 0.5
+  const double after_md = c.p_admit(1, net::kQoSHigh);
+  const sim::Time window = c.increment_window(net::kQoSHigh);
+  for (int i = 1; i <= 100; ++i) {
+    c.on_completion(window + i * 1e-9, 0, 1, net::kQoSHigh, 1 * sim::kUsec,
+                    1);
+  }
+  // Exactly one increment despite 100 under-target completions.
+  EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), after_md + 0.01, 1e-12);
+  // The next window allows one more.
+  c.on_completion(2.5 * window, 0, 1, net::kQoSHigh, 1 * sim::kUsec, 1);
+  EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), after_md + 0.02, 1e-12);
+}
+
+TEST(AequitasTest, SizeNormalizedComparison) {
+  // A 10-MTU RPC with rnl just under 10*target is on time; just over misses.
+  AequitasController c(make_config(15.0), sim::Rng(1));
+  const sim::Time target = 15 * sim::kUsec;
+  c.on_completion(1.0, 0, 1, net::kQoSHigh, 10 * target * 1.01, 10);
+  EXPECT_LT(c.p_admit(1, net::kQoSHigh), 1.0);
+  AequitasController c2(make_config(15.0), sim::Rng(1));
+  c2.on_completion(1.0, 0, 1, net::kQoSHigh, 10 * target * 0.99, 10);
+  EXPECT_DOUBLE_EQ(c2.p_admit(1, net::kQoSHigh), 1.0);
+}
+
+TEST(AequitasTest, PAdmitClampedToOne) {
+  AequitasController c(make_config(), sim::Rng(1));
+  const sim::Time window = c.increment_window(net::kQoSHigh);
+  for (int i = 1; i <= 10; ++i) {
+    c.on_completion(i * 2 * window, 0, 1, net::kQoSHigh, 1 * sim::kUsec, 1);
+  }
+  EXPECT_DOUBLE_EQ(c.p_admit(1, net::kQoSHigh), 1.0);
+}
+
+TEST(AequitasTest, DowngradeGoesToLowestQos) {
+  auto config = make_config();
+  config.p_admit_floor = 0.0;
+  AequitasController c(config, sim::Rng(7));
+  for (int i = 0; i < 200; ++i) {
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 8);  // drive p to 0
+  }
+  int downgrades = 0;
+  for (int i = 0; i < 100; ++i) {
+    const auto decision = c.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+    if (decision.downgraded) {
+      EXPECT_EQ(decision.qos_run, 2);  // lowest of 3 levels
+      ++downgrades;
+    }
+  }
+  EXPECT_GE(downgrades, 95);  // p_admit == 0 => (almost) everything demoted
+}
+
+TEST(AequitasTest, AdmitFractionTracksPAdmit) {
+  AequitasConfig config = make_config();
+  AequitasController c(config, sim::Rng(11));
+  // Force p to ~0.3 via MD: 70 misses of 1 MTU.
+  for (int i = 0; i < 70; ++i) {
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 1);
+  }
+  EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 0.3, 1e-9);
+  int admitted = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    if (!c.admit(0.0, 0, 1, net::kQoSHigh, 4096).downgraded) ++admitted;
+  }
+  EXPECT_NEAR(static_cast<double>(admitted) / trials, 0.3, 0.02);
+}
+
+TEST(AequitasTest, StatePerDestinationAndQos) {
+  AequitasController c(make_config(), sim::Rng(1));
+  c.on_completion(0.0, 0, /*dst=*/1, net::kQoSHigh, 1.0, 10);
+  c.on_completion(0.0, 0, /*dst=*/2, net::kQoSMid, 1.0, 5);
+  EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 0.9, 1e-12);
+  EXPECT_DOUBLE_EQ(c.p_admit(2, net::kQoSHigh), 1.0);
+  EXPECT_NEAR(c.p_admit(2, net::kQoSMid), 0.95, 1e-12);
+  EXPECT_DOUBLE_EQ(c.p_admit(1, net::kQoSMid), 1.0);
+}
+
+TEST(AequitasTest, TwoQosConfiguration) {
+  AequitasConfig config;
+  config.slo.latency_target_per_mtu = {15 * sim::kUsec, 0.0};
+  config.slo.target_percentile = {99.9, 99.9};
+  AequitasController c(config, sim::Rng(3));
+  // QoS_l (level 1) is the lowest: never gated.
+  const auto low = c.admit(0.0, 0, 1, 1, 4096);
+  EXPECT_EQ(low.qos_run, 1);
+  // QoS_h downgrades to level 1.
+  for (int i = 0; i < 200; ++i) c.on_completion(0.0, 0, 1, 0, 1.0, 8);
+  int seen_downgrade = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (c.admit(0.0, 0, 1, 0, 4096).downgraded) ++seen_downgrade;
+  }
+  EXPECT_GT(seen_downgrade, 30);
+}
+
+}  // namespace
+}  // namespace aeq::core

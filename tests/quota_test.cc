@@ -1,0 +1,156 @@
+// Tests for the centralized per-tenant quota extension (paper §5.2):
+// max-min allocation, demand capping, token-bucket enforcement, and the
+// downgrade/drop behaviour when a tenant exceeds its share.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "core/quota.h"
+
+namespace aeq::core {
+namespace {
+
+AequitasConfig aeq_config() {
+  AequitasConfig config;
+  config.slo = rpc::SloConfig::make(
+      {15 * sim::kUsec, 25 * sim::kUsec, 0.0}, 99.9);
+  return config;
+}
+
+QuotaServerConfig server_config(double budget = 1e9) {
+  QuotaServerConfig config;
+  config.allocation_interval = 1 * sim::kMsec;
+  config.qos_budget_bytes_per_sec = {budget, budget};
+  return config;
+}
+
+TEST(QuotaServerTest, InitialAllocationIsWeightedFairShare) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(900.0));
+  const auto a = server.register_tenant(1.0);
+  const auto b = server.register_tenant(2.0);
+  EXPECT_DOUBLE_EQ(server.allocation(a, 0), 300.0);
+  EXPECT_DOUBLE_EQ(server.allocation(b, 0), 600.0);
+}
+
+TEST(QuotaServerTest, AllocationCappedAtDemand) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(1000.0));
+  const auto small = server.register_tenant(1.0);
+  const auto big = server.register_tenant(1.0);
+  // small demands 100 B/s worth, big demands far more than the budget.
+  server.report_demand(small, 0, 100.0 * 1e-3);  // bytes over 1ms
+  server.report_demand(big, 0, 5000.0 * 1e-3);
+  s.run_until(1.5 * sim::kMsec);
+  // small gets its (inflated) demand; big absorbs the rest.
+  EXPECT_NEAR(server.allocation(small, 0), 125.0, 1e-9);  // 1.25x headroom
+  EXPECT_NEAR(server.allocation(big, 0), 875.0, 1e-9);
+  EXPECT_NEAR(server.allocation(small, 0) + server.allocation(big, 0),
+              1000.0, 1e-9);
+}
+
+TEST(QuotaServerTest, EqualDemandsSplitByWeight) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(1000.0));
+  const auto a = server.register_tenant(3.0);
+  const auto b = server.register_tenant(1.0);
+  server.report_demand(a, 0, 10.0);  // both far above budget
+  server.report_demand(b, 0, 10.0);
+  s.run_until(1.5 * sim::kMsec);
+  EXPECT_NEAR(server.allocation(a, 0), 750.0, 1e-9);
+  EXPECT_NEAR(server.allocation(b, 0), 250.0, 1e-9);
+}
+
+TEST(QuotaControllerTest, WithinQuotaPassesThrough) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(1e9));  // 1 GB/s: generous
+  const auto tenant = server.register_tenant(1.0);
+  QuotaController controller(
+      s, server, tenant,
+      std::make_unique<AequitasController>(aeq_config(), sim::Rng(1)),
+      QuotaControllerConfig{});
+  const auto decision = controller.admit(1e-3, 0, 1, 0, 4096);
+  EXPECT_EQ(decision.qos_run, 0);
+  EXPECT_FALSE(decision.downgraded);
+  EXPECT_FALSE(decision.dropped);
+  EXPECT_EQ(controller.over_quota_count(), 0u);
+}
+
+TEST(QuotaControllerTest, OverQuotaDowngrades) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(4096.0));  // ~1 RPC/sec of budget
+  const auto tenant = server.register_tenant(1.0);
+  QuotaController controller(
+      s, server, tenant,
+      std::make_unique<AequitasController>(aeq_config(), sim::Rng(1)),
+      QuotaControllerConfig{});
+  int downgrades = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto decision =
+        controller.admit(1e-3 + i * 1e-6, 0, 1, 0, 4096);
+    if (decision.downgraded) {
+      EXPECT_EQ(decision.qos_run, 2);  // lowest of 3 levels
+      ++downgrades;
+    }
+  }
+  EXPECT_GT(downgrades, 40);
+  EXPECT_GT(controller.over_quota_count(), 0u);
+}
+
+TEST(QuotaControllerTest, OverQuotaDropsWhenConfigured) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(4096.0));
+  const auto tenant = server.register_tenant(1.0);
+  QuotaControllerConfig qc;
+  qc.drop_over_quota = true;
+  QuotaController controller(
+      s, server, tenant,
+      std::make_unique<AequitasController>(aeq_config(), sim::Rng(1)), qc);
+  int drops = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (controller.admit(1e-3 + i * 1e-6, 0, 1, 0, 4096).dropped) ++drops;
+  }
+  EXPECT_GT(drops, 40);
+}
+
+TEST(QuotaControllerTest, ScavengerClassNeverGated) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(1.0));  // essentially zero budget
+  const auto tenant = server.register_tenant(1.0);
+  QuotaController controller(
+      s, server, tenant,
+      std::make_unique<AequitasController>(aeq_config(), sim::Rng(1)),
+      QuotaControllerConfig{});
+  for (int i = 0; i < 20; ++i) {
+    const auto decision = controller.admit(1e-3, 0, 1, 2, 1 << 20);
+    EXPECT_EQ(decision.qos_run, 2);
+    EXPECT_FALSE(decision.downgraded);
+  }
+}
+
+TEST(QuotaControllerTest, TokensRefillOverTime) {
+  sim::Simulator s;
+  // Budget fits one 4KB RPC per millisecond.
+  QuotaServer server(s, server_config(4096.0 * 1000));
+  const auto tenant = server.register_tenant(1.0);
+  QuotaControllerConfig qc;
+  qc.burst_intervals = 1.0;
+  QuotaController controller(
+      s, server, tenant,
+      std::make_unique<AequitasController>(aeq_config(), sim::Rng(1)), qc);
+  // Exhaust the bucket...
+  int admitted_burst = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!controller.admit(1e-3, 0, 1, 0, 4096).downgraded) ++admitted_burst;
+  }
+  EXPECT_LT(admitted_burst, 10);
+  // ...then wait 5ms: ~5 more RPCs worth of tokens accrue.
+  int admitted_later = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (!controller.admit(6e-3, 0, 1, 0, 4096).downgraded) ++admitted_later;
+  }
+  EXPECT_GE(admitted_later, 1);
+}
+
+}  // namespace
+}  // namespace aeq::core

@@ -1,0 +1,242 @@
+// Tests for the tooling layers added around the core reproduction: CSV
+// export, log-scale histograms, RPC trace parse/replay round-trips, the
+// CLI flag parser, and DCTCP with ECN marking.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+
+#include "net/fifo_queue.h"
+#include "runner/experiment.h"
+#include "stats/export.h"
+#include "stats/log_histogram.h"
+#include "tools/flags.h"
+#include "transport/dctcp.h"
+#include "workload/trace.h"
+
+namespace aeq {
+namespace {
+
+TEST(ExportTest, TimeSeriesCsv) {
+  stats::TimeSeries series;
+  series.record(0.5, 1.0);
+  series.record(1.5, 2.0);
+  std::ostringstream out;
+  stats::write_csv(out, series, "throughput");
+  EXPECT_EQ(out.str(), "t,throughput\n0.5,1\n1.5,2\n");
+}
+
+TEST(ExportTest, QuantilesCsvHasRequestedRows) {
+  stats::PercentileTracker tracker;
+  for (int i = 1; i <= 100; ++i) tracker.add(i);
+  std::ostringstream out;
+  stats::write_quantiles_csv(out, tracker, {50.0, 99.0});
+  EXPECT_EQ(out.str(), "percentile,value\n50,50\n99,99\n");
+}
+
+TEST(ExportTest, HistogramCsvParsable) {
+  stats::Histogram histogram(0, 10, 5);
+  histogram.add(1.0);
+  histogram.add(9.0);
+  std::ostringstream out;
+  stats::write_csv(out, histogram);
+  std::string line;
+  std::istringstream in(out.str());
+  std::getline(in, line);
+  EXPECT_EQ(line, "bin_lower,count,cdf");
+  int rows = 0;
+  while (std::getline(in, line)) ++rows;
+  EXPECT_EQ(rows, 5);
+}
+
+TEST(ExportTest, MultiSeriesSharedAxis) {
+  stats::TimeSeries a, b;
+  a.record(0.0, 1.0);
+  a.record(10.0, 2.0);
+  b.record(5.0, 7.0);
+  std::ostringstream out;
+  stats::write_csv(out, {{"a", &a}, {"b", &b}}, 3);
+  EXPECT_EQ(out.str(), "t,a,b\n0,1,0\n5,1,7\n10,2,7\n");
+}
+
+TEST(LogHistogramTest, PercentileWithinRelativeError) {
+  stats::LogHistogram histogram(1.0, 1e6, 0.01);
+  sim::Rng rng(4);
+  std::vector<double> values;
+  for (int i = 0; i < 50000; ++i) {
+    const double v = std::exp(rng.uniform(0.0, 13.0));  // log-uniform
+    values.push_back(v);
+    histogram.add(v);
+  }
+  std::sort(values.begin(), values.end());
+  for (double pct : {50.0, 90.0, 99.0, 99.9}) {
+    const double exact =
+        values[static_cast<std::size_t>(pct / 100 * (values.size() - 1))];
+    EXPECT_NEAR(histogram.percentile(pct) / exact, 1.0, 0.03)
+        << "pct " << pct;
+  }
+}
+
+TEST(LogHistogramTest, ClampsAndMerges) {
+  stats::LogHistogram a(1.0, 1000.0), b(1.0, 1000.0);
+  a.add(0.5);     // clamps to 1
+  a.add(5000.0);  // clamps to 1000
+  b.add(10.0);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_LE(a.percentile(100.0), 1000.0 * 1.03);
+}
+
+TEST(TraceTest, ParseWriteRoundTrip) {
+  std::vector<workload::TraceRecord> records = {
+      {0.001, 0, 1, rpc::Priority::kPC, 32768, 0.0},
+      {0.002, 1, 2, rpc::Priority::kBE, 1048576, 0.0005},
+  };
+  std::ostringstream out;
+  workload::write_trace_csv(out, records);
+  std::istringstream in(out.str());
+  const auto parsed = workload::parse_trace_csv(in);
+  EXPECT_TRUE(parsed.errors.empty());
+  ASSERT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.records[0], records[0]);
+  EXPECT_EQ(parsed.records[1], records[1]);
+}
+
+TEST(TraceTest, RejectsMalformedLines) {
+  std::istringstream in(
+      "time,src,dst,priority,bytes\n"
+      "0.1,0,1,PC,1000\n"
+      "garbage\n"
+      "0.2,0,0,PC,1000\n"     // src == dst
+      "0.3,0,1,WAT,1000\n"    // bad priority
+      "# comment\n"
+      "0.4,1,0,nc,4096\n");
+  const auto parsed = workload::parse_trace_csv(in);
+  EXPECT_EQ(parsed.records.size(), 2u);
+  EXPECT_EQ(parsed.errors.size(), 3u);
+  EXPECT_EQ(parsed.records[1].priority, rpc::Priority::kNC);
+}
+
+TEST(TraceTest, ReplayIssuesThroughStacks) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 3;
+  config.num_qos = 3;
+  config.enable_aequitas = false;
+  config.slo = rpc::SloConfig::make(
+      {15 * sim::kUsec, 25 * sim::kUsec, 0.0}, 99.9);
+  runner::Experiment experiment(config);
+  std::vector<workload::TraceRecord> records = {
+      {1 * sim::kUsec, 0, 1, rpc::Priority::kPC, 4096, 0.0},
+      {2 * sim::kUsec, 1, 2, rpc::Priority::kBE, 8192, 0.0},
+      {3 * sim::kUsec, 9, 1, rpc::Priority::kPC, 4096, 0.0},  // bad src
+  };
+  std::vector<rpc::RpcStack*> stacks;
+  for (net::HostId h = 0; h < 3; ++h) stacks.push_back(&experiment.stack(h));
+  const auto stats = workload::replay_trace(experiment.simulator(), records,
+                                            stacks);
+  EXPECT_EQ(stats.scheduled, 2u);
+  EXPECT_EQ(stats.skipped, 1u);
+  experiment.simulator().run();
+  EXPECT_EQ(experiment.metrics().total_completed(), 2u);
+}
+
+TEST(FlagsTest, ParsesFormsAndTypes) {
+  const char* argv[] = {"prog", "--hosts=12",   "--load", "0.5",
+                        "--aequitas=off", "--mix=0.5,0.3,0.2", "--verbose"};
+  tools::Flags flags;
+  ASSERT_TRUE(flags.parse(7, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.get_int("hosts", 0), 12);
+  EXPECT_DOUBLE_EQ(flags.get_double("load", 0), 0.5);
+  EXPECT_FALSE(flags.get_bool("aequitas", true));
+  EXPECT_TRUE(flags.get_bool("verbose", false));
+  const auto mix = flags.get_list("mix", {});
+  ASSERT_EQ(mix.size(), 3u);
+  EXPECT_DOUBLE_EQ(mix[1], 0.3);
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_TRUE(flags.unused().empty());
+}
+
+TEST(FlagsTest, ReportsUnusedAndErrors) {
+  const char* argv[] = {"prog", "--typo=1"};
+  tools::Flags flags;
+  ASSERT_TRUE(flags.parse(2, const_cast<char**>(argv)));
+  EXPECT_EQ(flags.unused().size(), 1u);
+  const char* bad[] = {"prog", "nodashes"};
+  tools::Flags broken;
+  EXPECT_FALSE(broken.parse(2, const_cast<char**>(bad)));
+  EXPECT_FALSE(broken.error().empty());
+}
+
+TEST(DctcpTest, CutProportionalToMarkedFraction) {
+  transport::DctcpConfig config;
+  config.initial_cwnd = 100.0;
+  config.max_cwnd = 100.0;
+  transport::DctcpCC cc(config);
+  // One full window, all marked: alpha rises toward g, cut by alpha/2.
+  for (int i = 0; i < 100; ++i) {
+    cc.on_ack(i * 1e-6, 10e-6, 1.0, true);
+  }
+  EXPECT_GT(cc.alpha(), 0.0);
+  EXPECT_LT(cc.cwnd_packets(), 100.0);
+  // Unmarked traffic: grows again.
+  const double low = cc.cwnd_packets();
+  for (int i = 0; i < 200; ++i) {
+    cc.on_ack(1e-3 + i * 1e-6, 10e-6, 1.0, false);
+  }
+  EXPECT_GT(cc.cwnd_packets(), low);
+}
+
+TEST(DctcpTest, AlphaDecaysWithoutMarks) {
+  transport::DctcpConfig config;
+  transport::DctcpCC cc(config);
+  for (int i = 0; i < 64; ++i) cc.on_ack(i * 1e-6, 10e-6, 1.0, true);
+  const double alpha_high = cc.alpha();
+  for (int i = 0; i < 2000; ++i) {
+    cc.on_ack(1e-3 + i * 1e-6, 10e-6, 1.0, false);
+  }
+  EXPECT_LT(cc.alpha(), alpha_high);
+}
+
+TEST(EcnTest, QueueMarksPastThreshold) {
+  net::FifoQueue queue;
+  queue.set_ecn_threshold(3000);
+  net::Packet p;
+  p.size_bytes = 1000;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.enqueue(p));
+  // Backlog after first dequeue is 4000 >= 3000: marked.
+  auto first = queue.dequeue();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_TRUE(first->ecn_ce);
+  queue.dequeue();
+  queue.dequeue();
+  // Backlog now 1000 < 3000: unmarked.
+  auto last = queue.dequeue();
+  ASSERT_TRUE(last.has_value());
+  EXPECT_FALSE(last->ecn_ce);
+}
+
+TEST(EcnTest, DctcpExperimentRunsEndToEnd) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 3;
+  config.num_qos = 2;
+  config.wfq_weights = {4.0, 1.0};
+  config.cc_kind = runner::ExperimentConfig::CcKind::kDctcp;
+  config.enable_aequitas = true;
+  config.slo = rpc::SloConfig::make({25.0 / 8 * sim::kUsec, 0.0}, 99.9);
+  runner::Experiment experiment(config);
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+  workload::GeneratorConfig gen;
+  gen.classes = {{rpc::Priority::kPC, 0.6 * sim::gbps(100), sizes, 0.0},
+                 {rpc::Priority::kBE, 0.4 * sim::gbps(100), sizes, 0.0}};
+  experiment.add_generator(0, gen, workload::fixed_destination(2));
+  experiment.add_generator(1, gen, workload::fixed_destination(2));
+  experiment.run(5 * sim::kMsec, 10 * sim::kMsec);
+  EXPECT_GT(experiment.metrics().total_completed(), 1000u);
+  // Admission still keeps the high class within sane bounds over DCTCP.
+  EXPECT_LT(experiment.metrics().rnl_by_run_qos(0).p999(),
+            6 * 25 * sim::kUsec);
+}
+
+}  // namespace
+}  // namespace aeq
