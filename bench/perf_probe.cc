@@ -1,12 +1,17 @@
 // Tuning probe (not a paper figure): 33-node all-to-all reproduction of the
 // Figure-12 workload with configurable AIMD and Swift parameters, for
-// exploring SLO-compliance vs admitted-share tradeoffs quickly.
+// exploring SLO-compliance vs admitted-share tradeoffs quickly. Also serves
+// as the scheduler-backend speedometer: it runs the identical workload on
+// both event-scheduler backends (binary heap and calendar queue) and reports
+// simulated events per wall-clock second for each.
 // Usage: perf_probe [alpha beta swift_target_us warmup_ms run_ms period_us
-//                    aequitas(0/1) mix_h mix_m]
+//                    aequitas(0/1) mix_h mix_m backend(heap|calendar|both)]
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -21,40 +26,59 @@ int main(int argc, char** argv) {
   const bool aequitas = argc > 7 ? std::atoi(argv[7]) != 0 : true;
   const double mix_h = argc > 8 ? std::atof(argv[8]) : 0.6;
   const double mix_m = argc > 9 ? std::atof(argv[9]) : 0.3;
+  const char* backend_arg = argc > 10 ? argv[10] : "both";
 
-  runner::ExperimentConfig config;
-  config.num_hosts = 33;
-  config.num_qos = 3;
-  config.wfq_weights = {8.0, 4.0, 1.0};
-  config.enable_aequitas = aequitas;
-  config.alpha = alpha;
-  config.beta_per_mtu = beta;
-  config.swift.target_delay = swift_target_us * sim::kUsec;
-  config.slo = rpc::SloConfig::make(
-      {15.0 / 8 * sim::kUsec, 25.0 / 8 * sim::kUsec, 0.0}, 99.9);
-  runner::Experiment experiment(config);
-  const auto* sizes =
-      experiment.own(std::make_unique<workload::FixedSize>(32 * sim::kKiB));
-  bench::AllToAllSpec spec;
-  spec.mix = {mix_h, mix_m, 1.0 - mix_h - mix_m};
-  spec.burst_period = period_us * sim::kUsec;
-  spec.sizes = {sizes};
-  bench::attach_all_to_all(experiment, spec);
+  std::vector<sim::SchedulerBackend> backends;
+  if (std::strcmp(backend_arg, "heap") == 0) {
+    backends = {sim::SchedulerBackend::kHeap};
+  } else if (std::strcmp(backend_arg, "calendar") == 0) {
+    backends = {sim::SchedulerBackend::kCalendar};
+  } else {
+    backends = {sim::SchedulerBackend::kHeap,
+                sim::SchedulerBackend::kCalendar};
+  }
 
-  const auto start = std::chrono::steady_clock::now();
-  experiment.run(warmup_ms * sim::kMsec, run_ms * sim::kMsec);
-  const auto stop = std::chrono::steady_clock::now();
-
-  const auto& m = experiment.metrics();
-  std::printf("alpha=%.4f beta=%.4f swift=%.0fus: ", alpha, beta,
+  std::printf("alpha=%.4f beta=%.4f swift=%.0fus\n", alpha, beta,
               swift_target_us);
-  std::printf("QoSh p999 %.1fus share %.1f%% | QoSm p999 %.1fus share "
-              "%.1f%% | QoSl p999 %.0fus | wall %.1fs\n",
-              m.rnl_by_run_qos(0).p999() / sim::kUsec,
-              100 * m.admitted_share(0),
-              m.rnl_by_run_qos(1).p999() / sim::kUsec,
-              100 * m.admitted_share(1),
-              m.rnl_by_run_qos(2).p999() / sim::kUsec,
-              std::chrono::duration<double>(stop - start).count());
+  for (const auto backend : backends) {
+    runner::ExperimentConfig config;
+    config.scheduler_backend = backend;
+    config.num_hosts = 33;
+    config.num_qos = 3;
+    config.wfq_weights = {8.0, 4.0, 1.0};
+    config.enable_aequitas = aequitas;
+    config.alpha = alpha;
+    config.beta_per_mtu = beta;
+    config.swift.target_delay = swift_target_us * sim::kUsec;
+    config.slo = rpc::SloConfig::make(
+        {15.0 / 8 * sim::kUsec, 25.0 / 8 * sim::kUsec, 0.0}, 99.9);
+    runner::Experiment experiment(config);
+    const auto* sizes = experiment.own(
+        std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+    bench::AllToAllSpec spec;
+    spec.mix = {mix_h, mix_m, 1.0 - mix_h - mix_m};
+    spec.burst_period = period_us * sim::kUsec;
+    spec.sizes = {sizes};
+    bench::attach_all_to_all(experiment, spec);
+
+    const auto start = std::chrono::steady_clock::now();
+    experiment.run(warmup_ms * sim::kMsec, run_ms * sim::kMsec);
+    const auto stop = std::chrono::steady_clock::now();
+    const double wall = std::chrono::duration<double>(stop - start).count();
+    const auto events = experiment.simulator().events_processed();
+
+    const auto& m = experiment.metrics();
+    std::printf("[%-8s] QoSh p999 %.1fus share %.1f%% | QoSm p999 %.1fus "
+                "share %.1f%% | QoSl p999 %.0fus | %llu events in %.1fs = "
+                "%.2fM events/sec\n",
+                sim::backend_name(backend),
+                m.rnl_by_run_qos(0).p999() / sim::kUsec,
+                100 * m.admitted_share(0),
+                m.rnl_by_run_qos(1).p999() / sim::kUsec,
+                100 * m.admitted_share(1),
+                m.rnl_by_run_qos(2).p999() / sim::kUsec,
+                static_cast<unsigned long long>(events), wall,
+                static_cast<double>(events) / wall / 1e6);
+  }
   return 0;
 }

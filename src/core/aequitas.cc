@@ -34,7 +34,10 @@ rpc::AdmissionDecision AequitasController::admit(
     return {qos_requested, false, false};
   }
   State& state = states_[key(dst, qos_requested)];
-  if (rng_.uniform() <= state.p_admit) {
+  // Strict comparison: uniform() is in [0, 1), so `<` admits with
+  // probability exactly p_admit — in particular p_admit == 0 never admits
+  // (`<=` would admit on a zero draw and make the floor soft).
+  if (rng_.uniform() < state.p_admit) {
     return {qos_requested, false, false};
   }
   return {lowest_qos(), true, false};

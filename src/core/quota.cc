@@ -21,14 +21,24 @@ QuotaServer::TenantId QuotaServer::register_tenant(double weight) {
   tenant.demand_bytes.assign(config_.qos_budget_bytes_per_sec.size(), 0.0);
   // Until the first allocation, grant the weighted fair share so tenants
   // are not stalled at startup.
-  tenant.allocation.resize(config_.qos_budget_bytes_per_sec.size());
-  tenants_.push_back(std::move(tenant));
-  double total_weight = 0.0;
+  double total_weight = weight;
   for (const Tenant& t : tenants_) total_weight += t.weight;
-  for (Tenant& t : tenants_) {
-    for (std::size_t q = 0; q < t.allocation.size(); ++q) {
-      t.allocation[q] =
-          config_.qos_budget_bytes_per_sec[q] * t.weight / total_weight;
+  tenant.allocation.resize(config_.qos_budget_bytes_per_sec.size());
+  for (std::size_t q = 0; q < tenant.allocation.size(); ++q) {
+    tenant.allocation[q] =
+        config_.qos_budget_bytes_per_sec[q] * weight / total_weight;
+  }
+  tenants_.push_back(std::move(tenant));
+  if (!allocated_once_) {
+    // Before the first allocate() there is no demand-aware state to
+    // preserve: rescale every tenant's startup share to the new weight sum.
+    // Afterwards a mid-interval registration must leave the max-min
+    // allocations computed by allocate() untouched until the next interval.
+    for (Tenant& t : tenants_) {
+      for (std::size_t q = 0; q < t.allocation.size(); ++q) {
+        t.allocation[q] =
+            config_.qos_budget_bytes_per_sec[q] * t.weight / total_weight;
+      }
     }
   }
   arm();
@@ -60,6 +70,7 @@ void QuotaServer::arm() {
 
 void QuotaServer::allocate() {
   if (tenants_.empty()) return;
+  allocated_once_ = true;
   std::vector<double> weights;
   weights.reserve(tenants_.size());
   for (const Tenant& tenant : tenants_) weights.push_back(tenant.weight);

@@ -67,6 +67,7 @@ class QuotaServer {
   QuotaServerConfig config_;
   std::vector<Tenant> tenants_;
   bool armed_ = false;
+  bool allocated_once_ = false;  // guards mid-run registration (see .cc)
 };
 
 struct QuotaControllerConfig {

@@ -18,13 +18,15 @@ DwrrQueue::DwrrQueue(std::vector<double> weights,
 
 bool DwrrQueue::enqueue(const Packet& packet) {
   AEQ_ASSERT(packet.qos < classes_.size());
+  ClassState& cls = classes_[packet.qos];
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += packet.size_bytes;
+    ++cls.dropped_packets;
+    cls.dropped_bytes += packet.size_bytes;
     return false;
   }
-  ClassState& cls = classes_[packet.qos];
   cls.fifo.push_back(packet);
   cls.backlog_bytes += packet.size_bytes;
   backlog_bytes_ += packet.size_bytes;
@@ -75,6 +77,16 @@ std::optional<Packet> DwrrQueue::dequeue() {
 std::uint64_t DwrrQueue::class_backlog_bytes(QoSLevel qos) const {
   if (qos >= classes_.size()) return 0;
   return classes_[qos].backlog_bytes;
+}
+
+std::uint64_t DwrrQueue::class_dropped_packets(QoSLevel qos) const {
+  if (qos >= classes_.size()) return 0;
+  return classes_[qos].dropped_packets;
+}
+
+std::uint64_t DwrrQueue::class_dropped_bytes(QoSLevel qos) const {
+  if (qos >= classes_.size()) return 0;
+  return classes_[qos].dropped_bytes;
 }
 
 }  // namespace aeq::net

@@ -50,6 +50,16 @@ class QueueDiscipline {
     return 0;
   }
 
+  // Per-QoS drop accounting (tail drops attributed to the class of the
+  // dropped packet), needed to recover per-class drop rates from a shared
+  // buffer; zero for disciplines without class separation.
+  virtual std::uint64_t class_dropped_packets(QoSLevel /*qos*/) const {
+    return 0;
+  }
+  virtual std::uint64_t class_dropped_bytes(QoSLevel /*qos*/) const {
+    return 0;
+  }
+
   const QueueStats& stats() const { return stats_; }
 
  protected:

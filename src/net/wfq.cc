@@ -20,19 +20,24 @@ WfqQueue::WfqQueue(std::vector<double> weights, std::uint64_t capacity_bytes,
   }
 }
 
+void WfqQueue::count_drop(ClassState& cls, const Packet& packet) {
+  ++stats_.dropped_packets;
+  stats_.dropped_bytes += packet.size_bytes;
+  ++cls.dropped_packets;
+  cls.dropped_bytes += packet.size_bytes;
+}
+
 bool WfqQueue::enqueue(const Packet& packet) {
   AEQ_ASSERT_MSG(packet.qos < classes_.size(), "packet QoS out of range");
+  ClassState& cls = classes_[packet.qos];
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += packet.size_bytes;
+    count_drop(cls, packet);
     return false;
   }
-  ClassState& cls = classes_[packet.qos];
   if (per_class_capacity_bytes_ != 0 &&
       cls.backlog_bytes + packet.size_bytes > per_class_capacity_bytes_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += packet.size_bytes;
+    count_drop(cls, packet);
     return false;
   }
   const double start = std::max(virtual_time_, cls.last_finish);
@@ -78,6 +83,16 @@ std::optional<Packet> WfqQueue::dequeue() {
 std::uint64_t WfqQueue::class_backlog_bytes(QoSLevel qos) const {
   if (qos >= classes_.size()) return 0;
   return classes_[qos].backlog_bytes;
+}
+
+std::uint64_t WfqQueue::class_dropped_packets(QoSLevel qos) const {
+  if (qos >= classes_.size()) return 0;
+  return classes_[qos].dropped_packets;
+}
+
+std::uint64_t WfqQueue::class_dropped_bytes(QoSLevel qos) const {
+  if (qos >= classes_.size()) return 0;
+  return classes_[qos].dropped_bytes;
 }
 
 }  // namespace aeq::net

@@ -6,7 +6,8 @@
 
 namespace aeq::runner {
 
-Experiment::Experiment(const ExperimentConfig& config) : config_(config) {
+Experiment::Experiment(const ExperimentConfig& config)
+    : config_(config), sim_(config.scheduler_backend) {
   AEQ_ASSERT(config_.num_qos >= 2);
   AEQ_ASSERT_MSG(config_.slo.num_qos() == config_.num_qos,
                  "SLO config must cover every QoS level");

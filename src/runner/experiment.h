@@ -22,6 +22,12 @@
 namespace aeq::runner {
 
 struct ExperimentConfig {
+  // Simulation executive: which event-scheduler backend dispatches events.
+  // Both produce identical results for a fixed seed (enforced by the
+  // scheduler-equivalence property test); the calendar queue is the fast
+  // path for dense packet-level workloads and therefore the default.
+  sim::SchedulerBackend scheduler_backend = sim::SchedulerBackend::kCalendar;
+
   // Topology (single-switch star unless use_leaf_spine).
   std::size_t num_hosts = 3;
   sim::Rate link_rate = sim::gbps(100);

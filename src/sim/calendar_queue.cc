@@ -15,9 +15,10 @@ CalendarQueue::CalendarQueue(Time initial_bucket_width,
 
 EventId CalendarQueue::schedule(Time t, Handler handler) {
   AEQ_ASSERT(handler != nullptr);
+  AEQ_ASSERT_MSG(std::isfinite(t), "event time must be finite");
   AEQ_ASSERT_MSG(t >= current_, "cannot schedule into the past");
-  EventId id{next_seq_++};
-  insert(Node{t, id.seq, std::move(handler)});
+  const EventId id = handles_.acquire();
+  insert(Node{t, next_seq_++, id, std::move(handler)});
   ++live_;
   maybe_resize();
   return id;
@@ -36,14 +37,10 @@ void CalendarQueue::insert(Node node) {
 }
 
 bool CalendarQueue::cancel(EventId id) {
-  if (!id) return false;
-  // Lazy: mark and skip at pop. Membership is implied by the seq being
-  // smaller than next_seq_ and not yet popped; we cannot check cheaply, so
-  // only pending ids may be cancelled (same contract as EventQueue enforced
-  // by callers; double-cancel returns false).
-  auto [it, inserted] = cancelled_.insert(id.seq);
-  (void)it;
-  if (!inserted) return false;
+  // Lazy: the node stays in its bucket as a tombstone and is reclaimed when
+  // drained. Generation validation makes cancel of a fired or already
+  // cancelled id a reliable no-op.
+  if (!handles_.cancel(id)) return false;
   AEQ_ASSERT(live_ > 0);
   --live_;
   return true;
@@ -59,7 +56,10 @@ CalendarQueue::Node CalendarQueue::take_earliest() {
       if (bucket.front().t >= window_end) break;  // future rotation
       Node node = std::move(bucket.front());
       bucket.pop_front();
-      if (cancelled_.erase(node.seq) > 0) continue;  // skip cancelled
+      if (!handles_.live(node.id)) {  // tombstone: reclaim and skip
+        handles_.release(node.id);
+        continue;
+      }
       // Re-anchor the epoch at the popped event so current_ never exceeds
       // simulated time (resizes can leave it misaligned).
       current_ = std::floor(node.t / width_) * width_;
@@ -73,9 +73,9 @@ CalendarQueue::Node CalendarQueue::take_earliest() {
   // calendar to the earliest event anywhere (direct search).
   Time best = std::numeric_limits<Time>::infinity();
   for (auto& bucket : buckets_) {
-    // Drop cancelled heads so the scan sees live minima.
-    while (!bucket.empty() && cancelled_.count(bucket.front().seq)) {
-      cancelled_.erase(bucket.front().seq);
+    // Drop tombstoned heads so the scan sees live minima.
+    while (!bucket.empty() && !handles_.live(bucket.front().id)) {
+      handles_.release(bucket.front().id);
       bucket.pop_front();
     }
     if (!bucket.empty()) best = std::min(best, bucket.front().t);
@@ -90,6 +90,7 @@ CalendarQueue::Node CalendarQueue::take_earliest() {
 CalendarQueue::Popped CalendarQueue::pop() {
   AEQ_ASSERT_MSG(live_ > 0, "pop() on empty calendar queue");
   Node node = take_earliest();
+  handles_.release(node.id);
   --live_;
   maybe_resize();
   return Popped{node.t, std::move(node.handler)};
@@ -97,29 +98,66 @@ CalendarQueue::Popped CalendarQueue::pop() {
 
 Time CalendarQueue::next_time() {
   AEQ_ASSERT(live_ > 0);
+  // Peek without committing the epoch advance: take_earliest re-anchors
+  // current_ at the earliest event, which may lie arbitrarily far in the
+  // future — a later schedule() between this peek and the next pop() must
+  // still be allowed at any t >= the last *popped* time.
+  const Time saved_current = current_;
+  const std::size_t saved_cursor = cursor_;
   Node node = take_earliest();
   const Time t = node.t;
-  insert(std::move(node));  // put it back
+  insert(std::move(node));  // put it back; its handle stays live
+  current_ = saved_current;
+  cursor_ = saved_cursor;
   return t;
 }
 
 void CalendarQueue::maybe_resize() {
   const std::size_t n = buckets_.size();
   if (live_ > 2 * n && n < (1u << 20)) {
-    resize(n * 2, width_ / 2);
+    resize(n * 2);
   } else if (live_ < n / 4 && n > 256) {
-    resize(n / 2, width_ * 2);
+    resize(n / 2);
   }
 }
 
-void CalendarQueue::resize(std::size_t new_buckets, Time new_width) {
+// Brown's width rule: sample the earliest pending events and size a bucket
+// at a few average inter-event gaps, so the cluster the cursor is about to
+// drain spreads across many buckets (short sorted-insert scans) instead of
+// piling into one. Falls back to the current width when the sample is too
+// small or degenerate (e.g. all events at the same instant).
+Time CalendarQueue::estimate_width(
+    const std::vector<std::list<Node>>& old) const {
+  std::vector<Time> times;
+  times.reserve(live_);
+  for (const auto& bucket : old) {
+    for (const auto& node : bucket) {
+      if (handles_.live(node.id)) times.push_back(node.t);
+    }
+  }
+  const std::size_t k = std::min<std::size_t>(times.size(), 64);
+  if (k < 8) return width_;
+  std::nth_element(times.begin(), times.begin() + (k - 1), times.end());
+  std::sort(times.begin(), times.begin() + k);
+  const Time span = times[k - 1] - times[0];
+  if (span <= 0.0) return width_;
+  return std::max(3.0 * span / static_cast<Time>(k - 1), 1e-12);
+}
+
+void CalendarQueue::resize(std::size_t new_buckets) {
   std::vector<std::list<Node>> old = std::move(buckets_);
+  width_ = estimate_width(old);
   buckets_.assign(new_buckets, {});
-  width_ = new_width;
   current_ = std::floor(current_ / width_) * width_;  // re-align the epoch
   cursor_ = bucket_of(current_);
   for (auto& bucket : old) {
-    for (auto& node : bucket) insert(std::move(node));
+    for (auto& node : bucket) {
+      if (!handles_.live(node.id)) {  // purge tombstones wholesale
+        handles_.release(node.id);
+        continue;
+      }
+      insert(std::move(node));
+    }
   }
 }
 

@@ -1,46 +1,42 @@
-// Calendar queue (Brown 1988): an O(1)-amortized event scheduler for
+// Calendar queue (Brown 1988): an O(1)-amortized scheduler backend for
 // workloads whose event horizon is short and dense — exactly a packet
-// simulator's profile. Offered as an alternative to the binary-heap
-// EventQueue with the same interface; the micro benchmarks compare both.
+// simulator's profile. Selectable behind Simulator alongside the binary-heap
+// EventQueue; both pop in identical (time, sequence) order.
 //
 // Buckets cover `bucket_width` of simulated time each and wrap around a
-// ring of `num_buckets`; events further than one rotation ahead sit in an
-// overflow list that is consulted lazily. The structure resizes itself
-// (doubling/halving buckets) when occupancy drifts far from one event per
-// bucket, the classic heuristic.
+// ring of `num_buckets`; events further than one rotation ahead sit in their
+// modulo bucket and are reached via a lazy sparse-jump scan. The structure
+// resizes itself (doubling/halving buckets) when occupancy drifts far from
+// one event per bucket, and each resize re-estimates the bucket width from
+// the gaps between the earliest pending events (Brown's sampling rule) so a
+// dense head cluster spreads across many buckets instead of piling into
+// one. Cancellation is validated by the generation-stamped HandleTable;
+// tombstones are reclaimed when their bucket position is drained, and a
+// resize purges them wholesale.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <list>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/assert.h"
-#include "sim/event_queue.h"
+#include "sim/scheduler.h"
 #include "sim/units.h"
 
 namespace aeq::sim {
 
-class CalendarQueue {
+class CalendarQueue final : public EventScheduler {
  public:
-  using Handler = std::function<void()>;
-
   explicit CalendarQueue(Time initial_bucket_width = 1 * kUsec,
                          std::size_t initial_buckets = 256);
 
-  EventId schedule(Time t, Handler handler);
-  bool cancel(EventId id);
+  EventId schedule(Time t, Handler handler) override;
+  bool cancel(EventId id) override;
+  Popped pop() override;
 
-  struct Popped {
-    Time time;
-    Handler handler;
-  };
-  Popped pop();
-
-  bool empty() const { return live_ == 0; }
-  std::size_t size() const { return live_; }
-  Time next_time();  // not const: may need to scan forward
+  bool empty() const override { return live_ == 0; }
+  std::size_t size() const override { return live_; }
+  Time next_time() override;  // not const: may compact tombstones
 
   std::size_t num_buckets() const { return buckets_.size(); }
 
@@ -48,6 +44,7 @@ class CalendarQueue {
   struct Node {
     Time t;
     std::uint64_t seq;
+    EventId id;
     Handler handler;
   };
 
@@ -56,9 +53,11 @@ class CalendarQueue {
   }
   void insert(Node node);
   void maybe_resize();
-  void resize(std::size_t new_buckets, Time new_width);
+  void resize(std::size_t new_buckets);
+  Time estimate_width(const std::vector<std::list<Node>>& old) const;
   // Advances cursor_ to the bucket holding the earliest event; returns the
-  // node (removed) — the core calendar scan.
+  // node (removed from its bucket, handle still held) — the core calendar
+  // scan.
   Node take_earliest();
 
   std::vector<std::list<Node>> buckets_;
@@ -67,7 +66,7 @@ class CalendarQueue {
   std::size_t cursor_ = 0;  // bucket being drained
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
-  std::unordered_set<std::uint64_t> cancelled_;
+  HandleTable handles_;
 };
 
 }  // namespace aeq::sim

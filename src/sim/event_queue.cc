@@ -1,50 +1,53 @@
 #include "sim/event_queue.h"
 
+#include <algorithm>
 #include <utility>
 
 namespace aeq::sim {
 
 EventId EventQueue::schedule(Time t, Handler handler) {
   AEQ_ASSERT(handler != nullptr);
-  EventId id{next_seq_++};
-  heap_.push(Node{t, id.seq, std::move(handler)});
-  pending_.insert(id.seq);
+  const EventId id = handles_.acquire();
+  heap_.push_back(Node{t, next_seq_++, id, std::move(handler)});
+  std::push_heap(heap_.begin(), heap_.end(), Later{});
+  ++live_;
   return id;
 }
 
 bool EventQueue::cancel(EventId id) {
-  if (!id) return false;
   // Only genuinely pending events can be cancelled; a fired or already
-  // cancelled id is a no-op. The heap entry is skipped lazily by pop().
-  if (pending_.erase(id.seq) == 0) return false;
-  cancelled_.insert(id.seq);
+  // cancelled id fails generation validation and is a no-op. The heap node
+  // stays behind as a tombstone skipped lazily by pop().
+  if (!handles_.cancel(id)) return false;
+  AEQ_ASSERT(live_ > 0);
+  --live_;
   return true;
 }
 
-void EventQueue::drop_cancelled_head() const {
-  while (!heap_.empty()) {
-    auto it = cancelled_.find(heap_.top().seq);
-    if (it == cancelled_.end()) return;
-    cancelled_.erase(it);
-    heap_.pop();
-  }
+EventQueue::Node EventQueue::take_head() {
+  std::pop_heap(heap_.begin(), heap_.end(), Later{});
+  Node node = std::move(heap_.back());
+  heap_.pop_back();
+  handles_.release(node.id);
+  return node;
+}
+
+void EventQueue::drop_cancelled_head() {
+  while (!heap_.empty() && !handles_.live(heap_.front().id)) take_head();
 }
 
 EventQueue::Popped EventQueue::pop() {
   drop_cancelled_head();
   AEQ_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
-  // priority_queue::top() is const&; move out via const_cast on the handler
-  // is UB, so copy the node instead. Handlers are small closures in practice.
-  Node node = heap_.top();
-  heap_.pop();
-  pending_.erase(node.seq);
+  Node node = take_head();
+  --live_;
   return Popped{node.t, std::move(node.handler)};
 }
 
-Time EventQueue::next_time() const {
+Time EventQueue::next_time() {
   drop_cancelled_head();
   AEQ_ASSERT_MSG(!heap_.empty(), "next_time() on empty event queue");
-  return heap_.top().t;
+  return heap_.front().t;
 }
 
 }  // namespace aeq::sim

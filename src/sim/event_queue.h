@@ -1,63 +1,40 @@
-// The discrete-event priority queue at the heart of the simulator.
+// Binary-heap scheduler backend.
 //
 // Events are arbitrary callables scheduled at an absolute simulated time.
 // Ties are broken by insertion order (a monotonically increasing sequence
 // number), which makes every run deterministic for a fixed seed.
-// Cancellation is lazy: cancelled events stay in the heap and are skipped
-// when popped, which keeps schedule/cancel O(log n)/O(1).
+// Cancellation is lazy: cancelled events stay in the heap as tombstones and
+// are skipped when popped, which keeps schedule/cancel O(log n)/O(1). The
+// heap is an explicit vector driven by std::push_heap/std::pop_heap so pop()
+// can move the handler out instead of copying it, and cancellation validity
+// is tracked by the generation-stamped HandleTable instead of per-event
+// hash-set bookkeeping.
 #pragma once
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
 #include <vector>
 
 #include "sim/assert.h"
+#include "sim/scheduler.h"
 #include "sim/units.h"
 
 namespace aeq::sim {
 
-// Opaque handle to a scheduled event; value 0 means "no event".
-struct EventId {
-  std::uint64_t seq = 0;
-  explicit operator bool() const { return seq != 0; }
-  friend bool operator==(EventId a, EventId b) { return a.seq == b.seq; }
-};
-
-class EventQueue {
+class EventQueue final : public EventScheduler {
  public:
-  using Handler = std::function<void()>;
+  EventId schedule(Time t, Handler handler) override;
+  bool cancel(EventId id) override;
+  Popped pop() override;
 
-  // Schedules `handler` to run at absolute time `t`. `t` must not be in the
-  // past relative to the last popped event.
-  EventId schedule(Time t, Handler handler);
-
-  // Cancels a pending event. Returns false if the event already ran, was
-  // already cancelled, or the id is invalid.
-  bool cancel(EventId id);
-
-  // Pops the earliest pending (non-cancelled) event and returns it.
-  // Precondition: !empty().
-  struct Popped {
-    Time time;
-    Handler handler;
-  };
-  Popped pop();
-
-  // True when no live (non-cancelled) events remain.
-  bool empty() const { return pending_.empty(); }
-
-  // Number of live events.
-  std::size_t size() const { return pending_.size(); }
-
-  // Time of the earliest live event. Precondition: !empty().
-  Time next_time() const;
+  bool empty() const override { return live_ == 0; }
+  std::size_t size() const override { return live_; }
+  Time next_time() override;
 
  private:
   struct Node {
     Time t;
     std::uint64_t seq;
+    EventId id;
     Handler handler;
   };
   struct Later {
@@ -67,13 +44,14 @@ class EventQueue {
     }
   };
 
-  void drop_cancelled_head() const;
+  // Drains tombstones off the heap top so the head is a live event.
+  void drop_cancelled_head();
+  // Removes and returns the head node, reclaiming its handle slot.
+  Node take_head();
 
-  mutable std::priority_queue<Node, std::vector<Node>, Later> heap_;
-  // Seqs scheduled and not yet fired or cancelled. Needed so cancel() of an
-  // already-fired id is a reliable no-op.
-  mutable std::unordered_set<std::uint64_t> pending_;
-  mutable std::unordered_set<std::uint64_t> cancelled_;
+  std::vector<Node> heap_;
+  HandleTable handles_;
+  std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
 };
 

@@ -1,0 +1,25 @@
+#include "sim/scheduler.h"
+
+#include "sim/calendar_queue.h"
+#include "sim/event_queue.h"
+
+namespace aeq::sim {
+
+const char* backend_name(SchedulerBackend backend) {
+  switch (backend) {
+    case SchedulerBackend::kHeap:
+      return "heap";
+    case SchedulerBackend::kCalendar:
+      return "calendar";
+  }
+  return "unknown";
+}
+
+std::unique_ptr<EventScheduler> make_scheduler(SchedulerBackend backend) {
+  if (backend == SchedulerBackend::kCalendar) {
+    return std::make_unique<CalendarQueue>();
+  }
+  return std::make_unique<EventQueue>();
+}
+
+}  // namespace aeq::sim

@@ -1,0 +1,148 @@
+// The event-scheduler concept behind the simulation executive.
+//
+// Two backends implement it: the binary-heap EventQueue (robust default for
+// arbitrary horizons) and the O(1)-amortized CalendarQueue (Brown 1988,
+// faster for the dense short-horizon profile of a packet simulator). Both
+// pop events in strictly increasing (time, insertion-sequence) order, so a
+// run is bit-identical on either backend for a fixed seed; the
+// scheduler-equivalence property test enforces this.
+//
+// Cancellation is generation-stamped rather than hash-based: an EventId
+// packs a slot index and a generation counter, and a HandleTable validates
+// ids in O(1) with no per-event unordered_set traffic. Cancelled events stay
+// in the backend's structure as tombstones and are skipped (and their slots
+// reclaimed) lazily when drained.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "sim/units.h"
+
+namespace aeq::sim {
+
+// Opaque handle to a scheduled event; value 0 means "no event".
+struct EventId {
+  std::uint64_t value = 0;
+  explicit operator bool() const { return value != 0; }
+  friend bool operator==(EventId a, EventId b) { return a.value == b.value; }
+};
+
+// Generation-stamped slot table shared by the scheduler backends.
+//
+// acquire() hands out an id whose high 32 bits are the slot's current
+// generation (>= 1, so packed ids are never 0) and whose low 32 bits are the
+// slot index. cancel() and live() validate the generation, which makes
+// cancel-after-fire and double-cancel reliable no-ops without any hashing:
+// release() bumps the generation when the event's node is drained from the
+// owning structure, instantly invalidating stale ids even after the slot is
+// reused.
+class HandleTable {
+ public:
+  EventId acquire() {
+    std::uint32_t index;
+    if (!free_.empty()) {
+      index = free_.back();
+      free_.pop_back();
+    } else {
+      index = static_cast<std::uint32_t>(slots_.size());
+      slots_.push_back(Slot{1, false});
+    }
+    slots_[index].cancelled = false;
+    return EventId{pack(index, slots_[index].generation)};
+  }
+
+  // Pending -> cancelled. False when the id already fired, was already
+  // cancelled, or is invalid.
+  bool cancel(EventId id) {
+    const std::uint32_t index = index_of(id);
+    if (index >= slots_.size()) return false;
+    Slot& slot = slots_[index];
+    if (slot.generation != generation_of(id) || slot.cancelled) return false;
+    slot.cancelled = true;
+    return true;
+  }
+
+  // True while the event is pending (not fired, not cancelled).
+  bool live(EventId id) const {
+    const std::uint32_t index = index_of(id);
+    return index < slots_.size() &&
+           slots_[index].generation == generation_of(id) &&
+           !slots_[index].cancelled;
+  }
+
+  // Reclaims the slot once the owning structure drains the event's node
+  // (fired or tombstone). Must be called exactly once per acquire().
+  void release(EventId id) {
+    const std::uint32_t index = index_of(id);
+    Slot& slot = slots_[index];
+    if (++slot.generation == 0) slot.generation = 1;  // keep ids nonzero
+    free_.push_back(index);
+  }
+
+ private:
+  struct Slot {
+    std::uint32_t generation;
+    bool cancelled;
+  };
+
+  static std::uint64_t pack(std::uint32_t index, std::uint32_t generation) {
+    return (static_cast<std::uint64_t>(generation) << 32) | index;
+  }
+  static std::uint32_t index_of(EventId id) {
+    return static_cast<std::uint32_t>(id.value);
+  }
+  static std::uint32_t generation_of(EventId id) {
+    return static_cast<std::uint32_t>(id.value >> 32);
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_;
+};
+
+// The scheduler concept: what Simulator needs from an event structure.
+class EventScheduler {
+ public:
+  using Handler = std::function<void()>;
+
+  struct Popped {
+    Time time;
+    Handler handler;
+  };
+
+  virtual ~EventScheduler() = default;
+
+  // Schedules `handler` to run at absolute time `t`. `t` must not be in the
+  // past relative to the last popped event.
+  virtual EventId schedule(Time t, Handler handler) = 0;
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or the id is invalid.
+  virtual bool cancel(EventId id) = 0;
+
+  // Pops the earliest pending (non-cancelled) event. Precondition: !empty().
+  virtual Popped pop() = 0;
+
+  // True when no live (non-cancelled) events remain.
+  virtual bool empty() const = 0;
+
+  // Number of live events.
+  virtual std::size_t size() const = 0;
+
+  // Time of the earliest live event; non-const because the calendar backend
+  // may compact tombstones while scanning. Precondition: !empty().
+  virtual Time next_time() = 0;
+};
+
+enum class SchedulerBackend {
+  kHeap,      // binary-heap EventQueue
+  kCalendar,  // CalendarQueue (Brown 1988)
+};
+
+const char* backend_name(SchedulerBackend backend);
+
+std::unique_ptr<EventScheduler> make_scheduler(SchedulerBackend backend);
+
+}  // namespace aeq::sim

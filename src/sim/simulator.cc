@@ -2,15 +2,17 @@
 
 #include <utility>
 
+#include "sim/assert.h"
+
 namespace aeq::sim {
 
-EventId Simulator::schedule_at(Time t, EventQueue::Handler handler) {
+EventId Simulator::schedule_at(Time t, EventScheduler::Handler handler) {
   AEQ_ASSERT_MSG(t >= now_, "cannot schedule into the past");
-  return queue_.schedule(t, std::move(handler));
+  return queue_->schedule(t, std::move(handler));
 }
 
 void Simulator::dispatch_one() {
-  auto [t, handler] = queue_.pop();
+  auto [t, handler] = queue_->pop();
   AEQ_DCHECK(t >= now_);
   now_ = t;
   ++events_processed_;
@@ -19,13 +21,13 @@ void Simulator::dispatch_one() {
 
 void Simulator::run() {
   stopped_ = false;
-  while (!queue_.empty() && !stopped_) dispatch_one();
+  while (!queue_->empty() && !stopped_) dispatch_one();
 }
 
 void Simulator::run_until(Time t_end) {
   AEQ_ASSERT(t_end >= now_);
   stopped_ = false;
-  while (!queue_.empty() && !stopped_ && queue_.next_time() <= t_end) {
+  while (!queue_->empty() && !stopped_ && queue_->next_time() <= t_end) {
     dispatch_one();
   }
   if (!stopped_ && now_ < t_end) now_ = t_end;

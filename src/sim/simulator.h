@@ -1,31 +1,41 @@
-// The simulation executive: a clock plus the event queue.
+// The simulation executive: a clock plus a pluggable event scheduler.
 //
 // A Simulator is an explicit object passed (by reference) to every component
-// that needs to schedule work; there is no global simulation state.
+// that needs to schedule work; there is no global simulation state. The
+// scheduler backend (binary heap or calendar queue) is chosen at
+// construction; both dispatch events in identical order for a fixed seed,
+// so the choice is purely a performance knob.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 
-#include "sim/event_queue.h"
+#include "sim/scheduler.h"
 #include "sim/units.h"
 
 namespace aeq::sim {
 
 class Simulator {
  public:
+  explicit Simulator(SchedulerBackend backend = SchedulerBackend::kHeap)
+      : backend_(backend), queue_(make_scheduler(backend)) {}
+
   // Current simulated time.
   Time now() const { return now_; }
 
+  // Which scheduler backend this executive runs on.
+  SchedulerBackend backend() const { return backend_; }
+
   // Schedules `handler` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, EventQueue::Handler handler);
+  EventId schedule_at(Time t, EventScheduler::Handler handler);
 
   // Schedules `handler` `dt` seconds from now (dt >= 0).
-  EventId schedule_in(Time dt, EventQueue::Handler handler) {
+  EventId schedule_in(Time dt, EventScheduler::Handler handler) {
     return schedule_at(now_ + dt, std::move(handler));
   }
 
   // Cancels a pending event; safe to call with an already-fired id.
-  void cancel(EventId id) { queue_.cancel(id); }
+  void cancel(EventId id) { queue_->cancel(id); }
 
   // Runs until the event queue drains or stop() is called.
   void run();
@@ -40,12 +50,13 @@ class Simulator {
   // Total events dispatched so far (for micro-benchmarks and sanity checks).
   std::uint64_t events_processed() const { return events_processed_; }
 
-  std::size_t pending_events() const { return queue_.size(); }
+  std::size_t pending_events() const { return queue_->size(); }
 
  private:
   void dispatch_one();
 
-  EventQueue queue_;
+  SchedulerBackend backend_;
+  std::unique_ptr<EventScheduler> queue_;
   Time now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;

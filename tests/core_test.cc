@@ -116,7 +116,28 @@ TEST(AequitasTest, DowngradeGoesToLowestQos) {
       ++downgrades;
     }
   }
-  EXPECT_GE(downgrades, 95);  // p_admit == 0 => (almost) everything demoted
+  EXPECT_EQ(downgrades, 100);  // p_admit == 0 => everything demoted
+}
+
+// Regression: admit() used `uniform() <= p_admit`, which admits with
+// nonzero probability even at p_admit == 0 because uniform() can draw
+// exactly 0 (and it skews every probability by one ulp's worth of mass).
+// With uniform() in [0, 1), strict `<` is the faithful Bernoulli draw:
+// p_admit == 0 must always downgrade, no matter the seed or draw count.
+TEST(AequitasTest, ZeroAdmitProbabilityAlwaysDowngrades) {
+  auto config = make_config();
+  config.p_admit_floor = 0.0;
+  config.beta_per_mtu = 1.0;
+  for (const std::uint64_t seed : {1ull, 42ull, 1234567ull}) {
+    AequitasController c(config, sim::Rng(seed));
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, /*rnl=*/1.0, 1);  // hard miss
+    ASSERT_DOUBLE_EQ(c.p_admit(1, net::kQoSHigh), 0.0);
+    for (int i = 0; i < 20000; ++i) {
+      const auto decision = c.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+      ASSERT_TRUE(decision.downgraded) << "seed " << seed << " draw " << i;
+      ASSERT_EQ(decision.qos_run, 2);
+    }
+  }
 }
 
 TEST(AequitasTest, AdmitFractionTracksPAdmit) {

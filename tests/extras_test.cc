@@ -8,6 +8,7 @@
 
 #include "net/red_queue.h"
 #include "sim/calendar_queue.h"
+#include "sim/event_queue.h"
 #include "sim/rng.h"
 #include "workload/generator.h"
 #include "workload/size_dist.h"

@@ -148,6 +148,60 @@ TEST(WfqQueueTest, SharedBufferTailDrop) {
   EXPECT_EQ(q.class_backlog_bytes(1), 1000u);
 }
 
+TEST(WfqQueueTest, PerClassDropCountersAttributeSharedBufferDrops) {
+  WfqQueue q({4.0, 1.0}, /*capacity_bytes=*/2500);
+  ASSERT_TRUE(q.enqueue(make_packet(0, 1000)));
+  ASSERT_TRUE(q.enqueue(make_packet(1, 1000)));
+  // Shared buffer is full: the drop is charged to the arriving class, even
+  // though the buffer pressure comes from both.
+  EXPECT_FALSE(q.enqueue(make_packet(1, 800)));
+  EXPECT_FALSE(q.enqueue(make_packet(0, 600)));
+  EXPECT_EQ(q.class_dropped_packets(0), 1u);
+  EXPECT_EQ(q.class_dropped_bytes(0), 600u);
+  EXPECT_EQ(q.class_dropped_packets(1), 1u);
+  EXPECT_EQ(q.class_dropped_bytes(1), 800u);
+  // Per-class counters partition the aggregate stats.
+  EXPECT_EQ(q.stats().dropped_packets, 2u);
+  EXPECT_EQ(q.stats().dropped_bytes, 1400u);
+  // Backlog accessors are unaffected by drops.
+  EXPECT_EQ(q.class_backlog_bytes(0), 1000u);
+  EXPECT_EQ(q.class_backlog_bytes(1), 1000u);
+}
+
+TEST(WfqQueueTest, PerClassDropCountersCoverPerClassCap) {
+  WfqQueue q({1.0, 1.0}, /*capacity_bytes=*/0,
+             /*per_class_capacity_bytes=*/1500);
+  ASSERT_TRUE(q.enqueue(make_packet(0, 1000)));
+  EXPECT_FALSE(q.enqueue(make_packet(0, 1000)));  // class 0 cap hit
+  ASSERT_TRUE(q.enqueue(make_packet(1, 1000)));   // class 1 unaffected
+  EXPECT_EQ(q.class_dropped_packets(0), 1u);
+  EXPECT_EQ(q.class_dropped_bytes(0), 1000u);
+  EXPECT_EQ(q.class_dropped_packets(1), 0u);
+  EXPECT_EQ(q.class_dropped_bytes(1), 0u);
+}
+
+TEST(SpqQueueTest, PerClassDropCounters) {
+  SpqQueue q(2, /*capacity_bytes=*/2000);
+  ASSERT_TRUE(q.enqueue(make_packet(0, 1000)));
+  ASSERT_TRUE(q.enqueue(make_packet(1, 1000)));
+  EXPECT_FALSE(q.enqueue(make_packet(1, 500)));
+  EXPECT_EQ(q.class_dropped_packets(0), 0u);
+  EXPECT_EQ(q.class_dropped_packets(1), 1u);
+  EXPECT_EQ(q.class_dropped_bytes(1), 500u);
+  EXPECT_EQ(q.stats().dropped_packets, 1u);
+}
+
+TEST(DwrrQueueTest, PerClassDropCounters) {
+  DwrrQueue q({4.0, 1.0}, /*capacity_bytes=*/2000, /*quantum_scale=*/1000);
+  ASSERT_TRUE(q.enqueue(make_packet(0, 1000)));
+  ASSERT_TRUE(q.enqueue(make_packet(1, 1000)));
+  EXPECT_FALSE(q.enqueue(make_packet(0, 700)));
+  EXPECT_EQ(q.class_dropped_packets(0), 1u);
+  EXPECT_EQ(q.class_dropped_bytes(0), 700u);
+  EXPECT_EQ(q.class_dropped_packets(1), 0u);
+  EXPECT_EQ(q.stats().dropped_bytes, 700u);
+}
+
 TEST(WfqQueueTest, VirtualTimeMonotone) {
   WfqQueue q({2.0, 1.0});
   double last_vt = 0.0;

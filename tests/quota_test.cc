@@ -49,6 +49,38 @@ TEST(QuotaServerTest, AllocationCappedAtDemand) {
               1000.0, 1e-9);
 }
 
+// Regression: registering a tenant mid-run used to recompute *every*
+// tenant's allocation as the static weighted fair share, clobbering the
+// demand-aware max-min allocation the last allocate() produced.
+TEST(QuotaServerTest, MidRunRegistrationLeavesExistingAllocationsUntouched) {
+  sim::Simulator s;
+  QuotaServer server(s, server_config(1000.0));
+  const auto a = server.register_tenant(1.0);
+  const auto b = server.register_tenant(1.0);
+  // Asymmetric demand: a wants little, b absorbs the rest.
+  server.report_demand(a, 0, 100.0 * 1e-3);
+  server.report_demand(b, 0, 5000.0 * 1e-3);
+  s.run_until(1.5 * sim::kMsec);
+  ASSERT_NEAR(server.allocation(a, 0), 125.0, 1e-9);
+  ASSERT_NEAR(server.allocation(b, 0), 875.0, 1e-9);
+  // Mid-interval registration: a and b keep their max-min shares until the
+  // next allocate(); only the newcomer starts from its static fair share.
+  const auto c = server.register_tenant(2.0);
+  EXPECT_NEAR(server.allocation(a, 0), 125.0, 1e-9);
+  EXPECT_NEAR(server.allocation(b, 0), 875.0, 1e-9);
+  EXPECT_NEAR(server.allocation(c, 0), 1000.0 * 2.0 / 4.0, 1e-9);
+  // The next interval folds the newcomer into the water-filling.
+  server.report_demand(a, 0, 100.0 * 1e-3);
+  server.report_demand(b, 0, 5000.0 * 1e-3);
+  server.report_demand(c, 0, 5000.0 * 1e-3);
+  s.run_until(2.5 * sim::kMsec);
+  EXPECT_NEAR(server.allocation(a, 0), 125.0, 1e-9);
+  EXPECT_NEAR(server.allocation(b, 0) + server.allocation(c, 0), 875.0,
+              1e-9);
+  // b (weight 1) and c (weight 2) split the remainder 1:2.
+  EXPECT_NEAR(server.allocation(c, 0), 2.0 * server.allocation(b, 0), 1e-9);
+}
+
 TEST(QuotaServerTest, EqualDemandsSplitByWeight) {
   sim::Simulator s;
   QuotaServer server(s, server_config(1000.0));

@@ -1,0 +1,300 @@
+// Scheduler-backend tests: the heap/calendar equivalence property (same
+// seed => identical event order and identical experiment stats), the
+// generation-stamped cancellation contract, and CalendarQueue edge cases
+// (overflow cancellation, resize in both directions, tie-breaking,
+// next_time() purity).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "rpc/slo.h"
+#include "runner/experiment.h"
+#include "sim/calendar_queue.h"
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+#include "sim/scheduler.h"
+#include "sim/simulator.h"
+#include "workload/size_dist.h"
+
+namespace aeq {
+namespace {
+
+// Same random schedule/cancel/pop trace applied to both backends through
+// the EventScheduler interface: every pop must return the same time, every
+// cancel the same verdict, and the fired-handler order must be identical.
+TEST(SchedulerEquivalenceTest, IdenticalEventOrderUnderRandomOps) {
+  const auto backends = {sim::SchedulerBackend::kHeap,
+                         sim::SchedulerBackend::kCalendar};
+  std::vector<std::vector<int>> fired_per_backend;
+  std::vector<std::vector<double>> popped_per_backend;
+  std::vector<std::vector<char>> verdicts_per_backend;
+  std::vector<std::vector<std::size_t>> sizes_per_backend;
+  for (const auto backend : backends) {
+    auto queue = sim::make_scheduler(backend);
+    sim::Rng rng(2024);  // same seed: same op trace for both backends
+    std::vector<sim::EventId> ids;
+    std::vector<int> fired;
+    std::vector<double> popped;
+    std::vector<char> verdicts;
+    std::vector<std::size_t> sizes;
+    double now = 0.0;
+    int next_label = 0;
+    for (int round = 0; round < 30000; ++round) {
+      const double action = rng.uniform();
+      if (action < 0.5 || queue->empty()) {
+        // Mixed horizons: dense near-term, sparse far-future (overflow).
+        const double t =
+            now + (rng.bernoulli(0.9) ? rng.exponential(2e-6)
+                                      : rng.uniform(1e-3, 5e-3));
+        const int label = next_label++;
+        ids.push_back(
+            queue->schedule(t, [&fired, label] { fired.push_back(label); }));
+      } else if (action < 0.65 && !ids.empty()) {
+        // Cancel a random known id (may have fired or been cancelled
+        // already); both backends must agree on the verdict.
+        verdicts.push_back(queue->cancel(ids[rng.index(ids.size())]) ? 1 : 0);
+      } else {
+        auto event = queue->pop();
+        popped.push_back(event.time);
+        now = event.time;
+        event.handler();
+      }
+      sizes.push_back(queue->size());
+    }
+    while (!queue->empty()) {
+      auto event = queue->pop();
+      popped.push_back(event.time);
+      event.handler();
+    }
+    fired_per_backend.push_back(std::move(fired));
+    popped_per_backend.push_back(std::move(popped));
+    verdicts_per_backend.push_back(std::move(verdicts));
+    sizes_per_backend.push_back(std::move(sizes));
+  }
+  ASSERT_EQ(fired_per_backend[0].size(), fired_per_backend[1].size());
+  EXPECT_EQ(fired_per_backend[0], fired_per_backend[1]);
+  EXPECT_EQ(popped_per_backend[0], popped_per_backend[1]);
+  EXPECT_EQ(verdicts_per_backend[0], verdicts_per_backend[1]);
+  EXPECT_EQ(sizes_per_backend[0], sizes_per_backend[1]);
+}
+
+// Full-stack determinism: an identical experiment config must produce
+// bit-identical traffic accounting and latency stats on either backend.
+TEST(SchedulerEquivalenceTest, ExperimentStatsIdenticalAcrossBackends) {
+  struct Result {
+    std::uint64_t events;
+    std::uint64_t requested[3];
+    std::uint64_t admitted[3];
+    std::uint64_t completed[3];
+    double p999[3];
+  };
+  auto run_once = [](sim::SchedulerBackend backend) {
+    runner::ExperimentConfig config;
+    config.scheduler_backend = backend;
+    config.num_hosts = 5;
+    config.num_qos = 3;
+    config.seed = 7;
+    config.slo = rpc::SloConfig::make(
+        {25.0 / 8 * sim::kUsec, 50.0 / 8 * sim::kUsec, 0.0}, 99.9);
+    runner::Experiment experiment(config);
+    const auto* sizes = experiment.own(
+        std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+    workload::GeneratorConfig gen;
+    gen.classes = {{rpc::Priority::kPC, 0.5 * sim::gbps(100), sizes},
+                   {rpc::Priority::kBE, 0.5 * sim::gbps(100), sizes}};
+    for (std::size_t h = 0; h < config.num_hosts; ++h) {
+      experiment.add_generator(static_cast<net::HostId>(h), gen);
+    }
+    experiment.run(1 * sim::kMsec, 2 * sim::kMsec);
+    Result result;
+    result.events = experiment.simulator().events_processed();
+    for (std::size_t q = 0; q < 3; ++q) {
+      result.requested[q] = experiment.metrics().bytes_requested(q);
+      result.admitted[q] = experiment.metrics().bytes_admitted(q);
+      result.completed[q] = experiment.metrics().bytes_completed(q);
+      result.p999[q] = experiment.metrics().rnl_by_run_qos(q).p999();
+    }
+    return result;
+  };
+  const Result heap = run_once(sim::SchedulerBackend::kHeap);
+  const Result calendar = run_once(sim::SchedulerBackend::kCalendar);
+  EXPECT_GT(heap.events, 1000u);
+  EXPECT_EQ(heap.events, calendar.events);
+  for (std::size_t q = 0; q < 3; ++q) {
+    EXPECT_EQ(heap.requested[q], calendar.requested[q]) << "qos " << q;
+    EXPECT_EQ(heap.admitted[q], calendar.admitted[q]) << "qos " << q;
+    EXPECT_EQ(heap.completed[q], calendar.completed[q]) << "qos " << q;
+    EXPECT_DOUBLE_EQ(heap.p999[q], calendar.p999[q]) << "qos " << q;
+  }
+}
+
+TEST(SchedulerFactoryTest, NamesAndTypes) {
+  EXPECT_STREQ(sim::backend_name(sim::SchedulerBackend::kHeap), "heap");
+  EXPECT_STREQ(sim::backend_name(sim::SchedulerBackend::kCalendar),
+               "calendar");
+  EXPECT_NE(dynamic_cast<sim::EventQueue*>(
+                sim::make_scheduler(sim::SchedulerBackend::kHeap).get()),
+            nullptr);
+  EXPECT_NE(dynamic_cast<sim::CalendarQueue*>(
+                sim::make_scheduler(sim::SchedulerBackend::kCalendar).get()),
+            nullptr);
+}
+
+TEST(SimulatorBackendTest, ReportsConfiguredBackend) {
+  sim::Simulator heap_sim;  // heap is the Simulator-level default
+  EXPECT_EQ(heap_sim.backend(), sim::SchedulerBackend::kHeap);
+  sim::Simulator cal_sim(sim::SchedulerBackend::kCalendar);
+  EXPECT_EQ(cal_sim.backend(), sim::SchedulerBackend::kCalendar);
+  // Both dispatch the same three events in the same order.
+  for (sim::Simulator* s : {&heap_sim, &cal_sim}) {
+    std::vector<int> order;
+    s->schedule_in(3e-6, [&] { order.push_back(3); });
+    s->schedule_in(1e-6, [&] { order.push_back(1); });
+    s->schedule_in(2e-6, [&] { order.push_back(2); });
+    s->run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(s->events_processed(), 3u);
+  }
+}
+
+// --- generation-stamped cancellation contract -----------------------------
+
+TEST(HandleTableTest, StaleIdAfterSlotReuseIsRejected) {
+  sim::HandleTable table;
+  const sim::EventId first = table.acquire();
+  table.release(first);                     // fired: slot goes back
+  const sim::EventId reused = table.acquire();  // same slot, new generation
+  EXPECT_NE(first.value, reused.value);
+  EXPECT_FALSE(table.cancel(first));  // stale generation: reliable no-op
+  EXPECT_TRUE(table.live(reused));
+  EXPECT_TRUE(table.cancel(reused));
+  EXPECT_FALSE(table.cancel(reused));  // double cancel
+}
+
+TEST(EventQueueTest, StaleCancelAfterSlotReuseLeavesNewEventLive) {
+  sim::EventQueue q;
+  const sim::EventId old_id = q.schedule(1.0, [] {});
+  q.pop();  // fires the event, freeing its slot for reuse
+  bool ran = false;
+  q.schedule(2.0, [&] { ran = true; });  // reuses the slot
+  EXPECT_FALSE(q.cancel(old_id));        // stale id must not kill the reuser
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().handler();
+  EXPECT_TRUE(ran);
+}
+
+TEST(CalendarQueueTest, CancelAfterFireIsHarmlessNoOp) {
+  sim::CalendarQueue q;
+  const sim::EventId fired = q.schedule(1e-6, [] {});
+  q.schedule(2e-6, [] {});
+  q.pop().handler();
+  // With hash-set bookkeeping this used to corrupt the live count; the
+  // generation stamp makes it a reliable no-op.
+  EXPECT_FALSE(q.cancel(fired));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().handler();
+  EXPECT_TRUE(q.empty());
+}
+
+// --- CalendarQueue edge cases ---------------------------------------------
+
+TEST(CalendarQueueTest, CancelOfOverflowEventIsSkipped) {
+  // 8 buckets x 1us: one rotation covers 8us; 1s is far in the overflow
+  // region reached only via the sparse-jump scan.
+  sim::CalendarQueue q(1e-6, 8);
+  std::vector<int> order;
+  const sim::EventId far = q.schedule(1.0, [&] { order.push_back(99); });
+  q.schedule(1e-6, [&] { order.push_back(1); });
+  q.schedule(3e-6, [&] { order.push_back(3); });
+  EXPECT_TRUE(q.cancel(far));
+  EXPECT_FALSE(q.cancel(far));
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().handler();
+  EXPECT_EQ(order, (std::vector<int>{1, 3}));
+}
+
+TEST(CalendarQueueTest, OverflowEventStillFiresAfterNearTermDrain) {
+  sim::CalendarQueue q(1e-6, 8);
+  std::vector<double> popped;
+  q.schedule(0.5, [] {});     // beyond many rotations
+  q.schedule(2.0, [] {});     // even further
+  q.schedule(2e-6, [] {});
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, (std::vector<double>{2e-6, 0.5, 2.0}));
+}
+
+TEST(CalendarQueueTest, ResizeBothDirectionsPreservesOrderAndNextTime) {
+  sim::CalendarQueue q;  // 256 buckets initially
+  sim::Rng rng(31);
+  const std::size_t initial_buckets = q.num_buckets();
+  for (int i = 0; i < 3000; ++i) q.schedule(rng.uniform(0.0, 1e-3), [] {});
+  const std::size_t grown = q.num_buckets();
+  EXPECT_GT(grown, initial_buckets);  // doubling triggered
+  std::size_t smallest = grown;
+  double last = -1.0;
+  while (!q.empty()) {
+    // next_time() must agree with the following pop and be monotone.
+    const double peek = q.next_time();
+    const double t = q.pop().time;
+    EXPECT_DOUBLE_EQ(peek, t);
+    EXPECT_GE(t, last);
+    last = t;
+    smallest = std::min(smallest, q.num_buckets());
+  }
+  EXPECT_LT(smallest, grown);  // halving triggered on the way down
+}
+
+TEST(CalendarQueueTest, TieBreakBySequenceMatchesEventQueue) {
+  sim::CalendarQueue calendar(1e-6, 4);
+  sim::EventQueue heap;
+  std::vector<std::string> calendar_order, heap_order;
+  std::vector<sim::EventId> calendar_ids, heap_ids;
+  // Three batches at the same instant, interleaved with batches at another
+  // instant, plus cancellation of every third event.
+  for (int batch = 0; batch < 3; ++batch) {
+    for (int i = 0; i < 5; ++i) {
+      const double t = (batch % 2 == 0) ? 5e-6 : 2e-6;
+      const std::string label =
+          std::to_string(batch) + ":" + std::to_string(i);
+      calendar_ids.push_back(calendar.schedule(
+          t, [&calendar_order, label] { calendar_order.push_back(label); }));
+      heap_ids.push_back(heap.schedule(
+          t, [&heap_order, label] { heap_order.push_back(label); }));
+    }
+  }
+  for (std::size_t k = 0; k < calendar_ids.size(); k += 3) {
+    EXPECT_EQ(calendar.cancel(calendar_ids[k]), heap.cancel(heap_ids[k]));
+  }
+  while (!heap.empty()) {
+    ASSERT_FALSE(calendar.empty());
+    auto ch = calendar.pop();
+    auto hh = heap.pop();
+    ASSERT_DOUBLE_EQ(ch.time, hh.time);
+    ch.handler();
+    hh.handler();
+  }
+  EXPECT_TRUE(calendar.empty());
+  EXPECT_EQ(calendar_order, heap_order);
+}
+
+// Regression: next_time() must not commit the epoch advance it scans with —
+// scheduling between a peek at a far-future event and the next pop used to
+// trip the "cannot schedule into the past" contract.
+TEST(CalendarQueueTest, ScheduleAfterNextTimePeekOfFarEvent) {
+  sim::CalendarQueue q(1e-6, 8);
+  std::vector<double> popped;
+  q.schedule(100e-6, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 100e-6);
+  // Still allowed: 1us is in the peeked event's past but not the clock's.
+  q.schedule(1e-6, [] {});
+  EXPECT_DOUBLE_EQ(q.next_time(), 1e-6);
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, (std::vector<double>{1e-6, 100e-6}));
+}
+
+}  // namespace
+}  // namespace aeq
