@@ -16,14 +16,9 @@ namespace {
 
 using namespace aeq;
 
-struct Row {
-  double p999_h;
-  double p999_m;
-  double share_h;
-  double drops;
-};
-
-Row run(runner::ExperimentConfig::CcKind cc, bool aequitas) {
+runner::PointResult run(const char* name,
+                        runner::ExperimentConfig::CcKind cc, bool aequitas,
+                        std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 17;
   config.num_qos = 3;
@@ -31,6 +26,7 @@ Row run(runner::ExperimentConfig::CcKind cc, bool aequitas) {
   config.cc_kind = cc;
   config.fixed_window_packets = 64.0;
   config.enable_aequitas = aequitas;
+  config.seed = seed;
   const double size_mtus = 8.0;
   config.slo = rpc::SloConfig::make({25 * sim::kUsec / size_mtus,
                                      50 * sim::kUsec / size_mtus, 0.0},
@@ -44,10 +40,6 @@ Row run(runner::ExperimentConfig::CcKind cc, bool aequitas) {
   bench::attach_all_to_all(experiment, spec);
   experiment.run(12 * sim::kMsec, 18 * sim::kMsec);
 
-  Row row{};
-  row.p999_h = experiment.metrics().rnl_by_run_qos(0).p999() / sim::kUsec;
-  row.p999_m = experiment.metrics().rnl_by_run_qos(1).p999() / sim::kUsec;
-  row.share_h = 100 * experiment.metrics().admitted_share(0);
   double drops = 0;
   for (std::size_t h = 0; h < experiment.network().num_hosts(); ++h) {
     drops += static_cast<double>(
@@ -57,19 +49,21 @@ Row run(runner::ExperimentConfig::CcKind cc, bool aequitas) {
             .stats()
             .dropped_packets);
   }
-  row.drops = drops;
-  return row;
+  return runner::PointResult::single(
+      {name, aequitas ? "on" : "off",
+       experiment.metrics().rnl_by_run_qos(0).p999() / sim::kUsec,
+       experiment.metrics().rnl_by_run_qos(1).p999() / sim::kUsec,
+       100 * experiment.metrics().admitted_share(0),
+       stats::Cell(drops, 0)});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Ablation",
                       "Aequitas over Swift vs DCTCP vs no CC "
                       "(17-node all-to-all, SLO 25/50us)");
-  std::printf("%-22s %-10s %-14s %-14s %-12s %-12s\n", "congestion control",
-              "aequitas", "QoSh p999(us)", "QoSm p999(us)", "h share(%)",
-              "drops");
   struct Case {
     const char* name;
     runner::ExperimentConfig::CcKind kind;
@@ -79,14 +73,23 @@ int main() {
       {"DCTCP (ECN)", runner::ExperimentConfig::CcKind::kDctcp},
       {"fixed window (none)", runner::ExperimentConfig::CcKind::kFixedWindow},
   };
+  runner::SweepRunner sweep(args.sweep);
   for (const Case& c : cases) {
     for (bool aequitas : {false, true}) {
-      const Row row = run(c.kind, aequitas);
-      std::printf("%-22s %-10s %-14.1f %-14.1f %-12.1f %-12.0f\n", c.name,
-                  aequitas ? "on" : "off", row.p999_h, row.p999_m,
-                  row.share_h, row.drops);
+      sweep.submit([c, aequitas](const runner::PointContext& ctx) {
+        return run(c.name, c.kind, aequitas, ctx.seed);
+      });
     }
   }
+
+  stats::Table table({{"congestion control", 22},
+                      {"aequitas", 10},
+                      {"QoSh p999(us)", 14, 1},
+                      {"QoSm p999(us)", 14, 1},
+                      {"h share(%)", 12, 1},
+                      {"drops", 12, 0}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
   bench::print_footer();
   return 0;
 }

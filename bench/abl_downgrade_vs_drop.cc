@@ -44,17 +44,12 @@ class DropController final : public rpc::AdmissionController {
   core::AequitasController inner_;
 };
 
-struct Result {
-  double qosh_p999_us;
-  double delivered_fraction;  // offered bytes (all classes) delivered
-  double rejected_fraction;   // PC RPCs downgraded or dropped
-};
-
-Result run(bool drop) {
+runner::PointResult run(bool drop, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 3;
   config.num_qos = 2;
   config.wfq_weights = {4.0, 1.0};
+  config.seed = seed;
   const double size_mtus = 8.0;
   config.slo =
       rpc::SloConfig::make({15 * sim::kUsec / size_mtus, 0.0}, 99.9);
@@ -82,40 +77,43 @@ Result run(bool drop) {
   experiment.run(15 * sim::kMsec, 25 * sim::kMsec);
 
   const auto& metrics = experiment.metrics();
-  Result result{};
-  result.qosh_p999_us = metrics.rnl_by_run_qos(0).p999() / sim::kUsec;
   double offered = 0.0, delivered = 0.0;
   for (net::QoSLevel q = 0; q < 2; ++q) {
     offered += static_cast<double>(metrics.bytes_requested(q));
     delivered += static_cast<double>(metrics.bytes_completed(q));
   }
-  result.delivered_fraction = offered > 0 ? delivered / offered : 0.0;
   const auto pc_issued = metrics.downgraded(0) + metrics.terminated(0) +
                          metrics.completed(0);
-  result.rejected_fraction =
+  const double rejected =
       pc_issued ? static_cast<double>(metrics.downgraded(0) +
                                       metrics.terminated(0)) /
                       static_cast<double>(pc_issued)
                 : 0.0;
-  return result;
+  return runner::PointResult::single(
+      {drop ? "drop" : "downgrade (Aequitas)",
+       metrics.rnl_by_run_qos(0).p999() / sim::kUsec,
+       offered > 0 ? 100 * delivered / offered : 0.0, 100 * rejected});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Ablation",
                       "Downgrade (Aequitas) vs drop-based admission under "
                       "2x offered load (3-node, SLO 15us)");
-  const Result downgrade = run(false);
-  const Result drop = run(true);
-  std::printf("%-22s %-18s %-22s %-18s\n", "policy", "QoSh p999(us)",
-              "offered delivered(%)", "PC rejected(%)");
-  std::printf("%-22s %-18.1f %-22.1f %-18.1f\n", "downgrade (Aequitas)",
-              downgrade.qosh_p999_us, 100 * downgrade.delivered_fraction,
-              100 * downgrade.rejected_fraction);
-  std::printf("%-22s %-18.1f %-22.1f %-18.1f\n", "drop",
-              drop.qosh_p999_us, 100 * drop.delivered_fraction,
-              100 * drop.rejected_fraction);
+  runner::SweepRunner sweep(args.sweep);
+  for (bool drop : {false, true}) {
+    sweep.submit([drop](const runner::PointContext& ctx) {
+      return run(drop, ctx.seed);
+    });
+  }
+  stats::Table table({{"policy", 22},
+                      {"QoSh p999(us)", 18, 1},
+                      {"offered delivered(%)", 22, 1},
+                      {"PC rejected(%)", 18, 1}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
   std::printf("\nBoth protect admitted QoS_h; the link is 2x oversubscribed "
               "so ~50%% of offered bytes can complete at best — downgrading "
               "keeps the link busy delivering rejected traffic on the "

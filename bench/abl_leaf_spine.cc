@@ -16,7 +16,7 @@ namespace {
 
 using namespace aeq;
 
-void run(bool with_aequitas) {
+runner::PointResult run(bool with_aequitas, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.use_leaf_spine = true;
   config.leaf_spine.hosts_per_leaf = 8;
@@ -27,6 +27,7 @@ void run(bool with_aequitas) {
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
+  config.seed = seed;
   // Per-channel QoS_h rates are tiny (traffic spreads over 24 remote
   // hosts), so favor SLO-compliance in the AIMD balance (§6.6).
   config.alpha = 0.002;
@@ -63,19 +64,32 @@ void run(bool with_aequitas) {
   }
   experiment.run(20 * sim::kMsec, 25 * sim::kMsec);
 
-  std::printf("\n%s Aequitas:\n", with_aequitas ? "WITH" : "WITHOUT");
-  bench::print_rnl_table(experiment.metrics(), 3);
+  runner::PointResult result;
+  result.rows = bench::rnl_rows(experiment.metrics(), 3);
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Ablation",
                       "Overload in the fabric core: 32-host leaf-spine, "
                       "2:1 oversubscribed uplinks, cross-leaf traffic only "
                       "(SLO 60/120us)");
-  run(false);
-  run(true);
+  runner::SweepRunner sweep(args.sweep);
+  for (bool with_aequitas : {false, true}) {
+    sweep.submit([with_aequitas](const runner::PointContext& ctx) {
+      return run(with_aequitas, ctx.seed);
+    });
+  }
+  const auto points = sweep.run();
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::printf("\n%s Aequitas:\n", p == 1 ? "WITH" : "WITHOUT");
+    stats::Table table = bench::make_rnl_table();
+    table.add_rows(points[p].rows);
+    bench::emit(table, args);
+  }
   std::printf("\nAequitas never learns where the bottleneck is — RNL "
               "feedback alone relocates the admission decision to whatever "
               "path segment is overloaded.\n");

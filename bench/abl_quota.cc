@@ -23,11 +23,12 @@ struct Result {
   double p999_us;
 };
 
-Result run(bool with_quota) {
+Result run(bool with_quota, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 3;
   config.num_qos = 2;
   config.wfq_weights = {4.0, 1.0};
+  config.seed = seed;
   const double size_mtus = 8.0;
   config.slo =
       rpc::SloConfig::make({20 * sim::kUsec / size_mtus, 0.0}, 99.9);
@@ -113,18 +114,26 @@ Result run(bool with_quota) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Extension",
                       "Per-tenant quota server over Aequitas (tenant "
                       "weights 3:1, both over-demanding QoS_h)");
-  const Result plain = run(false);
-  std::printf("%-28s A %5.1f Gbps : B %5.1f Gbps  (QoSh p999 %.1fus)\n",
-              "Aequitas only (fair 1:1):", plain.thput_a_gbps,
-              plain.thput_b_gbps, plain.p999_us);
-  const Result quota = run(true);
-  std::printf("%-28s A %5.1f Gbps : B %5.1f Gbps  (QoSh p999 %.1fus)\n",
-              "with quota server (3:1):", quota.thput_a_gbps,
-              quota.thput_b_gbps, quota.p999_us);
+  runner::SweepRunner sweep(args.sweep);
+  for (bool with_quota : {false, true}) {
+    sweep.submit([with_quota](const runner::PointContext& ctx) {
+      const Result r = run(with_quota, ctx.seed);
+      return runner::PointResult::single(
+          {with_quota ? "with quota server (3:1)" : "Aequitas only (1:1)",
+           r.thput_a_gbps, r.thput_b_gbps, r.p999_us});
+    });
+  }
+  stats::Table table({{"policy", 26},
+                      {"A thput(Gbps)", 14, 1},
+                      {"B thput(Gbps)", 14, 1},
+                      {"QoSh p999(us)", 14, 1}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
   std::printf("\nThe quota server turns per-channel fairness into weighted "
               "per-tenant guarantees without touching the latency SLO.\n");
   bench::print_footer();

@@ -40,21 +40,18 @@ class GlobalStateController final : public rpc::AdmissionController {
   core::AequitasController inner_;
 };
 
-struct Result {
-  double hotspot_downgraded_pct;
-  double background_downgraded_pct;
-  double background_p999_us;
-};
-
-Result run(bool per_destination) {
+runner::PointResult run(bool per_destination, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 9;
   config.num_qos = 2;
   config.wfq_weights = {4.0, 1.0};
+  config.seed = seed;
   const double size_mtus = 8.0;
   config.slo =
       rpc::SloConfig::make({20 * sim::kUsec / size_mtus, 0.0}, 99.9);
-  if (!per_destination) {
+  if (per_destination) {
+    config.enable_aequitas = true;
+  } else {
     core::AequitasConfig aeq;
     aeq.slo = config.slo;
     config.admission_factory = [aeq](sim::Simulator&, net::HostId,
@@ -101,33 +98,32 @@ Result run(bool per_destination) {
   }
   experiment.run(10 * sim::kMsec, 25 * sim::kMsec);
 
-  Result result{};
-  result.hotspot_downgraded_pct =
-      issued[0] ? 100.0 * downgraded[0] / issued[0] : 0.0;
-  result.background_downgraded_pct =
-      issued[1] ? 100.0 * downgraded[1] / issued[1] : 0.0;
-  result.background_p999_us = background_rnl.p999() / sim::kUsec;
-  return result;
+  return runner::PointResult::single(
+      {per_destination ? "per (dst, QoS) [paper]" : "global per QoS",
+       issued[0] ? 100.0 * downgraded[0] / issued[0] : 0.0,
+       issued[1] ? 100.0 * downgraded[1] / issued[1] : 0.0,
+       background_rnl.p999() / sim::kUsec});
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Ablation",
                       "Per-destination admission state vs a global "
                       "per-QoS p_admit (hotspot at host 0)");
-  std::printf("%-24s %-22s %-24s %-22s\n", "state granularity",
-              "hotspot downgraded(%)", "background downgraded(%)",
-              "background p999(us)");
-  const Result per_dst = run(true);
-  const Result global = run(false);
-  std::printf("%-24s %-22.1f %-24.1f %-22.1f\n", "per (dst, QoS) [paper]",
-              per_dst.hotspot_downgraded_pct,
-              per_dst.background_downgraded_pct,
-              per_dst.background_p999_us);
-  std::printf("%-24s %-22.1f %-24.1f %-22.1f\n", "global per QoS",
-              global.hotspot_downgraded_pct,
-              global.background_downgraded_pct, global.background_p999_us);
+  runner::SweepRunner sweep(args.sweep);
+  for (bool per_destination : {true, false}) {
+    sweep.submit([per_destination](const runner::PointContext& ctx) {
+      return run(per_destination, ctx.seed);
+    });
+  }
+  stats::Table table({{"state granularity", 24},
+                      {"hotspot downgraded(%)", 22, 1},
+                      {"background downgraded(%)", 24, 1},
+                      {"background p999(us)", 22, 1}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
   std::printf("\nPer-destination state confines downgrades to the hotspot; "
               "global state collaterally downgrades traffic to idle "
               "destinations.\n");

@@ -4,6 +4,8 @@
 // preserves the same worst-case delay profile at this granularity (its
 // unfairness bound is one quantum per class), so Aequitas's analysis holds
 // over either; the micro-benchmarks in micro_core show DWRR's O(1) cost.
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 
@@ -23,6 +25,7 @@ struct Point {
   double low;
 };
 
+// Deterministic packet replay — no RNG, so the sweep seed is unused.
 Point run_once(double x, bool dwrr) {
   sim::Simulator s;
   struct Recorder final : net::PacketSink {
@@ -71,25 +74,44 @@ Point run_once(double x, bool dwrr) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Ablation",
                       "WFQ implementations: virtual-time (PGPS) vs DWRR on "
                       "the Figure-10 validation (4:1, mu=0.8, rho=1.2)");
-  std::printf("%-14s %-10s %-10s %-10s %-10s %-10s %-10s\n",
-              "QoSh-share(%)", "thry h", "wfq h", "dwrr h", "thry l",
-              "wfq l", "dwrr l");
   const analysis::TwoQosParams params{.phi = 4.0, .mu = 0.8, .rho = 1.2};
-  double worst_gap = 0.0;
+  runner::SweepRunner sweep(args.sweep);
   for (int pct = 10; pct <= 90; pct += 10) {
-    const double x = pct / 100.0;
-    const Point wfq = run_once(x, false);
-    const Point dwrr = run_once(x, true);
-    worst_gap = std::max({worst_gap, std::abs(wfq.high - dwrr.high),
-                          std::abs(wfq.low - dwrr.low)});
-    std::printf("%-14d %-10.4f %-10.4f %-10.4f %-10.4f %-10.4f %-10.4f\n",
-                pct, analysis::delay_high(params, x), wfq.high, dwrr.high,
-                analysis::delay_low(params, x), wfq.low, dwrr.low);
+    sweep.submit([pct, &params](const runner::PointContext&) {
+      const double x = pct / 100.0;
+      const Point wfq = run_once(x, false);
+      const Point dwrr = run_once(x, true);
+      runner::PointResult result;
+      result.rows.push_back(
+          {static_cast<double>(pct),
+           stats::Cell(analysis::delay_high(params, x), 4),
+           stats::Cell(wfq.high, 4), stats::Cell(dwrr.high, 4),
+           stats::Cell(analysis::delay_low(params, x), 4),
+           stats::Cell(wfq.low, 4), stats::Cell(dwrr.low, 4)});
+      result.metrics["gap"] = std::max(std::abs(wfq.high - dwrr.high),
+                                       std::abs(wfq.low - dwrr.low));
+      return result;
+    });
   }
+
+  stats::Table table({{"QoSh-share(%)", 14, 0},
+                      {"thry h", 10, 4},
+                      {"wfq h", 10, 4},
+                      {"dwrr h", 10, 4},
+                      {"thry l", 10, 4},
+                      {"wfq l", 10, 4},
+                      {"dwrr l", 10, 4}});
+  double worst_gap = 0.0;
+  for (const auto& point : sweep.run()) {
+    table.add_rows(point.rows);
+    worst_gap = std::max(worst_gap, point.metrics.at("gap"));
+  }
+  bench::emit(table, args);
   std::printf("\nmax |WFQ - DWRR| worst-case delay: %.4f of the period — "
               "the delay analysis is implementation-agnostic.\n",
               worst_gap);

@@ -1,14 +1,29 @@
 // Shared helpers for the figure-reproduction benches: consistent headers,
-// per-QoS result tables, and the all-to-all workload wiring used by most of
-// the paper's experiments (§6.1: average load 0.8, burst load 1.4, Poisson
-// arrivals within bursts).
+// the common command line (--jobs/--seed/--csv/--json), structured result
+// tables, and the all-to-all workload wiring used by most of the paper's
+// experiments (§6.1: average load 0.8, burst load 1.4, Poisson arrivals
+// within bursts).
+//
+// Benches are sweeps of independent simulation points. They submit one
+// closure per point to a runner::SweepRunner (or runner::parallel_points
+// for richer payloads), collect structured results in submission order,
+// and render tables on the main thread — so `--jobs N` output is
+// byte-identical to `--jobs 1`.
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <iostream>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "runner/experiment.h"
+#include "runner/sweep.h"
+#include "stats/export.h"
+#include "stats/table.h"
+#include "tools/flags.h"
 #include "workload/generator.h"
 #include "workload/size_dist.h"
 
@@ -21,6 +36,65 @@ inline void print_header(const char* figure, const char* title) {
 }
 
 inline void print_footer() { std::printf("\n"); }
+
+// Command line shared by every figure/ablation bench:
+//   --jobs N     worker threads for the sweep (default: AEQ_JOBS env, else
+//                hardware concurrency); results are identical for any N
+//   --seed S     base seed; per-point seeds derive from (S, point index)
+//   --csv PATH   append each rendered table as CSV ("-" = stdout)
+//   --json PATH  append each rendered table as JSON ("-" = stdout)
+struct BenchArgs {
+  runner::SweepOptions sweep;
+  std::string csv_path;
+  std::string json_path;
+  tools::Flags flags;       // bench-specific extras stay queryable
+  bool machine_started = false;  // first emit truncates, later ones append
+};
+
+inline BenchArgs parse_args(int argc, char** argv) {
+  BenchArgs args;
+  if (!args.flags.parse(argc, argv)) {
+    std::fprintf(stderr, "%s: %s\n", argv[0], args.flags.error().c_str());
+    std::exit(2);
+  }
+  args.sweep.jobs = runner::resolve_jobs(args.flags.get_int("jobs", 0));
+  args.sweep.base_seed =
+      static_cast<std::uint64_t>(args.flags.get_int("seed", 1));
+  args.csv_path = args.flags.get("csv");
+  args.json_path = args.flags.get("json");
+  return args;
+}
+
+namespace detail {
+inline void emit_machine(const stats::Table& table, const std::string& path,
+                         bool json, bool append) {
+  if (path.empty()) return;
+  if (path == "-") {
+    json ? stats::write_json(std::cout, table)
+         : stats::write_csv(std::cout, table);
+    return;
+  }
+  std::ofstream out(path, append ? std::ios::app : std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  if (append) out << "\n";
+  json ? stats::write_json(out, table) : stats::write_csv(out, table);
+}
+}  // namespace detail
+
+// Renders `table` to stdout and mirrors it to --csv/--json sinks. Benches
+// that print several tables call emit() once per table; file sinks receive
+// the tables as blank-line-separated blocks.
+inline void emit(const stats::Table& table, BenchArgs& args) {
+  std::cout << table.to_string() << std::flush;
+  detail::emit_machine(table, args.csv_path, /*json=*/false,
+                       args.machine_started);
+  detail::emit_machine(table, args.json_path, /*json=*/true,
+                       args.machine_started);
+  args.machine_started = true;
+}
 
 inline const char* qos_name(net::QoSLevel qos, std::size_t num_qos) {
   if (num_qos == 2) return qos == 0 ? "QoS_h" : "QoS_l";
@@ -65,23 +139,33 @@ inline void attach_all_to_all(runner::Experiment& experiment,
   }
 }
 
-// Prints the per-QoS RNL summary table (mean / p99 / p99.9, completions,
-// admitted share).
-inline void print_rnl_table(const rpc::RpcMetrics& metrics,
-                            std::size_t num_qos) {
-  std::printf("%-8s %-12s %-12s %-14s %-12s %-12s %-12s\n", "QoS",
-              "mean(us)", "p99(us)", "p99.9(us)", "completed", "downgr.",
-              "share(%)");
+// Columns of the per-QoS RNL summary table (mean / p99 / p99.9,
+// completions, admitted share).
+inline stats::Table make_rnl_table() {
+  return stats::Table({{"QoS", 8},
+                       {"mean(us)", 12, 1},
+                       {"p99(us)", 12, 1},
+                       {"p99.9(us)", 14, 1},
+                       {"completed", 12, 0},
+                       {"downgr.", 12, 0},
+                       {"share(%)", 12, 1}});
+}
+
+// Extracts the RNL summary rows as plain data — safe to build on a worker
+// thread and hand back through a PointResult.
+inline std::vector<stats::Row> rnl_rows(const rpc::RpcMetrics& metrics,
+                                        std::size_t num_qos) {
+  std::vector<stats::Row> rows;
   for (std::size_t q = 0; q < num_qos; ++q) {
     const auto qos = static_cast<net::QoSLevel>(q);
     const auto& rnl = metrics.rnl_by_run_qos(qos);
-    std::printf("%-8s %-12.1f %-12.1f %-14.1f %-12llu %-12llu %-12.1f\n",
-                qos_name(qos, num_qos), rnl.mean() / sim::kUsec,
-                rnl.p99() / sim::kUsec, rnl.p999() / sim::kUsec,
-                static_cast<unsigned long long>(metrics.completed(qos)),
-                static_cast<unsigned long long>(metrics.downgraded(qos)),
-                100.0 * metrics.admitted_share(qos));
+    rows.push_back({qos_name(qos, num_qos), rnl.mean() / sim::kUsec,
+                    rnl.p99() / sim::kUsec, rnl.p999() / sim::kUsec,
+                    static_cast<double>(metrics.completed(qos)),
+                    static_cast<double>(metrics.downgraded(qos)),
+                    100.0 * metrics.admitted_share(qos)});
   }
+  return rows;
 }
 
 }  // namespace aeq::bench

@@ -29,8 +29,11 @@ struct FairnessSpec {
   double alpha = 0.01;
   double beta_per_mtu = 0.01;
   sim::Time duration = 600 * sim::kMsec;
+  std::uint64_t seed = 1;  // callers pass the sweep point's derived seed
 };
 
+// Self-contained: safe to call from a SweepRunner / parallel_points worker
+// (the result is plain data; all callbacks stop before it returns).
 inline FairnessResult run_fairness(const FairnessSpec& spec) {
   runner::ExperimentConfig config;
   config.num_hosts = 3;
@@ -39,6 +42,7 @@ inline FairnessResult run_fairness(const FairnessSpec& spec) {
   config.enable_aequitas = true;
   config.alpha = spec.alpha;
   config.beta_per_mtu = spec.beta_per_mtu;
+  config.seed = spec.seed;
   const double size_mtus = 8.0;
   config.slo = rpc::SloConfig::make(
       {spec.slo_us * sim::kUsec / size_mtus, 0.0}, 99.9);
@@ -91,19 +95,22 @@ inline FairnessResult run_fairness(const FairnessSpec& spec) {
   return r;
 }
 
-inline void print_fairness_timeline(const FairnessResult& r,
-                                    std::size_t rows) {
-  std::printf("%-10s %-12s %-12s %-14s %-14s\n", "t(ms)", "p_admit A",
-              "p_admit B", "thput A(Gbps)", "thput B(Gbps)");
+inline stats::Table fairness_timeline_table(const FairnessResult& r,
+                                            std::size_t rows) {
+  stats::Table table({{"t(ms)", 10, 0},
+                      {"p_admit A", 12, 3},
+                      {"p_admit B", 12, 3},
+                      {"thput A(Gbps)", 14, 1},
+                      {"thput B(Gbps)", 14, 1}});
   const auto pa = r.p_admit[0].resample(rows);
   const auto pb = r.p_admit[1].resample(rows);
   for (std::size_t i = 0; i < pa.size(); ++i) {
     const sim::Time t = pa[i].t;
-    std::printf("%-10.0f %-12.3f %-12.3f %-14.1f %-14.1f\n", t / sim::kMsec,
-                pa[i].value, pb[i].value,
-                r.throughput[0].series().value_at(t) * 8.0 / 1e9,
-                r.throughput[1].series().value_at(t) * 8.0 / 1e9);
+    table.add_row({t / sim::kMsec, pa[i].value, pb[i].value,
+                   r.throughput[0].series().value_at(t) * 8.0 / 1e9,
+                   r.throughput[1].series().value_at(t) * 8.0 / 1e9});
   }
+  return table;
 }
 
 }  // namespace aeq::bench

@@ -31,12 +31,13 @@ struct Timeline {
   std::map<int, double> offered_bytes;
 };
 
-Timeline run(bool with_aequitas) {
+Timeline run(bool with_aequitas, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 12;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
+  config.seed = seed;
   config.slo = rpc::SloConfig::make(
       {25.0 / 8 * sim::kUsec, 50.0 / 8 * sim::kUsec, 0.0}, 99.9);
   runner::Experiment experiment(config);
@@ -85,20 +86,30 @@ Timeline run(bool with_aequitas) {
                              workload::fixed_destination(victim));
   }
   experiment.run(0.0, 45 * sim::kMsec);
-  return t;
+  return std::move(t);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 3",
                       "Congestion episode: PC-marked bulk surge (10-30ms) "
                       "into 3 victims; interactive-PC tail over time");
-  auto base = run(false);
-  auto aeq = run(true);
-  std::printf("%-8s %-12s %-18s %-20s %-14s\n", "t(ms)", "load(norm)",
-              "PC p99 w/o AEQ(us)", "admitted-PC p99 w/(us)",
-              "downgraded(%)");
+  // Both variants replay the same workload (same seed), so the baseline
+  // and Aequitas columns line up bucket for bucket.
+  const std::uint64_t seed = sim::derive_seed(args.sweep.base_seed, 0);
+  auto timelines = runner::parallel_points(
+      2, args.sweep.jobs,
+      [seed](std::size_t index) { return run(index == 1, seed); });
+  Timeline& base = timelines[0];
+  Timeline& aeq = timelines[1];
+
+  stats::Table table({{"t(ms)", 8, 0},
+                      {"load(norm)", 12, 2},
+                      {"PC p99 w/o AEQ(us)", 18, 1},
+                      {"admitted-PC p99 w/(us)", 20, 1},
+                      {"downgraded(%)", 14, 1}});
   const double base_load = 0.35 * sim::gbps(100) * 12 * sim::kMsec;
   for (int ms = 2; ms < 44; ms += 2) {
     const double load = base.offered_bytes.count(ms)
@@ -113,9 +124,10 @@ int main() {
         aeq.pc_count.count(ms) && aeq.pc_count[ms] > 0
             ? 100.0 * aeq.pc_downgraded[ms] / aeq.pc_count[ms]
             : 0.0;
-    std::printf("%-8d %-12.2f %-18.1f %-20.1f %-14.1f\n", ms, load,
-                p99_base, p99_adm, downgraded);
+    table.add_row({static_cast<double>(ms), load, p99_base, p99_adm,
+                   downgraded});
   }
+  bench::emit(table, args);
   std::printf("\nWithout admission control the shared QoS_h channels queue "
               "behind the surge; with Aequitas the admitted PC tail stays "
               "flat and the surge (plus excess PC) is downgraded.\n");

@@ -9,21 +9,28 @@
 #include "analysis/wfq_delay.h"
 #include "bench/bench_util.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aeq;
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   analysis::TwoQosParams params{.phi = 4.0, .mu = 0.8, .rho = 1.2};
 
   bench::print_header("Figure 8",
                       "Theoretical worst-case delay, QoS_h:QoS_l = 4:1, "
                       "mu=0.8, rho=1.2");
-  std::printf("%-14s %-18s %-18s\n", "QoSh-share(%)", "DelayBound(QoSh)",
-              "DelayBound(QoSl)");
+  runner::SweepRunner sweep(args.sweep);
   for (int pct = 2; pct <= 98; pct += 2) {
-    const double x = pct / 100.0;
-    std::printf("%-14d %-18.4f %-18.4f\n", pct,
-                analysis::delay_high(params, x),
-                analysis::delay_low(params, x));
+    sweep.submit([pct, params](const runner::PointContext&) {
+      const double x = pct / 100.0;
+      return runner::PointResult::single(
+          {static_cast<double>(pct), analysis::delay_high(params, x),
+           analysis::delay_low(params, x)});
+    });
   }
+  stats::Table table({{"QoSh-share(%)", 14, 0},
+                      {"DelayBound(QoSh)", 18, 4},
+                      {"DelayBound(QoSl)", 18, 4}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
 
   const double boundary = analysis::inversion_boundary(params);
   std::printf("\nLemma-1 inversion boundary: QoSh-share = %.1f%%\n",

@@ -11,23 +11,28 @@
 
 namespace {
 
-void run_panel(const char* label, const std::vector<double>& weights) {
-  using namespace aeq;
+using namespace aeq;
+
+void run_panel(const char* label, const std::vector<double>& weights,
+               bench::BenchArgs& args) {
   std::printf("\n(%s) weights %g:%g:%g, mu=0.8, rho=1.4, QoSm:QoSl = 2:1\n",
               label, weights[0], weights[1], weights[2]);
-  std::printf("%-14s %-14s %-14s %-14s %-12s\n", "QoSh-share(%)",
-              "Delay(QoSh)", "Delay(QoSm)", "Delay(QoSl)", "admissible");
   const auto sweep = analysis::sweep_qosh_share(weights, {2.0, 1.0}, 0.8,
                                                 1.4, 0.05, 0.90, 18);
+  stats::Table table({{"QoSh-share(%)", 14, 0},
+                      {"Delay(QoSh)", 14, 4},
+                      {"Delay(QoSm)", 14, 4},
+                      {"Delay(QoSl)", 14, 4},
+                      {"admissible", 12}});
   double inversion = 1.0;
   for (const auto& point : sweep) {
     const bool admissible = point.delay[0] <= point.delay[1] + 1e-9 &&
                             point.delay[1] <= point.delay[2] + 1e-9;
     if (!admissible && inversion == 1.0) inversion = point.qosh_share;
-    std::printf("%-14.0f %-14.4f %-14.4f %-14.4f %-12s\n",
-                point.qosh_share * 100.0, point.delay[0], point.delay[1],
-                point.delay[2], admissible ? "yes" : "no");
+    table.add_row({point.qosh_share * 100.0, point.delay[0], point.delay[1],
+                   point.delay[2], admissible ? "yes" : "no"});
   }
+  bench::emit(table, args);
   if (inversion < 1.0) {
     std::printf("priority inversion first appears at QoSh-share ~%.0f%%\n",
                 inversion * 100.0);
@@ -38,11 +43,12 @@ void run_panel(const char* label, const std::vector<double>& weights) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  aeq::bench::BenchArgs args = aeq::bench::parse_args(argc, argv);
   aeq::bench::print_header(
       "Figure 9", "Simulated WFQ worst-case delay, 3 QoS levels (fluid)");
-  run_panel("a", {8.0, 4.0, 1.0});
-  run_panel("b", {50.0, 4.0, 1.0});
+  run_panel("a", {8.0, 4.0, 1.0}, args);
+  run_panel("b", {50.0, 4.0, 1.0}, args);
   aeq::bench::print_footer();
   return 0;
 }

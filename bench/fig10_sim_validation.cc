@@ -6,6 +6,7 @@
 // theory. The packet simulator should track the theory closely, with QoS_l
 // slightly above the fluid bound due to packet granularity.
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <memory>
 #include <vector>
@@ -73,25 +74,39 @@ SimPoint run_packet_sim(double x, double mu, double rho, double phi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 10",
                       "Packet simulator vs theory, QoS_h:QoS_l = 4:1, "
                       "mu=0.8, rho=1.2 (CC off, unbounded buffer)");
   const analysis::TwoQosParams params{.phi = 4.0, .mu = 0.8, .rho = 1.2};
-  std::printf("%-14s %-12s %-12s %-12s %-12s\n", "QoSh-share(%)",
-              "sim QoSh", "theory QoSh", "sim QoSl", "theory QoSl");
-  double worst_gap = 0.0;
+  runner::SweepRunner sweep(args.sweep);
   for (int pct = 5; pct <= 95; pct += 5) {
-    const double x = pct / 100.0;
-    const SimPoint sim_point =
-        run_packet_sim(x, params.mu, params.rho, params.phi);
-    const double th_h = analysis::delay_high(params, x);
-    const double th_l = analysis::delay_low(params, x);
-    worst_gap = std::max({worst_gap, std::abs(sim_point.high - th_h),
-                          std::abs(sim_point.low - th_l)});
-    std::printf("%-14d %-12.4f %-12.4f %-12.4f %-12.4f\n", pct,
-                sim_point.high, th_h, sim_point.low, th_l);
+    sweep.submit([pct, params](const runner::PointContext&) {
+      const double x = pct / 100.0;
+      const SimPoint sim_point =
+          run_packet_sim(x, params.mu, params.rho, params.phi);
+      const double th_h = analysis::delay_high(params, x);
+      const double th_l = analysis::delay_low(params, x);
+      runner::PointResult result = runner::PointResult::single(
+          {static_cast<double>(pct), sim_point.high, th_h, sim_point.low,
+           th_l});
+      result.metrics["gap"] = std::max(std::abs(sim_point.high - th_h),
+                                       std::abs(sim_point.low - th_l));
+      return result;
+    });
   }
+  stats::Table table({{"QoSh-share(%)", 14, 0},
+                      {"sim QoSh", 12, 4},
+                      {"theory QoSh", 12, 4},
+                      {"sim QoSl", 12, 4},
+                      {"theory QoSl", 12, 4}});
+  double worst_gap = 0.0;
+  for (const auto& point : sweep.run()) {
+    table.add_rows(point.rows);
+    worst_gap = std::max(worst_gap, point.metrics.at("gap"));
+  }
+  bench::emit(table, args);
   std::printf("\nmax |sim - theory| across the sweep: %.4f "
               "(normalized to the period)\n",
               worst_gap);

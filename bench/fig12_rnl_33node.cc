@@ -13,12 +13,13 @@ namespace {
 
 using namespace aeq;
 
-runner::Experiment make_experiment(bool with_aequitas) {
+runner::PointResult run_variant(bool with_aequitas, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
+  config.seed = seed;
   // Favor SLO-compliance over stability (§6.6): per-channel RPC rates are
   // low with 32 destinations, which weakens MD pressure at the default
   // balance.
@@ -28,27 +29,39 @@ runner::Experiment make_experiment(bool with_aequitas) {
   config.slo = rpc::SloConfig::make({25 * sim::kUsec / size_mtus,
                                      50 * sim::kUsec / size_mtus, 0.0},
                                     99.9);
-  return runner::Experiment(config);
+  runner::Experiment experiment(config);
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+  bench::AllToAllSpec spec;
+  spec.mix = {0.6, 0.3, 0.1};
+  spec.sizes = {sizes};
+  bench::attach_all_to_all(experiment, spec);
+  experiment.run(15 * sim::kMsec, 30 * sim::kMsec);
+
+  runner::PointResult result;
+  result.rows = bench::rnl_rows(experiment.metrics(), 3);
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 12",
                       "33-node all-to-all, mix 60/30/10, SLO 25/50us, "
                       "w/ and w/o Aequitas");
+  runner::SweepRunner sweep(args.sweep);
   for (bool with_aequitas : {false, true}) {
-    runner::Experiment experiment = make_experiment(with_aequitas);
-    const auto* sizes = experiment.own(
-        std::make_unique<workload::FixedSize>(32 * sim::kKiB));
-    bench::AllToAllSpec spec;
-    spec.mix = {0.6, 0.3, 0.1};
-    spec.sizes = {sizes};
-    bench::attach_all_to_all(experiment, spec);
-    experiment.run(15 * sim::kMsec, 30 * sim::kMsec);
-
-    std::printf("\n%s Aequitas:\n", with_aequitas ? "WITH" : "WITHOUT");
-    bench::print_rnl_table(experiment.metrics(), 3);
+    sweep.submit([with_aequitas](const runner::PointContext& ctx) {
+      return run_variant(with_aequitas, ctx.seed);
+    });
+  }
+  const auto points = sweep.run();
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::printf("\n%s Aequitas:\n", p == 1 ? "WITH" : "WITHOUT");
+    stats::Table table = bench::make_rnl_table();
+    table.add_rows(points[p].rows);
+    bench::emit(table, args);
   }
   std::printf("\nSLO: QoS_h 25us, QoS_m 50us (p99.9, 32KB RPCs)\n");
   bench::print_footer();

@@ -18,12 +18,13 @@ struct Cdfs {
   stats::Histogram low{0.0, 512.0, 512};   // QoS_l group
 };
 
-Cdfs run(bool with_aequitas) {
+Cdfs run(bool with_aequitas, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
+  config.seed = seed;
   const double size_mtus = 8.0;
   config.slo = rpc::SloConfig::make({25 * sim::kUsec / size_mtus,
                                      50 * sim::kUsec / size_mtus, 0.0},
@@ -50,26 +51,34 @@ Cdfs run(bool with_aequitas) {
 }
 
 void print_cdf(const char* title, const stats::Histogram& baseline,
-               const stats::Histogram& aequitas) {
-  std::printf("\n%s\n%-14s %-14s %-14s\n", title, "outstanding<=",
-              "baseline CDF", "Aequitas CDF");
+               const stats::Histogram& aequitas, bench::BenchArgs& args) {
+  std::printf("\n%s\n", title);
+  stats::Table table({{"outstanding<=", 14, 0},
+                      {"baseline CDF", 14, 3},
+                      {"Aequitas CDF", 14, 3}});
   for (std::size_t count : {0u, 1u, 2u, 4u, 8u, 12u, 16u, 20u, 30u, 60u,
                             100u, 200u, 400u}) {
-    std::printf("%-14zu %-14.3f %-14.3f\n", count, baseline.cdf_at(count),
-                aequitas.cdf_at(count));
+    table.add_row({static_cast<double>(count), baseline.cdf_at(count),
+                   aequitas.cdf_at(count)});
   }
+  bench::emit(table, args);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 13",
                       "Outstanding RPCs per destination (33-node, "
                       "mix 60/30/10), w/ and w/o Aequitas");
-  Cdfs baseline = run(false);
-  Cdfs with_aeq = run(true);
-  print_cdf("QoS_h + QoS_m outstanding RPCs:", baseline.high, with_aeq.high);
-  print_cdf("QoS_l outstanding RPCs:", baseline.low, with_aeq.low);
+  const runner::SweepRunner seeds(args.sweep);
+  auto cdfs = runner::parallel_points(
+      2, args.sweep.jobs, [&seeds](std::size_t index) {
+        return run(index == 1, seeds.point_seed(index));
+      });
+  print_cdf("QoS_h + QoS_m outstanding RPCs:", cdfs[0].high, cdfs[1].high,
+            args);
+  print_cdf("QoS_l outstanding RPCs:", cdfs[0].low, cdfs[1].low, args);
   bench::print_footer();
   return 0;
 }

@@ -20,13 +20,15 @@ using namespace aeq;
 constexpr double kSizeMtus = 8.0;  // 32KB RPCs
 
 runner::Experiment make_experiment(bool with_aequitas,
-                                   const rpc::SloConfig& slo) {
+                                   const rpc::SloConfig& slo,
+                                   std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
   config.slo = slo;
+  config.seed = seed;
   // Favor SLO-compliance over work-conservation (§6.6 / Appendix C).
   config.alpha = 0.003;
   config.beta_per_mtu = 0.03;
@@ -42,17 +44,28 @@ void attach(runner::Experiment& experiment, const std::vector<double>& mix) {
   bench::attach_all_to_all(experiment, spec);
 }
 
+std::string mix_label(double h, double m, double l, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f/%.*f/%.*f", precision, h, precision,
+                m, precision, l);
+  return buf;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 15",
                       "Admitted QoS-mix converges to the target mix "
                       "(25/25/50) for any input mix, 33-node");
 
-  // --- calibration: SLOs = baseline p99.9 at the target mix ---
+  // --- calibration: SLOs = baseline p99.9 at the target mix. Runs serially
+  // (the sweep below depends on its output) with a seed derived outside the
+  // sweep's index range so no point shares its stream. ---
   rpc::SloConfig placeholder = rpc::SloConfig::make(
       {15 * sim::kUsec / kSizeMtus, 25 * sim::kUsec / kSizeMtus, 0.0}, 99.9);
-  runner::Experiment calibration = make_experiment(false, placeholder);
+  runner::Experiment calibration = make_experiment(
+      false, placeholder, sim::derive_seed(args.sweep.base_seed, 100));
   attach(calibration, {0.25, 0.25, 0.50});
   calibration.run(8 * sim::kMsec, 12 * sim::kMsec);
   const double slo_h = calibration.metrics().rnl_by_run_qos(0).p999();
@@ -63,26 +76,33 @@ int main() {
   const rpc::SloConfig slo = rpc::SloConfig::make(
       {slo_h / kSizeMtus, slo_m / kSizeMtus, 0.0}, 99.9);
 
-  std::printf("%-22s %-22s %-18s\n", "input mix (h/m/l %)",
-              "admitted mix (h/m/l %)", "QoSh p99.9 (us)");
   const std::vector<std::vector<double>> inputs = {
       {0.25, 0.25, 0.50},
       {0.60, 0.30, 0.10},
       {0.50, 0.30, 0.20},
       {0.40, 0.40, 0.20},
   };
+  runner::SweepRunner sweep(args.sweep);
   for (const auto& mix : inputs) {
-    runner::Experiment experiment = make_experiment(true, slo);
-    attach(experiment, mix);
-    experiment.run(25 * sim::kMsec, 30 * sim::kMsec);
-    const auto& metrics = experiment.metrics();
-    std::printf("%4.0f/%-4.0f/%-10.0f %6.1f/%-6.1f/%-10.1f %-18.1f\n",
-                mix[0] * 100, mix[1] * 100, mix[2] * 100,
-                100 * metrics.admitted_share(0),
-                100 * metrics.admitted_share(1),
-                100 * metrics.admitted_share(2),
-                metrics.rnl_by_run_qos(0).p999() / sim::kUsec);
+    sweep.submit([mix, slo](const runner::PointContext& ctx) {
+      runner::Experiment experiment = make_experiment(true, slo, ctx.seed);
+      attach(experiment, mix);
+      experiment.run(25 * sim::kMsec, 30 * sim::kMsec);
+      const auto& metrics = experiment.metrics();
+      return runner::PointResult::single(
+          {mix_label(mix[0] * 100, mix[1] * 100, mix[2] * 100, 0),
+           mix_label(100 * metrics.admitted_share(0),
+                     100 * metrics.admitted_share(1),
+                     100 * metrics.admitted_share(2), 1),
+           metrics.rnl_by_run_qos(0).p999() / sim::kUsec});
+    });
   }
+
+  stats::Table table({{"input mix (h/m/l %)", 22},
+                      {"admitted mix (h/m/l %)", 24, 1},
+                      {"QoSh p99.9 (us)", 18, 1}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
   bench::print_footer();
   return 0;
 }

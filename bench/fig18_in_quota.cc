@@ -7,16 +7,18 @@
 
 #include "bench/fairness_common.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace aeq;
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 18",
                       "In-quota channel (10% QoS_h) vs heavy channel (80%), "
                       "SLO 15us");
   bench::FairnessSpec spec;
   spec.qosh_fraction_a = 0.1;
   spec.qosh_fraction_b = 0.8;
+  spec.seed = sim::derive_seed(args.sweep.base_seed, 0);
   const bench::FairnessResult r = bench::run_fairness(spec);
-  bench::print_fairness_timeline(r, 21);
+  bench::emit(bench::fairness_timeline_table(r, 21), args);
   std::printf("\nsteady state (last third):\n");
   std::printf("  admitted QoS_h throughput: A %.1f Gbps (in quota), "
               "B %.1f Gbps (reclaims excess)\n",

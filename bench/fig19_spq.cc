@@ -6,6 +6,7 @@
 // downgrading the excess.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -13,16 +14,13 @@ namespace {
 
 using namespace aeq;
 
-struct Point {
-  double h_p999;
-  double m_p999;
-};
-
-Point run(double qosh_share, bool aequitas_wfq) {
+runner::PointResult run(double qosh_share, bool aequitas_wfq,
+                        std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.enable_aequitas = aequitas_wfq;
+  config.seed = seed;
   if (aequitas_wfq) {
     config.scheduler = net::SchedulerType::kWfq;
     config.wfq_weights = {8.0, 4.0, 1.0};
@@ -41,25 +39,44 @@ Point run(double qosh_share, bool aequitas_wfq) {
   spec.sizes = {sizes};
   bench::attach_all_to_all(experiment, spec);
   experiment.run(10 * sim::kMsec, 15 * sim::kMsec);
-  return Point{experiment.metrics().rnl_by_run_qos(0).p999() / sim::kUsec,
-               experiment.metrics().rnl_by_run_qos(1).p999() / sim::kUsec};
+  runner::PointResult result;
+  result.metrics["h_p999"] =
+      experiment.metrics().rnl_by_run_qos(0).p999() / sim::kUsec;
+  result.metrics["m_p999"] =
+      experiment.metrics().rnl_by_run_qos(1).p999() / sim::kUsec;
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 19",
                       "Aequitas (WFQ) vs plain SPQ as QoS_h-share grows, "
                       "QoS_m fixed at 20% (SLO 25/50us)");
-  std::printf("%-14s %-16s %-16s %-16s %-16s\n", "QoSh-share(%)",
-              "SPQ h p999(us)", "AEQ h p999(us)", "SPQ m p999(us)",
-              "AEQ m p999(us)");
-  for (double share : {0.50, 0.60, 0.70, 0.80}) {
-    const Point spq = run(share, false);
-    const Point aeq = run(share, true);
-    std::printf("%-14.0f %-16.1f %-16.1f %-16.1f %-16.1f\n", share * 100,
-                spq.h_p999, aeq.h_p999, spq.m_p999, aeq.m_p999);
+  const std::vector<double> shares = {0.50, 0.60, 0.70, 0.80};
+  runner::SweepRunner sweep(args.sweep);
+  for (double share : shares) {
+    for (bool aequitas_wfq : {false, true}) {
+      sweep.submit([share, aequitas_wfq](const runner::PointContext& ctx) {
+        return run(share, aequitas_wfq, ctx.seed);
+      });
+    }
   }
+  const auto points = sweep.run();
+
+  stats::Table table({{"QoSh-share(%)", 14, 0},
+                      {"SPQ h p999(us)", 16, 1},
+                      {"AEQ h p999(us)", 16, 1},
+                      {"SPQ m p999(us)", 16, 1},
+                      {"AEQ m p999(us)", 16, 1}});
+  for (std::size_t i = 0; i < shares.size(); ++i) {
+    const auto& spq = points[2 * i].metrics;
+    const auto& aeq = points[2 * i + 1].metrics;
+    table.add_row({shares[i] * 100, spq.at("h_p999"), aeq.at("h_p999"),
+                   spq.at("m_p999"), aeq.at("m_p999")});
+  }
+  bench::emit(table, args);
   bench::print_footer();
   return 0;
 }

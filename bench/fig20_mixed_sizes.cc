@@ -5,6 +5,7 @@
 // (proportionally larger) absolute targets under Aequitas.
 #include <cstdio>
 #include <memory>
+#include <utility>
 
 #include "bench/bench_util.h"
 #include "stats/percentile.h"
@@ -15,14 +16,16 @@ using namespace aeq;
 
 struct GroupStats {
   stats::PercentileTracker rnl[2][3];  // [size group][qos]
+  double shares[3] = {0.0, 0.0, 0.0};
 };
 
-void run(bool with_aequitas, GroupStats& stats_out, double* shares) {
+GroupStats run(bool with_aequitas, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
+  config.seed = seed;
   // Normalized SLO: 25us per 8 MTUs => 32KB gets 25us, 64KB gets 50us.
   config.slo = rpc::SloConfig::make(
       {25.0 / 8 * sim::kUsec, 50.0 / 8 * sim::kUsec, 0.0}, 99.9);
@@ -37,6 +40,7 @@ void run(bool with_aequitas, GroupStats& stats_out, double* shares) {
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
   const auto* large = experiment.own(
       std::make_unique<workload::FixedSize>(64 * sim::kKiB));
+  GroupStats stats_out;  // captured by ref; callbacks stop before return
   for (std::size_t h = 0; h < 33; ++h) {
     const auto* sizes = h % 2 == 0 ? small : large;
     workload::GeneratorConfig gen;
@@ -54,47 +58,54 @@ void run(bool with_aequitas, GroupStats& stats_out, double* shares) {
   }
   experiment.run(15 * sim::kMsec, 22 * sim::kMsec);
   for (net::QoSLevel q = 0; q < 3; ++q) {
-    shares[q] = experiment.metrics().admitted_share(q);
+    stats_out.shares[q] = experiment.metrics().admitted_share(q);
   }
+  return stats_out;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 20",
                       "Size-normalized SLOs: half 32KB / half 64KB "
                       "channels, SLO 25us per 8 MTUs (p99.9)");
-  auto baseline = std::make_unique<GroupStats>();
-  auto aequitas = std::make_unique<GroupStats>();
-  double shares_base[3], shares_aeq[3];
-  run(false, *baseline, shares_base);
-  run(true, *aequitas, shares_aeq);
+  const runner::SweepRunner seeds(args.sweep);
+  auto results = runner::parallel_points(
+      2, args.sweep.jobs, [&seeds](std::size_t index) {
+        return run(index == 1, seeds.point_seed(index));
+      });
+  GroupStats& baseline = results[0];
+  GroupStats& aequitas = results[1];
 
-  std::printf("%-22s %-10s %-10s %-10s\n", "group", "QoS_h", "QoS_m",
-              "QoS_l");
+  stats::Table table({{"group", 22},
+                      {"QoS_h", 10, 1},
+                      {"QoS_m", 10, 1},
+                      {"QoS_l", 10, 1}});
   struct Row {
     const char* label;
     GroupStats* stats;
     int group;
   };
   const Row rows[] = {
-      {"32KB w/o Aequitas", baseline.get(), 0},
-      {"32KB w/  Aequitas", aequitas.get(), 0},
-      {"64KB w/o Aequitas", baseline.get(), 1},
-      {"64KB w/  Aequitas", aequitas.get(), 1},
+      {"32KB w/o Aequitas", &baseline, 0},
+      {"32KB w/  Aequitas", &aequitas, 0},
+      {"64KB w/o Aequitas", &baseline, 1},
+      {"64KB w/  Aequitas", &aequitas, 1},
   };
   for (const Row& row : rows) {
-    std::printf("%-22s %-10.1f %-10.1f %-10.1f\n", row.label,
-                row.stats->rnl[row.group][0].p999() / sim::kUsec,
-                row.stats->rnl[row.group][1].p999() / sim::kUsec,
-                row.stats->rnl[row.group][2].p999() / sim::kUsec);
+    table.add_row({row.label,
+                   row.stats->rnl[row.group][0].p999() / sim::kUsec,
+                   row.stats->rnl[row.group][1].p999() / sim::kUsec,
+                   row.stats->rnl[row.group][2].p999() / sim::kUsec});
   }
+  bench::emit(table, args);
   std::printf("\nabsolute targets: 32KB 25us(h)/50us(m); "
               "64KB 50us(h)/100us(m)\n");
   std::printf("admitted mix w/o: %.0f/%.0f/%.0f%%  w/: %.0f/%.0f/%.0f%%\n",
-              100 * shares_base[0], 100 * shares_base[1],
-              100 * shares_base[2], 100 * shares_aeq[0],
-              100 * shares_aeq[1], 100 * shares_aeq[2]);
+              100 * baseline.shares[0], 100 * baseline.shares[1],
+              100 * baseline.shares[2], 100 * aequitas.shares[0],
+              100 * aequitas.shares[1], 100 * aequitas.shares[2]);
   bench::print_footer();
   return 0;
 }

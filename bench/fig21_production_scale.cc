@@ -12,12 +12,13 @@ namespace {
 
 using namespace aeq;
 
-void run(bool with_aequitas) {
+runner::PointResult run(bool with_aequitas, std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 144;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
+  config.seed = seed;
   // Normalized (per-MTU) SLOs; production sizes make absolute targets vary
   // per RPC.
   config.slo = rpc::SloConfig::make(
@@ -42,31 +43,46 @@ void run(bool with_aequitas) {
   bench::attach_all_to_all(experiment, spec);
   experiment.run(10 * sim::kMsec, 12 * sim::kMsec);
 
-  std::printf("\n%s Aequitas:\n", with_aequitas ? "WITH" : "WITHOUT");
-  std::printf("%-8s %-16s %-16s %-16s %-16s %-12s\n", "QoS",
-              "mean/MTU(us)", "p99/MTU(us)", "p99.9/MTU(us)",
-              "p99.9 RNL(us)", "share(%)");
+  runner::PointResult result;
+  const auto& metrics = experiment.metrics();
   for (net::QoSLevel q = 0; q < 3; ++q) {
-    const auto& metrics = experiment.metrics();
-    std::printf("%-8s %-16.2f %-16.2f %-16.2f %-16.1f %-12.1f\n",
-                bench::qos_name(q, 3),
-                metrics.rnl_per_mtu_by_run_qos(q).mean() / sim::kUsec,
-                metrics.rnl_per_mtu_by_run_qos(q).p99() / sim::kUsec,
-                metrics.rnl_per_mtu_by_run_qos(q).p999() / sim::kUsec,
-                metrics.rnl_by_run_qos(q).p999() / sim::kUsec,
-                100 * metrics.admitted_share(q));
+    result.rows.push_back(
+        {bench::qos_name(q, 3),
+         metrics.rnl_per_mtu_by_run_qos(q).mean() / sim::kUsec,
+         metrics.rnl_per_mtu_by_run_qos(q).p99() / sim::kUsec,
+         metrics.rnl_per_mtu_by_run_qos(q).p999() / sim::kUsec,
+         metrics.rnl_by_run_qos(q).p999() / sim::kUsec,
+         100 * metrics.admitted_share(q)});
   }
+  return result;
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 21",
                       "144-node, production RPC sizes, ~25x instantaneous "
                       "per-link overload; normalized SLO 4us(h)/12us(m) "
                       "per MTU");
-  run(false);
-  run(true);
+  runner::SweepRunner sweep(args.sweep);
+  for (bool with_aequitas : {false, true}) {
+    sweep.submit([with_aequitas](const runner::PointContext& ctx) {
+      return run(with_aequitas, ctx.seed);
+    });
+  }
+  const auto points = sweep.run();
+  for (std::size_t p = 0; p < points.size(); ++p) {
+    std::printf("\n%s Aequitas:\n", p == 1 ? "WITH" : "WITHOUT");
+    stats::Table table({{"QoS", 8},
+                        {"mean/MTU(us)", 16, 2},
+                        {"p99/MTU(us)", 16, 2},
+                        {"p99.9/MTU(us)", 16, 2},
+                        {"p99.9 RNL(us)", 16, 1},
+                        {"share(%)", 12, 1}});
+    table.add_rows(points[p].rows);
+    bench::emit(table, args);
+  }
   bench::print_footer();
   return 0;
 }

@@ -23,6 +23,7 @@
 #include <array>
 #include <cstdio>
 #include <memory>
+#include <string>
 #include <string_view>
 #include <vector>
 
@@ -105,13 +106,14 @@ Row collect(const char* name, Experiment& experiment, double utilization) {
   return row;
 }
 
-Row run_aequitas() {
+Row run_aequitas(std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = true;
   config.slo = make_slo();
+  config.seed = seed;
   runner::Experiment experiment(config);
   attach_workload(experiment, false);
   experiment.run(12 * sim::kMsec, 15 * sim::kMsec);
@@ -123,12 +125,13 @@ Row run_aequitas() {
                                    kOfferedLoad));
 }
 
-Row run_baseline(runner::BaselineProtocol protocol) {
+Row run_baseline(runner::BaselineProtocol protocol, std::uint64_t seed) {
   runner::ProtocolExperimentConfig config;
   config.protocol = protocol;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.slo = make_slo();
+  config.seed = seed;
   // QJump provisioned for the expected per-level load (0.4/0.24 of line
   // rate on h/m): caps hold packet latency down but bursts above the cap
   // queue at the host.
@@ -175,39 +178,62 @@ Row run_baseline(runner::BaselineProtocol protocol) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 22",
                       "Related-work comparison, 33-node, production sizes, "
                       "input mix 50/30/20 (normalized SLO 3/6us per MTU; "
                       "D3/PDQ deadlines 250/300us)");
-  // Optional argv filter: run only the named systems (case-sensitive),
-  // e.g. `fig22_related_work D3 PDQ`.
-  auto wanted = [&](const char* name) {
-    if (argc <= 1) return true;
-    for (int i = 1; i < argc; ++i) {
-      if (std::string_view(argv[i]) == name) return true;
+  // Optional filter: run only the named systems (case-sensitive,
+  // comma-separated), e.g. `fig22_related_work --only=D3,PDQ`.
+  const std::string only = args.flags.get("only");
+  auto wanted = [&only](const char* name) {
+    if (only.empty()) return true;
+    std::string_view remaining = only;
+    while (!remaining.empty()) {
+      const auto comma = remaining.find(',');
+      const std::string_view token = remaining.substr(0, comma);
+      if (token == name) return true;
+      if (comma == std::string_view::npos) break;
+      remaining.remove_prefix(comma + 1);
     }
     return false;
   };
-  std::printf("%-10s %-12s %-12s %-10s %-12s %-12s %-12s %-10s\n", "system",
-              "h meet SLO%", "m meet SLO%", "util%", "h p999(us)",
-              "m p999(us)", "l p999(us)", "killed%");
-  std::vector<Row> rows;
-  if (wanted("Aequitas")) rows.push_back(run_aequitas());
+
+  runner::SweepRunner sweep(args.sweep);
+  if (wanted("Aequitas")) {
+    sweep.submit([](const runner::PointContext& ctx) {
+      const Row row = run_aequitas(ctx.seed);
+      return runner::PointResult::single(
+          {row.name, row.met_h, row.met_m, row.util,
+           stats::Cell(row.p999[0], 0), stats::Cell(row.p999[1], 0),
+           stats::Cell(row.p999[2], 0), row.terminated});
+    });
+  }
   const runner::BaselineProtocol protocols[] = {
       runner::BaselineProtocol::kPfabric, runner::BaselineProtocol::kQjump,
       runner::BaselineProtocol::kD3, runner::BaselineProtocol::kPdq,
       runner::BaselineProtocol::kHoma};
   for (auto protocol : protocols) {
-    if (wanted(runner::baseline_name(protocol))) {
-      rows.push_back(run_baseline(protocol));
-    }
+    if (!wanted(runner::baseline_name(protocol))) continue;
+    sweep.submit([protocol](const runner::PointContext& ctx) {
+      const Row row = run_baseline(protocol, ctx.seed);
+      return runner::PointResult::single(
+          {row.name, row.met_h, row.met_m, row.util,
+           stats::Cell(row.p999[0], 0), stats::Cell(row.p999[1], 0),
+           stats::Cell(row.p999[2], 0), row.terminated});
+    });
   }
-  for (const Row& row : rows) {
-    std::printf("%-10s %-12.1f %-12.1f %-10.1f %-12.0f %-12.0f %-12.0f "
-                "%-10.1f\n",
-                row.name, row.met_h, row.met_m, row.util, row.p999[0],
-                row.p999[1], row.p999[2], row.terminated);
-  }
+
+  stats::Table table({{"system", 10},
+                      {"h meet SLO%", 12, 1},
+                      {"m meet SLO%", 12, 1},
+                      {"util%", 10, 1},
+                      {"h p999(us)", 12, 0},
+                      {"m p999(us)", 12, 0},
+                      {"l p999(us)", 12, 0},
+                      {"killed%", 10, 1}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
   bench::print_footer();
   return 0;
 }

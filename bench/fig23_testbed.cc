@@ -9,6 +9,7 @@
 // class, and the admitted mix converges to ~the target.
 #include <cstdio>
 #include <memory>
+#include <vector>
 
 #include "bench/bench_util.h"
 
@@ -19,13 +20,15 @@ using namespace aeq;
 constexpr double kSizeMtus = 8.0;  // 32KB WRITEs
 
 runner::Experiment make_experiment(bool with_aequitas,
-                                   const rpc::SloConfig& slo) {
+                                   const rpc::SloConfig& slo,
+                                   std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.num_hosts = 20;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
   config.slo = slo;
+  config.seed = seed;
   return runner::Experiment(config);
 }
 
@@ -38,18 +41,28 @@ void attach(runner::Experiment& experiment, const std::vector<double>& mix) {
   bench::attach_all_to_all(experiment, spec);
 }
 
+std::string mix_label(const double* shares) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.0f/%.0f/%.0f", 100 * shares[0],
+                100 * shares[1], 100 * shares[2]);
+  return buf;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 23",
                       "20-host testbed (simulated), weights 8:4:1, input "
                       "mix 50/35/15, SLOs at target mix 20/30/50");
 
   // Calibration at the target mix: the per-class p99.9 becomes both the
-  // SLO and the normalization base.
+  // SLO and the normalization base. Runs serially (the sweep depends on
+  // it) with a seed outside the sweep's index range.
   rpc::SloConfig placeholder = rpc::SloConfig::make(
       {25 * sim::kUsec / kSizeMtus, 50 * sim::kUsec / kSizeMtus, 0.0}, 99.9);
-  runner::Experiment calibration = make_experiment(false, placeholder);
+  runner::Experiment calibration = make_experiment(
+      false, placeholder, sim::derive_seed(args.sweep.base_seed, 100));
   attach(calibration, {0.20, 0.30, 0.50});
   calibration.run(8 * sim::kMsec, 12 * sim::kMsec);
   double base[3];
@@ -63,22 +76,32 @@ int main() {
   const rpc::SloConfig slo = rpc::SloConfig::make(
       {base[0] / kSizeMtus, base[1] / kSizeMtus, 0.0}, 99.9);
 
-  std::printf("%-18s %-10s %-10s %-10s %-22s\n", "variant",
-              "QoS_h", "QoS_m", "QoS_l", "admitted mix (%)");
+  runner::SweepRunner sweep(args.sweep);
   for (bool with_aequitas : {false, true}) {
-    runner::Experiment experiment = make_experiment(with_aequitas, slo);
-    attach(experiment, {0.50, 0.35, 0.15});
-    experiment.run(15 * sim::kMsec, 20 * sim::kMsec);
-    const auto& metrics = experiment.metrics();
-    std::printf("%-18s %-10.1f %-10.1f %-10.1f %5.0f/%-5.0f/%-5.0f\n",
-                with_aequitas ? "w/  Aequitas" : "w/o Aequitas",
-                metrics.rnl_by_run_qos(0).p999() / base[0],
-                metrics.rnl_by_run_qos(1).p999() / base[1],
-                metrics.rnl_by_run_qos(2).p999() / base[2],
-                100 * metrics.admitted_share(0),
-                100 * metrics.admitted_share(1),
-                100 * metrics.admitted_share(2));
+    sweep.submit([with_aequitas, slo, &base](const runner::PointContext& ctx) {
+      runner::Experiment experiment =
+          make_experiment(with_aequitas, slo, ctx.seed);
+      attach(experiment, {0.50, 0.35, 0.15});
+      experiment.run(15 * sim::kMsec, 20 * sim::kMsec);
+      const auto& metrics = experiment.metrics();
+      const double shares[3] = {metrics.admitted_share(0),
+                                metrics.admitted_share(1),
+                                metrics.admitted_share(2)};
+      return runner::PointResult::single(
+          {with_aequitas ? "w/  Aequitas" : "w/o Aequitas",
+           metrics.rnl_by_run_qos(0).p999() / base[0],
+           metrics.rnl_by_run_qos(1).p999() / base[1],
+           metrics.rnl_by_run_qos(2).p999() / base[2], mix_label(shares)});
+    });
   }
+
+  stats::Table table({{"variant", 18},
+                      {"QoS_h", 10, 1},
+                      {"QoS_m", 10, 1},
+                      {"QoS_l", 10, 1},
+                      {"admitted mix (%)", 22}});
+  for (const auto& point : sweep.run()) table.add_rows(point.rows);
+  bench::emit(table, args);
   std::printf("\n(RNL normalized per class to the target-mix calibration "
               "run, as in the paper's footnote 7)\n");
   bench::print_footer();

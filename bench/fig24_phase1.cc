@@ -99,15 +99,22 @@ std::array<std::array<double, 3>, 3> identity_matrix() {
   return {{{1, 0, 0}, {0, 1, 0}, {0, 0, 1}}};
 }
 
+struct ClusterParams {
+  std::array<std::array<double, 3>, 3> matrix;
+  double load;
+};
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
   bench::print_header("Figure 24 (+4/5)",
                       "Phase-1 QoS/priority realignment across a synthetic "
                       "fleet of 50 clusters");
-  sim::Rng fleet_rng(2022);
-  std::vector<double> changes;
-  double total_misaligned = 0.0;
+  // Draw every cluster's misalignment parameters up front on the main
+  // thread (one RNG, sequential) so the fleet is identical for any --jobs.
+  sim::Rng fleet_rng(sim::derive_seed(args.sweep.base_seed, 100));
+  std::vector<ClusterParams> fleet;
   for (int cluster = 0; cluster < 50; ++cluster) {
     // Per-cluster misalignment in the spirit of Figure 4: PC mostly on
     // QoS_h but leaking down; BE heavily upgraded; NC spread both ways.
@@ -117,20 +124,40 @@ int main() {
     const double pc_leak = fleet_rng.uniform(0.01, 0.30);
     const double be_upgrade = fleet_rng.uniform(0.05, 0.60);
     const double nc_spread = fleet_rng.uniform(0.02, 0.40);
-    const std::array<std::array<double, 3>, 3> matrix = {{
+    ClusterParams params;
+    params.matrix = {{
         {1.0 - pc_leak, pc_leak * 0.85, pc_leak * 0.15},
         {nc_spread * 0.6, 1.0 - nc_spread, nc_spread * 0.4},
         {be_upgrade * 0.8, be_upgrade * 0.2, 1.0 - be_upgrade},
     }};
-    const double load = fleet_rng.uniform(0.45, 0.80);
-    const std::uint64_t seed = 1000 + static_cast<std::uint64_t>(cluster);
-    const ClusterOutcome before = run_cluster(seed, matrix, load);
-    const ClusterOutcome after = run_cluster(seed, identity_matrix(), load);
-    total_misaligned += before.misaligned_pct;
-    changes.push_back(before.pc_p99 > 0
-                          ? 100 * (after.pc_p99 - before.pc_p99) /
-                                before.pc_p99
-                          : 0.0);
+    params.load = fleet_rng.uniform(0.45, 0.80);
+    fleet.push_back(params);
+  }
+
+  // Each point = one cluster, before AND after Phase 1 on the same seed.
+  runner::SweepRunner sweep(args.sweep);
+  for (const ClusterParams& params : fleet) {
+    sweep.submit([params](const runner::PointContext& ctx) {
+      const ClusterOutcome before =
+          run_cluster(ctx.seed, params.matrix, params.load);
+      const ClusterOutcome after =
+          run_cluster(ctx.seed, identity_matrix(), params.load);
+      runner::PointResult result;
+      result.metrics["misaligned_pct"] = before.misaligned_pct;
+      result.metrics["change_pct"] =
+          before.pc_p99 > 0
+              ? 100 * (after.pc_p99 - before.pc_p99) / before.pc_p99
+              : 0.0;
+      return result;
+    });
+  }
+  const auto points = sweep.run();
+
+  std::vector<double> changes;
+  double total_misaligned = 0.0;
+  for (const auto& point : points) {
+    total_misaligned += point.metrics.at("misaligned_pct");
+    changes.push_back(point.metrics.at("change_pct"));
   }
   std::sort(changes.begin(), changes.end());
 
@@ -138,11 +165,15 @@ int main() {
               "(after: 0%%)\n\n",
               total_misaligned / 50.0);
   std::printf("per-cluster PC p99 RNL change after Phase 1 "
-              "(sorted, every 5th):\n%-10s %-12s\n", "rank", "change(%)");
+              "(sorted, every 5th):\n");
+  stats::Table table({{"rank", 10, 0}, {"change(%)", 12, 1}});
   for (std::size_t i = 0; i < changes.size(); i += 5) {
-    std::printf("%-10zu %+-12.1f\n", i, changes[i]);
+    table.add_row({static_cast<double>(i),
+                   stats::Cell::signed_number(changes[i], 1)});
   }
-  std::printf("%-10zu %+-12.1f\n", changes.size() - 1, changes.back());
+  table.add_row({static_cast<double>(changes.size() - 1),
+                 stats::Cell::signed_number(changes.back(), 1)});
+  bench::emit(table, args);
   double mean = 0.0;
   int improved = 0;
   for (double c : changes) {

@@ -1,11 +1,14 @@
 // Tuning probe (not a paper figure): 33-node all-to-all reproduction of the
 // Figure-12 workload with configurable AIMD and Swift parameters, for
 // exploring SLO-compliance vs admitted-share tradeoffs quickly. Also serves
-// as the scheduler-backend speedometer: it runs the identical workload on
-// both event-scheduler backends (binary heap and calendar queue) and reports
-// simulated events per wall-clock second for each.
-// Usage: perf_probe [alpha beta swift_target_us warmup_ms run_ms period_us
-//                    aequitas(0/1) mix_h mix_m backend(heap|calendar|both)]
+// as two speedometers:
+//   * scheduler backends — runs the identical workload on both event
+//     schedulers (binary heap and calendar queue) and reports simulated
+//     events per wall-clock second for each (--backend=heap|calendar|both);
+//   * sweep harness — with --sweep-points=N it times an N-point sweep at
+//     --jobs=1 and at the resolved --jobs and reports the parallel speedup
+//     (results are checked to be identical across the two runs).
+// All parameters are flags; see kUsage below.
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -15,54 +18,67 @@
 
 #include "bench/bench_util.h"
 
-int main(int argc, char** argv) {
-  using namespace aeq;
-  const double alpha = argc > 1 ? std::atof(argv[1]) : 0.01;
-  const double beta = argc > 2 ? std::atof(argv[2]) : 0.01;
-  const double swift_target_us = argc > 3 ? std::atof(argv[3]) : 10.0;
-  const double warmup_ms = argc > 4 ? std::atof(argv[4]) : 15.0;
-  const double run_ms = argc > 5 ? std::atof(argv[5]) : 15.0;
-  const double period_us = argc > 6 ? std::atof(argv[6]) : 100.0;
-  const bool aequitas = argc > 7 ? std::atoi(argv[7]) != 0 : true;
-  const double mix_h = argc > 8 ? std::atof(argv[8]) : 0.6;
-  const double mix_m = argc > 9 ? std::atof(argv[9]) : 0.3;
-  const char* backend_arg = argc > 10 ? argv[10] : "both";
+namespace {
 
-  std::vector<sim::SchedulerBackend> backends;
-  if (std::strcmp(backend_arg, "heap") == 0) {
-    backends = {sim::SchedulerBackend::kHeap};
-  } else if (std::strcmp(backend_arg, "calendar") == 0) {
-    backends = {sim::SchedulerBackend::kCalendar};
-  } else {
-    backends = {sim::SchedulerBackend::kHeap,
-                sim::SchedulerBackend::kCalendar};
-  }
+using namespace aeq;
 
-  std::printf("alpha=%.4f beta=%.4f swift=%.0fus\n", alpha, beta,
-              swift_target_us);
+constexpr char kUsage[] =
+    "perf_probe [--alpha=A] [--beta=B] [--swift-target-us=T]\n"
+    "           [--warmup-ms=W] [--run-ms=R] [--period-us=P]\n"
+    "           [--aequitas=0|1] [--mix-h=H] [--mix-m=M]\n"
+    "           [--backend=heap|calendar|both]\n"
+    "           [--sweep-points=N] [--jobs=J] [--seed=S]";
+
+struct ProbeParams {
+  double alpha = 0.01;
+  double beta = 0.01;
+  double swift_target_us = 10.0;
+  double warmup_ms = 15.0;
+  double run_ms = 15.0;
+  double period_us = 100.0;
+  bool aequitas = true;
+  double mix_h = 0.6;
+  double mix_m = 0.3;
+};
+
+runner::Experiment make_experiment(const ProbeParams& p,
+                                   sim::SchedulerBackend backend,
+                                   std::uint64_t seed) {
+  runner::ExperimentConfig config;
+  config.scheduler_backend = backend;
+  config.num_hosts = 33;
+  config.num_qos = 3;
+  config.wfq_weights = {8.0, 4.0, 1.0};
+  config.enable_aequitas = p.aequitas;
+  config.alpha = p.alpha;
+  config.beta_per_mtu = p.beta;
+  config.seed = seed;
+  config.swift.target_delay = p.swift_target_us * sim::kUsec;
+  config.slo = rpc::SloConfig::make(
+      {15.0 / 8 * sim::kUsec, 25.0 / 8 * sim::kUsec, 0.0}, 99.9);
+  return runner::Experiment(config);
+}
+
+void attach(runner::Experiment& experiment, const ProbeParams& p) {
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(32 * sim::kKiB));
+  bench::AllToAllSpec spec;
+  spec.mix = {p.mix_h, p.mix_m, 1.0 - p.mix_h - p.mix_m};
+  spec.burst_period = p.period_us * sim::kUsec;
+  spec.sizes = {sizes};
+  bench::attach_all_to_all(experiment, spec);
+}
+
+// Scheduler-backend speedometer: one serial run per backend.
+void run_backends(const ProbeParams& p,
+                  const std::vector<sim::SchedulerBackend>& backends,
+                  std::uint64_t seed) {
   for (const auto backend : backends) {
-    runner::ExperimentConfig config;
-    config.scheduler_backend = backend;
-    config.num_hosts = 33;
-    config.num_qos = 3;
-    config.wfq_weights = {8.0, 4.0, 1.0};
-    config.enable_aequitas = aequitas;
-    config.alpha = alpha;
-    config.beta_per_mtu = beta;
-    config.swift.target_delay = swift_target_us * sim::kUsec;
-    config.slo = rpc::SloConfig::make(
-        {15.0 / 8 * sim::kUsec, 25.0 / 8 * sim::kUsec, 0.0}, 99.9);
-    runner::Experiment experiment(config);
-    const auto* sizes = experiment.own(
-        std::make_unique<workload::FixedSize>(32 * sim::kKiB));
-    bench::AllToAllSpec spec;
-    spec.mix = {mix_h, mix_m, 1.0 - mix_h - mix_m};
-    spec.burst_period = period_us * sim::kUsec;
-    spec.sizes = {sizes};
-    bench::attach_all_to_all(experiment, spec);
+    runner::Experiment experiment = make_experiment(p, backend, seed);
+    attach(experiment, p);
 
     const auto start = std::chrono::steady_clock::now();
-    experiment.run(warmup_ms * sim::kMsec, run_ms * sim::kMsec);
+    experiment.run(p.warmup_ms * sim::kMsec, p.run_ms * sim::kMsec);
     const auto stop = std::chrono::steady_clock::now();
     const double wall = std::chrono::duration<double>(stop - start).count();
     const auto events = experiment.simulator().events_processed();
@@ -79,6 +95,99 @@ int main(int argc, char** argv) {
                 m.rnl_by_run_qos(2).p999() / sim::kUsec,
                 static_cast<unsigned long long>(events), wall,
                 static_cast<double>(events) / wall / 1e6);
+  }
+}
+
+// Sweep-harness speedometer: N replica points, timed at --jobs=1 and at
+// the resolved job count. Points vary only by seed; both runs must produce
+// identical structured results (verified here), so the speedup is measured
+// on byte-identical work.
+void run_sweep_speedup(const ProbeParams& p, std::size_t points,
+                       const runner::SweepOptions& options) {
+  auto sweep_once = [&](std::size_t jobs, double* wall_out) {
+    runner::SweepOptions opts = options;
+    opts.jobs = jobs;
+    runner::SweepRunner sweep(opts);
+    for (std::size_t i = 0; i < points; ++i) {
+      sweep.submit([p](const runner::PointContext& ctx) {
+        runner::Experiment experiment = make_experiment(
+            p, sim::SchedulerBackend::kHeap, ctx.seed);
+        attach(experiment, p);
+        experiment.run(p.warmup_ms * sim::kMsec, p.run_ms * sim::kMsec);
+        runner::PointResult result;
+        result.metrics["p999_h"] =
+            experiment.metrics().rnl_by_run_qos(0).p999();
+        result.metrics["share_h"] =
+            experiment.metrics().admitted_share(0);
+        result.metrics["events"] = static_cast<double>(
+            experiment.simulator().events_processed());
+        return result;
+      });
+    }
+    const auto start = std::chrono::steady_clock::now();
+    auto results = sweep.run();
+    const auto stop = std::chrono::steady_clock::now();
+    *wall_out = std::chrono::duration<double>(stop - start).count();
+    return results;
+  };
+
+  double wall_serial = 0.0, wall_parallel = 0.0;
+  const auto serial = sweep_once(1, &wall_serial);
+  const auto parallel = sweep_once(options.jobs, &wall_parallel);
+
+  bool identical = serial.size() == parallel.size();
+  for (std::size_t i = 0; identical && i < serial.size(); ++i) {
+    identical = serial[i].metrics == parallel[i].metrics;
+  }
+  std::printf("sweep of %zu points: --jobs=1 %.2fs, --jobs=%zu %.2fs -> "
+              "speedup %.2fx (results %s)\n",
+              points, wall_serial, options.jobs, wall_parallel,
+              wall_parallel > 0 ? wall_serial / wall_parallel : 0.0,
+              identical ? "identical" : "MISMATCH");
+  if (!identical) std::exit(1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  ProbeParams p;
+  p.alpha = args.flags.get_double("alpha", p.alpha);
+  p.beta = args.flags.get_double("beta", p.beta);
+  p.swift_target_us =
+      args.flags.get_double("swift-target-us", p.swift_target_us);
+  p.warmup_ms = args.flags.get_double("warmup-ms", p.warmup_ms);
+  p.run_ms = args.flags.get_double("run-ms", p.run_ms);
+  p.period_us = args.flags.get_double("period-us", p.period_us);
+  p.aequitas = args.flags.get_bool("aequitas", p.aequitas);
+  p.mix_h = args.flags.get_double("mix-h", p.mix_h);
+  p.mix_m = args.flags.get_double("mix-m", p.mix_m);
+  const std::string backend_arg = args.flags.get("backend", "both");
+  const auto sweep_points =
+      static_cast<std::size_t>(args.flags.get_int("sweep-points", 0));
+  const auto unused = args.flags.unused();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "unknown flag --%s\nusage:\n%s\n",
+                 unused.front().c_str(), kUsage);
+    return 2;
+  }
+
+  std::vector<sim::SchedulerBackend> backends;
+  if (backend_arg == "heap") {
+    backends = {sim::SchedulerBackend::kHeap};
+  } else if (backend_arg == "calendar") {
+    backends = {sim::SchedulerBackend::kCalendar};
+  } else {
+    backends = {sim::SchedulerBackend::kHeap,
+                sim::SchedulerBackend::kCalendar};
+  }
+
+  std::printf("alpha=%.4f beta=%.4f swift=%.0fus\n", p.alpha, p.beta,
+              p.swift_target_us);
+  if (sweep_points > 0) {
+    run_sweep_speedup(p, sweep_points, args.sweep);
+  } else {
+    run_backends(p, backends, sim::derive_seed(args.sweep.base_seed, 0));
   }
   return 0;
 }

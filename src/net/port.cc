@@ -35,12 +35,14 @@ void Port::try_transmit() {
   const sim::Time ser =
       sim::serialization_delay(next->size_bytes, rate_);
   busy_ = true;
-  busy_time_ += ser;
+  tx_start_ = sim_.now();
   // Deliver at tx-complete + propagation; free the transmitter at
-  // tx-complete and immediately look for more work.
+  // tx-complete (charging the full serialization time only then) and
+  // immediately look for more work.
   in_flight_.push_back(*next);
   sim_.schedule_in(ser + propagation_, [this] { deliver_head(); });
   sim_.schedule_in(ser, [this] {
+    busy_time_ += sim_.now() - tx_start_;
     busy_ = false;
     try_transmit();
   });

@@ -36,12 +36,17 @@ class Port {
   sim::Rate rate() const { return rate_; }
   sim::Time propagation_delay() const { return propagation_; }
 
-  // Cumulative time spent serializing packets.
-  sim::Time busy_time() const { return busy_time_; }
+  // Cumulative time spent serializing packets, up to the current simulated
+  // time. Completed transmissions are accounted in full; an in-progress one
+  // contributes only its elapsed part, so mid-packet samples never count
+  // serialization time that has not happened yet.
+  sim::Time busy_time() const {
+    return busy_time_ + (busy_ ? sim_.now() - tx_start_ : 0.0);
+  }
 
   // Fraction of [0, now] the link spent transmitting.
   double utilization(sim::Time now) const {
-    return now > 0 ? busy_time_ / now : 0.0;
+    return now > 0 ? busy_time() / now : 0.0;
   }
 
  private:
@@ -54,7 +59,8 @@ class Port {
   std::unique_ptr<QueueDiscipline> queue_;
   PacketSink* peer_ = nullptr;
   bool busy_ = false;
-  sim::Time busy_time_ = 0.0;
+  sim::Time busy_time_ = 0.0;  // completed transmissions only
+  sim::Time tx_start_ = 0.0;   // start of the in-progress transmission
   // Packets serialized but not yet delivered (propagation in progress).
   // Delivery events are scheduled in FIFO order with a constant propagation
   // delay, so the head is always the next to arrive; keeping the packets

@@ -14,6 +14,26 @@
 
 namespace aeq::sim {
 
+// SplitMix64 finalizer (Steele, Lea & Flood / Stafford mix13): bijective on
+// uint64, so distinct inputs always yield distinct outputs. Pure integer
+// arithmetic — the value is identical on every platform and compiler.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;  // golden-ratio increment
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+// Derives the seed for sweep point `index` from a base seed: element
+// `index` of the SplitMix64 stream whose state walks from `base` in
+// golden-ratio steps. Distinct (base, index) pairs map to distinct seeds
+// for any fixed base (the finalizer is a bijection over the stepped
+// state), so parallel sweep points never share an RNG stream, and the
+// derivation involves no floating point — same value everywhere, forever.
+constexpr std::uint64_t derive_seed(std::uint64_t base, std::uint64_t index) {
+  return splitmix64(base + index * 0x9E3779B97F4A7C15ull);
+}
+
 // A thin, deterministic wrapper around std::mt19937_64.
 class Rng {
  public:

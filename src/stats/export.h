@@ -8,6 +8,7 @@
 
 #include "stats/histogram.h"
 #include "stats/percentile.h"
+#include "stats/table.h"
 #include "stats/timeseries.h"
 
 namespace aeq::stats {
@@ -32,5 +33,15 @@ struct LabelledSeries {
 };
 void write_csv(std::ostream& out, const std::vector<LabelledSeries>& series,
                std::size_t rows);
+
+// Writes a result table as CSV: one header row of column names, numeric
+// cells at full precision (%.12g), text cells quoted when they contain a
+// comma or quote.
+void write_csv(std::ostream& out, const Table& table);
+
+// Writes a result table as a JSON array of row objects keyed by column
+// name ([{"col": 1.5, ...}, ...]). Numbers stay numbers; empty cells are
+// null.
+void write_json(std::ostream& out, const Table& table);
 
 }  // namespace aeq::stats

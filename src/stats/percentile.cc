@@ -43,6 +43,46 @@ double PercentileTracker::percentile(double pct) const {
   return samples_[rank - 1];
 }
 
+void PercentileTracker::merge(const PercentileTracker& other) {
+  if (other.summary_.count() == 0) return;
+  const double n_self = static_cast<double>(summary_.count());
+  const double n_other = static_cast<double>(other.summary_.count());
+  summary_.merge(other.summary_);
+  if (capacity_ == 0 || samples_.size() + other.samples_.size() <= capacity_) {
+    samples_.insert(samples_.end(), other.samples_.begin(),
+                    other.samples_.end());
+    sorted_ = false;
+    return;
+  }
+  // Weighted subsample: each stored value stands for count/|samples| of its
+  // side's observations, so draw `capacity_` survivors without replacement,
+  // picking a side in proportion to its remaining represented mass.
+  std::vector<double> mine = std::move(samples_);
+  std::vector<double> theirs = other.samples_;
+  const double w_self = n_self / static_cast<double>(mine.size());
+  const double w_other = n_other / static_cast<double>(theirs.size());
+  samples_.clear();
+  samples_.reserve(capacity_);
+  auto take = [this](std::vector<double>& pool) {
+    const auto slot = static_cast<std::size_t>(rng_.index(pool.size()));
+    samples_.push_back(pool[slot]);
+    pool[slot] = pool.back();
+    pool.pop_back();
+  };
+  while (samples_.size() < capacity_ && (!mine.empty() || !theirs.empty())) {
+    const double mass_self = w_self * static_cast<double>(mine.size());
+    const double mass_other = w_other * static_cast<double>(theirs.size());
+    if (theirs.empty() ||
+        (!mine.empty() &&
+         rng_.bernoulli(mass_self / (mass_self + mass_other)))) {
+      take(mine);
+    } else {
+      take(theirs);
+    }
+  }
+  sorted_ = false;
+}
+
 void PercentileTracker::clear() {
   samples_.clear();
   summary_ = Summary{};

@@ -41,6 +41,15 @@ class PercentileTracker {
 
   void clear();
 
+  // Folds another tracker into this one (for fan-out/fan-in aggregation of
+  // multi-trial sweep points). With unbounded storage on both sides the
+  // merge is exact: merge-of-parts equals feeding every sample to one
+  // tracker (up to sample order, which percentiles ignore). When either
+  // side is reservoir-capped the merged reservoir is a weighted
+  // subsample — each side's samples survive in proportion to the sample
+  // mass they represent — and the summary statistics stay exact.
+  void merge(const PercentileTracker& other);
+
  private:
   void ensure_sorted() const;
 

@@ -1,0 +1,68 @@
+#include "stats/table.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "sim/assert.h"
+
+namespace aeq::stats {
+
+void Table::add_row(Row row) {
+  AEQ_ASSERT_MSG(row.size() <= columns_.size() || columns_.empty(),
+                 "row has more cells than the table has columns");
+  rows_.push_back(std::move(row));
+}
+
+void Table::add_rows(const std::vector<Row>& rows) {
+  for (const Row& row : rows) add_row(row);
+}
+
+std::string Table::format_cell(const Cell& cell, std::size_t column) const {
+  switch (cell.kind) {
+    case Cell::Kind::kEmpty:
+      return "";
+    case Cell::Kind::kText:
+      return cell.text;
+    case Cell::Kind::kNumber: {
+      const int precision = cell.precision >= 0
+                                ? cell.precision
+                                : (column < columns_.size()
+                                       ? columns_[column].precision
+                                       : 1);
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer),
+                    cell.show_sign ? "%+.*f" : "%.*f", precision, cell.value);
+      return buffer;
+    }
+  }
+  return "";
+}
+
+void Table::render(std::ostream& out) const {
+  auto pad = [&out](const std::string& text, int width, bool last) {
+    out << text;
+    if (last) return;
+    for (int i = static_cast<int>(text.size()); i < width; ++i) out << ' ';
+    out << ' ';
+  };
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    pad(columns_[c].name, columns_[c].width, c + 1 == columns_.size());
+  }
+  out << '\n';
+  for (const Row& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      const int width = c < columns_.size() ? columns_[c].width : 12;
+      pad(format_cell(row[c], c), width, c + 1 == row.size());
+    }
+    out << '\n';
+  }
+}
+
+std::string Table::to_string() const {
+  std::ostringstream out;
+  render(out);
+  return out.str();
+}
+
+}  // namespace aeq::stats

@@ -1,0 +1,79 @@
+// Structured result tables for sweeps and benches.
+//
+// Replaces the printf-in-loop reporting pattern: worker threads fill rows
+// (plain data, one per sweep point), and the main thread renders them once
+// the sweep completes — aligned text for humans via render(), CSV/JSON via
+// stats/export for machine-readable bench trajectories. Keeping rows as
+// data (not formatted strings interleaved with computation) is what makes
+// parallel sweeps byte-identical to serial ones: rendering happens in
+// submission order regardless of completion order.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace aeq::stats {
+
+// One table cell: free text or a number formatted with the owning column's
+// precision (overridable per cell, e.g. one integer column cell among
+// one-decimal defaults).
+struct Cell {
+  enum class Kind { kEmpty, kText, kNumber };
+
+  Cell() = default;
+  Cell(const char* t) : kind(Kind::kText), text(t) {}           // NOLINT
+  Cell(std::string t) : kind(Kind::kText), text(std::move(t)) {}  // NOLINT
+  Cell(double v) : kind(Kind::kNumber), value(v) {}             // NOLINT
+  Cell(double v, int prec) : kind(Kind::kNumber), value(v), precision(prec) {}
+
+  // "+4.2" / "-11.0": explicit sign, e.g. for change-percentage columns.
+  static Cell signed_number(double v, int prec) {
+    Cell cell(v, prec);
+    cell.show_sign = true;
+    return cell;
+  }
+
+  Kind kind = Kind::kEmpty;
+  double value = 0.0;
+  int precision = -1;  // -1 => use the column default
+  bool show_sign = false;
+  std::string text;
+};
+
+struct Column {
+  std::string name;
+  int width = 12;     // minimum rendered width, left-aligned (as %-12s)
+  int precision = 1;  // default decimals for numeric cells
+};
+
+using Row = std::vector<Cell>;
+
+class Table {
+ public:
+  Table() = default;
+  explicit Table(std::vector<Column> columns) : columns_(std::move(columns)) {}
+
+  void add_row(Row row);
+  // Appends every row of `rows` (e.g. one sweep point contributing a block).
+  void add_rows(const std::vector<Row>& rows);
+
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::size_t num_rows() const { return rows_.size(); }
+
+  // Formats one cell (no padding) using the column's precision default.
+  std::string format_cell(const Cell& cell, std::size_t column) const;
+
+  // Aligned header + rows; every line is newline-terminated.
+  void render(std::ostream& out) const;
+  std::string to_string() const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace aeq::stats

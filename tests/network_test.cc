@@ -48,6 +48,44 @@ TEST(PortTest, DeliversAfterSerializationPlusPropagation) {
   EXPECT_DOUBLE_EQ(port.busy_time(), 1.0 * sim::kUsec);
 }
 
+
+TEST(PortTest, BusyTimeMidTransmissionCountsOnlyElapsedTime) {
+  sim::Simulator s;
+  Collector sink;
+  // 12500 bytes at 100Gbps = 1us serialization.
+  Port port(s, sim::gbps(100), 0.0, std::make_unique<FifoQueue>());
+  port.connect(&sink);
+  s.schedule_at(0.0, [&] { port.send(data_packet(0, 1, 12500)); });
+  // Mid-transmission the port must report only the elapsed busy time —
+  // charging the full serialization up front would make utilization(now)
+  // exceed 1 and over-account partially transmitted packets.
+  s.schedule_at(0.4 * sim::kUsec, [&] {
+    EXPECT_DOUBLE_EQ(port.busy_time(), 0.4 * sim::kUsec);
+    EXPECT_NEAR(port.utilization(s.now()), 1.0, 1e-12);
+  });
+  s.run();
+  EXPECT_DOUBLE_EQ(port.busy_time(), 1.0 * sim::kUsec);
+}
+
+TEST(PortTest, UtilizationNeverExceedsOneMidBurst) {
+  sim::Simulator s;
+  Collector sink;
+  Port port(s, sim::gbps(100), 0.0, std::make_unique<FifoQueue>());
+  port.connect(&sink);
+  // Queue a 10-packet burst, then sample utilization at odd times while
+  // the port drains it.
+  s.schedule_at(0.0, [&] {
+    for (int i = 0; i < 10; ++i) port.send(data_packet(0, 1, 12500));
+  });
+  for (double t : {0.3, 1.7, 4.25, 9.99}) {
+    s.schedule_at(t * sim::kUsec, [&port, &s] {
+      EXPECT_LE(port.utilization(s.now()), 1.0 + 1e-12);
+    });
+  }
+  s.run();
+  EXPECT_DOUBLE_EQ(port.busy_time(), 10.0 * sim::kUsec);
+}
+
 TEST(PortTest, BackToBackPacketsSerializeSequentially) {
   sim::Simulator s;
   Collector sink;

@@ -174,5 +174,99 @@ TEST(RateMeterTest, WindowedRates) {
   EXPECT_DOUBLE_EQ(pts[1].value, 200.0);
 }
 
+
+TEST(HistogramTest, MergeOfPartsEqualsWhole) {
+  sim::Rng rng(11);
+  Histogram whole(0.0, 100.0, 50);
+  Histogram shards[3] = {Histogram(0.0, 100.0, 50),
+                         Histogram(0.0, 100.0, 50),
+                         Histogram(0.0, 100.0, 50)};
+  for (int i = 0; i < 5000; ++i) {
+    // Range wider than the bins so underflow/overflow mass exists.
+    const double x = rng.uniform(-20.0, 130.0);
+    whole.add(x);
+    shards[i % 3].add(x);
+  }
+  Histogram merged(0.0, 100.0, 50);
+  for (const Histogram& shard : shards) merged.merge(shard);
+  EXPECT_EQ(merged.total(), whole.total());
+  EXPECT_EQ(merged.underflow(), whole.underflow());
+  EXPECT_EQ(merged.overflow(), whole.overflow());
+  for (std::size_t b = 0; b < whole.bin_count(); ++b) {
+    EXPECT_EQ(merged.bin(b), whole.bin(b)) << "bin " << b;
+  }
+  for (std::size_t b = 0; b < whole.bin_count(); ++b) {
+    EXPECT_DOUBLE_EQ(merged.cdf_at(b), whole.cdf_at(b));
+  }
+}
+
+TEST(HistogramTest, MergeEmptyIsIdentity) {
+  Histogram a(0.0, 10.0, 10);
+  a.add(3.0);
+  a.add(-1.0);
+  Histogram empty(0.0, 10.0, 10);
+  a.merge(empty);
+  EXPECT_EQ(a.total(), 2u);
+  EXPECT_EQ(a.underflow(), 1u);
+}
+
+TEST(HistogramDeathTest, MergeRejectsMismatchedBinning) {
+  Histogram a(0.0, 10.0, 10);
+  Histogram b(0.0, 10.0, 20);
+  EXPECT_DEATH(a.merge(b), "binning");
+}
+
+TEST(PercentileTest, UnboundedMergeIsExact) {
+  sim::Rng rng(21);
+  PercentileTracker whole;
+  PercentileTracker parts[4];
+  for (int i = 0; i < 4000; ++i) {
+    const double x = rng.exponential(1.0) * 50.0;
+    whole.add(x);
+    parts[i % 4].add(x);
+  }
+  PercentileTracker merged;
+  for (const PercentileTracker& part : parts) merged.merge(part);
+  EXPECT_EQ(merged.count(), whole.count());
+  for (double pct : {1.0, 50.0, 90.0, 99.0, 99.9}) {
+    EXPECT_DOUBLE_EQ(merged.percentile(pct), whole.percentile(pct))
+        << "pct " << pct;
+  }
+  EXPECT_DOUBLE_EQ(merged.mean(), whole.mean());
+  EXPECT_DOUBLE_EQ(merged.min(), whole.min());
+  EXPECT_DOUBLE_EQ(merged.max(), whole.max());
+}
+
+TEST(PercentileTest, CappedMergeKeepsExactSummaryAndApproxTail) {
+  // Reservoir-capped merge subsamples, but count/mean/min/max stay exact
+  // and the tail quantiles stay close.
+  sim::Rng rng(31);
+  PercentileTracker exact;
+  PercentileTracker a(512, 1), b(512, 2);
+  for (int i = 0; i < 20000; ++i) {
+    const double x = rng.uniform(0.0, 1000.0);
+    exact.add(x);
+    (i % 2 == 0 ? a : b).add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), exact.count());
+  // Welford-merged mean differs from the streamed mean only by summation
+  // order (rounding), never by represented mass.
+  EXPECT_NEAR(a.mean(), exact.mean(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), exact.min());
+  EXPECT_DOUBLE_EQ(a.max(), exact.max());
+  EXPECT_NEAR(a.percentile(50.0), exact.percentile(50.0), 100.0);
+  EXPECT_NEAR(a.percentile(99.0), exact.percentile(99.0), 100.0);
+}
+
+TEST(PercentileTest, MergeIntoEmptyCopies) {
+  PercentileTracker src;
+  for (int i = 1; i <= 100; ++i) src.add(i);
+  PercentileTracker dst;
+  dst.merge(src);
+  EXPECT_EQ(dst.count(), 100u);
+  EXPECT_DOUBLE_EQ(dst.percentile(50.0), src.percentile(50.0));
+}
+
 }  // namespace
 }  // namespace aeq::stats
