@@ -1,0 +1,62 @@
+#include "audit/audit.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aeq::audit {
+
+void Auditor::add_check(std::string component, std::string name,
+                        CheckFn fn) {
+  AEQ_ASSERT_MSG(fn != nullptr, "audit check needs a body");
+  Check check;
+  check.qualified = component + "/" + name;
+  check.component = std::move(component);
+  check.name = std::move(name);
+  check.fn = std::move(fn);
+  checks_.push_back(std::move(check));
+}
+
+void Auditor::run_all() {
+  for (Check& check : checks_) {
+    // Expose the check's name to AEQ_CHECK_* failure reports; the string
+    // outlives the call (owned by checks_, stable across push_backs because
+    // run_all never registers).
+    detail::g_audit_check = check.qualified.c_str();
+    check.fn();
+    ++check.evaluations;
+  }
+  detail::g_audit_check = nullptr;
+  ++passes_;
+}
+
+Report Auditor::report() const {
+  Report report;
+  report.entries.reserve(checks_.size());
+  for (const Check& check : checks_) {
+    report.entries.push_back(
+        Report::Entry{check.component, check.name, check.evaluations});
+    report.total_evaluations += check.evaluations;
+  }
+  return report;
+}
+
+std::size_t Report::num_components() const {
+  std::vector<std::string> names;
+  names.reserve(entries.size());
+  for (const Entry& entry : entries) names.push_back(entry.component);
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names.size();
+}
+
+void Report::write(std::ostream& os) const {
+  os << "audit report: " << entries.size() << " checks over "
+     << num_components() << " components, " << total_evaluations
+     << " evaluations, 0 violations\n";
+  for (const Entry& entry : entries) {
+    os << "  " << entry.component << "/" << entry.name << ": "
+       << entry.evaluations << " evaluations\n";
+  }
+}
+
+}  // namespace aeq::audit

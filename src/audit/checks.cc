@@ -1,0 +1,200 @@
+#include "audit/checks.h"
+
+#include <cstdint>
+#include <utility>
+
+#include "core/aequitas.h"
+#include "core/quota.h"
+#include "net/port.h"
+#include "net/queue.h"
+#include "net/shared_buffer.h"
+#include "net/switch.h"
+#include "net/wfq.h"
+#include "sim/simulator.h"
+#include "topo/network.h"
+#include "transport/flow.h"
+#include "transport/host_stack.h"
+
+namespace aeq::audit {
+
+void register_queue_checks(Auditor& auditor, std::string component,
+                           const net::QueueDiscipline& queue,
+                           std::size_t num_qos) {
+  auditor.add_check(component, "conservation-packets", [&queue] {
+    const net::QueueStats& s = queue.stats();
+    AEQ_CHECK_EQ_MSG(
+        s.offered_packets,
+        s.dequeued_packets + s.dropped_packets + queue.backlog_packets(),
+        "queue lost or invented packets");
+  });
+  auditor.add_check(component, "conservation-bytes", [&queue] {
+    const net::QueueStats& s = queue.stats();
+    AEQ_CHECK_EQ_MSG(
+        s.offered_bytes,
+        s.dequeued_bytes + s.dropped_bytes + queue.backlog_bytes(),
+        "queue lost or invented bytes");
+  });
+  auditor.add_check(component, "counter-bounds", [&queue] {
+    const net::QueueStats& s = queue.stats();
+    AEQ_CHECK_LE(s.enqueued_packets, s.offered_packets);
+    AEQ_CHECK_LE(s.enqueued_bytes, s.offered_bytes);
+    AEQ_CHECK_LE(s.dequeued_packets, s.enqueued_packets);
+    AEQ_CHECK_LE(s.dequeued_bytes, s.enqueued_bytes);
+    AEQ_CHECK_LE(s.dropped_packets, s.offered_packets);
+    AEQ_CHECK_LE(s.dropped_bytes, s.offered_bytes);
+  });
+  auditor.add_check(component, "class-sums", [&queue, num_qos] {
+    std::uint64_t class_backlog = 0;
+    std::uint64_t class_drop_packets = 0;
+    std::uint64_t class_drop_bytes = 0;
+    for (std::size_t q = 0; q < num_qos; ++q) {
+      const auto qos = static_cast<net::QoSLevel>(q);
+      class_backlog += queue.class_backlog_bytes(qos);
+      class_drop_packets += queue.class_dropped_packets(qos);
+      class_drop_bytes += queue.class_dropped_bytes(qos);
+    }
+    // Disciplines without class separation report zero per-class values
+    // (nothing to cross-check); for classful ones the per-class backlogs
+    // must partition the total exactly.
+    if (class_backlog != 0) {
+      AEQ_CHECK_EQ_MSG(class_backlog, queue.backlog_bytes(),
+                       "per-class backlogs do not partition queue backlog");
+    }
+    // Class drops never exceed the totals (a shared-buffer decorator adds
+    // pool rejections to its own total on top of the inner class drops).
+    AEQ_CHECK_LE(class_drop_packets, queue.stats().dropped_packets);
+    AEQ_CHECK_LE(class_drop_bytes, queue.stats().dropped_bytes);
+  });
+
+  // Attach the WFQ tag invariants when this discipline is (or wraps) a
+  // virtual-time WFQ.
+  const net::QueueDiscipline* inner = &queue;
+  if (const auto* pooled = dynamic_cast<const net::PooledQueue*>(inner)) {
+    inner = &pooled->inner();
+  }
+  if (const auto* wfq = dynamic_cast<const net::WfqQueue*>(inner)) {
+    register_wfq_checks(auditor, std::move(component), *wfq);
+  }
+}
+
+void register_wfq_checks(Auditor& auditor, std::string component,
+                         const net::WfqQueue& queue) {
+  auditor.add_check(component, "wfq-tag-order",
+                    [&queue] { queue.audit_tags(); });
+  auditor.add_check(component, "wfq-virtual-time-monotone",
+                    [&queue, prev = queue.virtual_time()]() mutable {
+                      const double v = queue.virtual_time();
+                      AEQ_CHECK_GE_MSG(v, prev,
+                                       "WFQ virtual clock ran backwards");
+                      prev = v;
+                    });
+}
+
+void register_pool_checks(Auditor& auditor, std::string component,
+                          const net::SharedBufferPool& pool,
+                          std::vector<const net::QueueDiscipline*> members) {
+  auditor.add_check(component, "used-within-total", [&pool] {
+    AEQ_CHECK_LE_MSG(pool.used(), pool.total(),
+                     "shared buffer pool over-committed");
+  });
+  auditor.add_check(component, "conservation",
+                    [&pool, members = std::move(members)] {
+                      std::uint64_t backlog = 0;
+                      for (const net::QueueDiscipline* member : members) {
+                        backlog += member->backlog_bytes();
+                      }
+                      AEQ_CHECK_EQ_MSG(pool.used(), backlog,
+                                       "pool reservation leaked or lost");
+                    });
+}
+
+void register_port_checks(Auditor& auditor, std::string component,
+                          const net::Port& port, const sim::Simulator& sim,
+                          std::size_t num_qos) {
+  auditor.add_check(component, "link-conservation", [&port] {
+    AEQ_CHECK_EQ_MSG(port.queue().stats().dequeued_packets,
+                     port.delivered_packets() + port.in_flight_packets(),
+                     "packet left the queue but neither delivered nor "
+                     "propagating");
+  });
+  auditor.add_check(component, "busy-time-bounded", [&port, &sim] {
+    const sim::Time now = sim.now();
+    AEQ_CHECK_GE(port.busy_time(), 0.0);
+    // Tolerance: busy time is a sum of exact sub-intervals of [0, now] and
+    // may round up by a few ulps across millions of packets.
+    AEQ_CHECK_LE_MSG(port.busy_time(), now * (1.0 + 1e-9) + 1e-9,
+                     "port was busy longer than simulated time");
+  });
+  register_queue_checks(auditor, std::move(component), port.queue(), num_qos);
+}
+
+void register_switch_checks(Auditor& auditor, std::string component,
+                            const net::Switch& fabric_switch,
+                            const sim::Simulator& sim, std::size_t num_qos) {
+  auditor.add_check(component, "routing-conservation", [&fabric_switch] {
+    std::uint64_t offered = 0;
+    for (std::size_t p = 0; p < fabric_switch.num_ports(); ++p) {
+      offered += fabric_switch.port(p).queue().stats().offered_packets;
+    }
+    AEQ_CHECK_EQ_MSG(fabric_switch.received_packets(), offered,
+                     "switch received packets it never offered to a port");
+  });
+  for (std::size_t p = 0; p < fabric_switch.num_ports(); ++p) {
+    register_port_checks(auditor,
+                         component + "/port" + std::to_string(p),
+                         fabric_switch.port(p), sim, num_qos);
+  }
+}
+
+void register_simulator_checks(Auditor& auditor, const sim::Simulator& sim) {
+  auditor.add_check("sim", "time-monotone",
+                    [&sim, prev = sim.now()]() mutable {
+                      const sim::Time now = sim.now();
+                      AEQ_CHECK_GE_MSG(now, prev,
+                                       "simulated clock ran backwards");
+                      prev = now;
+                    });
+}
+
+void register_aequitas_checks(Auditor& auditor, std::string component,
+                              const core::AequitasController& controller,
+                              const sim::Simulator& sim) {
+  auditor.add_check(std::move(component), "p-admit-bounds",
+                    [&controller, &sim] {
+                      controller.audit_invariants(sim.now());
+                    });
+}
+
+void register_quota_checks(Auditor& auditor, std::string component,
+                           const core::QuotaServer& server) {
+  auditor.add_check(std::move(component), "allocation-bounds",
+                    [&server] { server.audit_invariants(); });
+}
+
+void register_transport_checks(Auditor& auditor, std::string component,
+                               const transport::HostStack& stack) {
+  auditor.add_check(std::move(component), "flow-invariants", [&stack] {
+    stack.for_each_flow(
+        [](const transport::Flow& flow) { flow.audit_invariants(); });
+  });
+}
+
+void register_network_checks(Auditor& auditor, const topo::Network& network,
+                             const sim::Simulator& sim, std::size_t num_qos) {
+  for (std::size_t h = 0; h < network.num_hosts(); ++h) {
+    const auto id = static_cast<net::HostId>(h);
+    register_port_checks(auditor, "host" + std::to_string(h) + "-nic",
+                         network.host(id).egress(), sim, num_qos);
+  }
+  for (std::size_t s = 0; s < network.num_switches(); ++s) {
+    register_switch_checks(auditor, network.fabric_switch(s).name(),
+                           network.fabric_switch(s), sim, num_qos);
+  }
+  std::size_t pool_index = 0;
+  for (const topo::Network::PoolGroup& group : network.pool_groups()) {
+    register_pool_checks(auditor, "pool" + std::to_string(pool_index++),
+                         *group.pool, group.members);
+  }
+}
+
+}  // namespace aeq::audit

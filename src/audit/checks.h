@@ -1,0 +1,135 @@
+// The invariant catalogue: registration helpers that attach the library's
+// machine-checked invariants to an audit::Auditor.
+//
+// Each helper registers named, read-only closures over one component. The
+// catalogue (component/check -> paper property it guards):
+//
+//   queue/conservation-{packets,bytes}   offered == dequeued + dropped +
+//                                        resident, for every discipline
+//                                        (FIFO, WFQ, SPQ, DWRR, RED,
+//                                        pFabric). Work conservation is the
+//                                        ground assumption of the WFQ delay
+//                                        bound (paper §4.1, Appendix B).
+//   queue/counter-bounds                 enqueued <= offered, dequeued <=
+//                                        enqueued, dropped <= offered.
+//   queue/class-sums                     per-QoS backlogs and drops sum to
+//                                        the queue totals for classful
+//                                        disciplines (per-class byte counts
+//                                        feed the QoS-mix figures).
+//   wfq/tag-order, wfq/virtual-time-monotone
+//                                        start/finish-tag ordering and a
+//                                        non-decreasing virtual clock — the
+//                                        invariants the per-QoS delay bound
+//                                        is derived from (§4, Appendix B).
+//   pool/conservation, pool/used-within-total
+//                                        Dynamic-Threshold shared buffer:
+//                                        pool.used equals the sum of member
+//                                        backlogs and never exceeds the pool
+//                                        (footnote 2's commodity-switch
+//                                        buffering model).
+//   port/link-conservation               dequeued == delivered + in-flight.
+//   port/busy-time-bounded               serialization time fits in [0, now]
+//                                        (utilization figures depend on it).
+//   switch/routing-conservation          every received packet was offered
+//                                        to exactly one egress queue.
+//   sim/time-monotone                    the simulated clock never runs
+//                                        backwards (scheduler contract,
+//                                        identical for heap and calendar
+//                                        backends).
+//   aequitas/p-admit-bounds              every channel's p_admit stays in
+//                                        [p_admit_floor, 1] — the §5.1
+//                                        starvation guard and the AIMD clamp
+//                                        of Algorithm 1.
+//   quota/allocation-bounds              per-QoS allocations are non-negative
+//                                        and sum to at most the operator
+//                                        budget (§5.2: quota cannot
+//                                        over-promise the admissible region).
+//   transport/flow-invariants            cumulative-ACK stream ordering and
+//                                        congestion-window bounds (Swift /
+//                                        DCTCP window clamps, §6.1's
+//                                        well-functioning-CC assumption).
+//
+// All closures only read the audited objects, so enabling the audit never
+// perturbs the simulation trajectory. Violations abort via AEQ_CHECK_*
+// (sim/assert.h) with operand values, sim time, and the check name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "audit/audit.h"
+
+namespace aeq::core {
+class AequitasController;
+class QuotaServer;
+}  // namespace aeq::core
+namespace aeq::net {
+class Port;
+class QueueDiscipline;
+class SharedBufferPool;
+class Switch;
+class WfqQueue;
+}  // namespace aeq::net
+namespace aeq::sim {
+class Simulator;
+}  // namespace aeq::sim
+namespace aeq::topo {
+class Network;
+}  // namespace aeq::topo
+namespace aeq::transport {
+class HostStack;
+}  // namespace aeq::transport
+
+namespace aeq::audit {
+
+// Conservation and counter-sanity checks for one queue discipline. When the
+// discipline is (or decorates) a WfqQueue, the WFQ tag checks are attached
+// too. `num_qos` bounds the per-class sums.
+void register_queue_checks(Auditor& auditor, std::string component,
+                           const net::QueueDiscipline& queue,
+                           std::size_t num_qos);
+
+// WFQ virtual-time/tag invariants (normally attached via
+// register_queue_checks; exposed for unit tests).
+void register_wfq_checks(Auditor& auditor, std::string component,
+                         const net::WfqQueue& queue);
+
+// Shared-buffer conservation over the queues drawing on `pool`.
+void register_pool_checks(Auditor& auditor, std::string component,
+                          const net::SharedBufferPool& pool,
+                          std::vector<const net::QueueDiscipline*> members);
+
+// Link-level conservation and busy-time sanity for one port, plus the queue
+// checks for its discipline.
+void register_port_checks(Auditor& auditor, std::string component,
+                          const net::Port& port, const sim::Simulator& sim,
+                          std::size_t num_qos);
+
+// Routing conservation across the switch plus port checks for every egress.
+void register_switch_checks(Auditor& auditor, std::string component,
+                            const net::Switch& fabric_switch,
+                            const sim::Simulator& sim, std::size_t num_qos);
+
+// Clock monotonicity of the simulation executive.
+void register_simulator_checks(Auditor& auditor, const sim::Simulator& sim);
+
+// AIMD state bounds for one admission controller.
+void register_aequitas_checks(Auditor& auditor, std::string component,
+                              const core::AequitasController& controller,
+                              const sim::Simulator& sim);
+
+// Quota-server conservation (per-QoS allocation sums within budget).
+void register_quota_checks(Auditor& auditor, std::string component,
+                           const core::QuotaServer& server);
+
+// Stream-ordering and congestion-window invariants for every flow of a
+// host's transport stack.
+void register_transport_checks(Auditor& auditor, std::string component,
+                               const transport::HostStack& stack);
+
+// Whole-topology sweep: host NIC ports, switches (all egress ports), and
+// shared-buffer pool groups. This is what the experiment harness installs.
+void register_network_checks(Auditor& auditor, const topo::Network& network,
+                             const sim::Simulator& sim, std::size_t num_qos);
+
+}  // namespace aeq::audit

@@ -9,10 +9,12 @@ namespace aeq::core {
 AequitasController::AequitasController(const AequitasConfig& config,
                                        sim::Rng rng)
     : config_(config), rng_(rng) {
-  AEQ_ASSERT(config_.slo.num_qos() >= 2);
-  AEQ_ASSERT(config_.slo.target_percentile.size() == config_.slo.num_qos());
-  AEQ_ASSERT(config_.alpha > 0.0 && config_.beta_per_mtu > 0.0);
-  AEQ_ASSERT(config_.p_admit_floor >= 0.0 && config_.p_admit_floor <= 1.0);
+  AEQ_CHECK_GE(config_.slo.num_qos(), 2u);
+  AEQ_CHECK_EQ(config_.slo.target_percentile.size(), config_.slo.num_qos());
+  AEQ_CHECK_GT(config_.alpha, 0.0);
+  AEQ_CHECK_GT(config_.beta_per_mtu, 0.0);
+  AEQ_CHECK_GE(config_.p_admit_floor, 0.0);
+  AEQ_CHECK_LE(config_.p_admit_floor, 1.0);
   for (std::size_t q = 0; q + 1 < config_.slo.num_qos(); ++q) {
     const double pctl = config_.slo.target_percentile[q];
     AEQ_ASSERT_MSG(pctl > 0.0 && pctl < 100.0,
@@ -48,8 +50,9 @@ void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,
                                        net::QoSLevel qos_run, sim::Time rnl,
                                        std::uint64_t size_mtus) {
   if (!config_.slo.has_slo(qos_run)) return;  // no SLO on the lowest QoS
-  AEQ_ASSERT(size_mtus >= 1);
+  AEQ_CHECK_GE(size_mtus, 1u);
   State& state = states_[key(dst, qos_run)];
+  AEQ_AUDIT_ONLY(const double p_before = state.p_admit;)
   const sim::Time target = config_.slo.latency_target_per_mtu[qos_run];
   if (rnl / static_cast<double>(size_mtus) < target) {
     // Additive increase, rate limited to one per increment window so the
@@ -58,6 +61,10 @@ void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,
       state.p_admit = std::min(state.p_admit + config_.alpha, 1.0);
       state.t_last_increase = now;
     }
+    // Step-direction sanity (AIMD, Algorithm 1): an SLO-met completion
+    // must never lower the admit probability.
+    AEQ_AUDIT_ONLY(AEQ_CHECK_GE(state.p_admit, p_before);
+                   AEQ_CHECK_LE(state.p_admit, 1.0);)
   } else {
     // Multiplicative decrease, proportional to RPC size: an SLO miss on a
     // 10-MTU RPC behaves like ten misses on 1-MTU RPCs.
@@ -65,6 +72,20 @@ void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,
         std::max(state.p_admit - config_.beta_per_mtu *
                                      static_cast<double>(size_mtus),
                  config_.p_admit_floor);
+    // An SLO miss must never raise it, and the starvation floor holds.
+    AEQ_AUDIT_ONLY(AEQ_CHECK_LE(state.p_admit, p_before);
+                   AEQ_CHECK_GE(state.p_admit, config_.p_admit_floor);)
+  }
+}
+
+void AequitasController::audit_invariants(sim::Time now) const {
+  for (const auto& [channel, state] : states_) {
+    static_cast<void>(channel);
+    AEQ_CHECK_GE_MSG(state.p_admit, config_.p_admit_floor,
+                     "p_admit below the starvation floor");
+    AEQ_CHECK_LE_MSG(state.p_admit, 1.0, "p_admit above 1");
+    AEQ_CHECK_LE_MSG(state.t_last_increase, now,
+                     "additive-increase timestamp in the future");
   }
 }
 

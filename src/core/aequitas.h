@@ -57,6 +57,13 @@ class AequitasController final : public rpc::AdmissionController {
   // increment_window for a QoS level (Algorithm 1, initialization).
   sim::Time increment_window(net::QoSLevel qos) const;
 
+  // Audit hook (src/audit/checks.h): asserts every per-(dst, qos) channel's
+  // p_admit sits in [p_admit_floor, 1] — the AIMD clamp the paper's
+  // starvation guard (§5.1) and Bernoulli gating depend on — and that no
+  // additive-increase timestamp lies in the future of `now`. Aborts via
+  // AEQ_CHECK_* on violation.
+  void audit_invariants(sim::Time now) const;
+
  private:
   struct State {
     double p_admit = 1.0;

@@ -10,12 +10,12 @@ namespace aeq::core {
 QuotaServer::QuotaServer(sim::Simulator& simulator,
                          const QuotaServerConfig& config)
     : sim_(simulator), config_(config) {
-  AEQ_ASSERT(config_.allocation_interval > 0.0);
+  AEQ_CHECK_GT(config_.allocation_interval, 0.0);
   AEQ_ASSERT(!config_.qos_budget_bytes_per_sec.empty());
 }
 
 QuotaServer::TenantId QuotaServer::register_tenant(double weight) {
-  AEQ_ASSERT(weight > 0.0);
+  AEQ_CHECK_GT(weight, 0.0);
   Tenant tenant;
   tenant.weight = weight;
   tenant.demand_bytes.assign(config_.qos_budget_bytes_per_sec.size(), 0.0);
@@ -47,13 +47,14 @@ QuotaServer::TenantId QuotaServer::register_tenant(double weight) {
 
 void QuotaServer::report_demand(TenantId tenant, net::QoSLevel qos,
                                 double bytes) {
-  AEQ_ASSERT(tenant < tenants_.size());
+  AEQ_CHECK_LT(tenant, tenants_.size());
+  AEQ_AUDIT_ONLY(AEQ_CHECK_GE(bytes, 0.0);)
   if (qos >= tenants_[tenant].demand_bytes.size()) return;
   tenants_[tenant].demand_bytes[qos] += bytes;
 }
 
 double QuotaServer::allocation(TenantId tenant, net::QoSLevel qos) const {
-  AEQ_ASSERT(tenant < tenants_.size());
+  AEQ_CHECK_LT(tenant, tenants_.size());
   if (qos >= tenants_[tenant].allocation.size()) return 0.0;
   return tenants_[tenant].allocation[qos];
 }
@@ -91,6 +92,29 @@ void QuotaServer::allocate() {
       tenants_[t].allocation[q] = alloc[t];
       tenants_[t].demand_bytes[q] = 0.0;
     }
+    // Water-filling must never hand out more than the budget.
+    AEQ_AUDIT_ONLY(
+        double allocated = 0.0;
+        for (double a : alloc) allocated += a;
+        AEQ_CHECK_LE(allocated, config_.qos_budget_bytes_per_sec[q] *
+                                    (1.0 + 1e-9) + 1e-9);)
+  }
+}
+
+void QuotaServer::audit_invariants() const {
+  for (std::size_t q = 0; q < config_.qos_budget_bytes_per_sec.size(); ++q) {
+    double allocated = 0.0;
+    for (const Tenant& tenant : tenants_) {
+      AEQ_CHECK_GE_MSG(tenant.allocation[q], 0.0, "negative quota grant");
+      AEQ_CHECK_GE_MSG(tenant.demand_bytes[q], 0.0,
+                       "negative demand report");
+      allocated += tenant.allocation[q];
+    }
+    // Small relative slack: water-filling sums floating-point shares.
+    AEQ_CHECK_LE_MSG(
+        allocated,
+        config_.qos_budget_bytes_per_sec[q] * (1.0 + 1e-9) + 1e-9,
+        "quota allocations exceed the per-QoS budget");
   }
 }
 

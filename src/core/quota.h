@@ -53,6 +53,13 @@ class QuotaServer {
   std::size_t num_tenants() const { return tenants_.size(); }
   const QuotaServerConfig& config() const { return config_; }
 
+  // Audit hook (src/audit/checks.h): asserts quota conservation — per QoS,
+  // allocations are non-negative, demands are non-negative, and the sum of
+  // allocated rates never exceeds the operator budget (the §5.2 guarantee
+  // that quota cannot over-promise the admissible region). Aborts via
+  // AEQ_CHECK_* on violation.
+  void audit_invariants() const;
+
  private:
   struct Tenant {
     double weight = 1.0;

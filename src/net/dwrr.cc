@@ -11,18 +11,18 @@ DwrrQueue::DwrrQueue(std::vector<double> weights,
   AEQ_ASSERT(!weights.empty());
   classes_.resize(weights.size());
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    AEQ_ASSERT(weights[i] > 0.0);
+    AEQ_CHECK_GT(weights[i], 0.0);
     classes_[i].quantum = weights[i] * static_cast<double>(quantum_scale);
   }
 }
 
 bool DwrrQueue::enqueue(const Packet& packet) {
-  AEQ_ASSERT(packet.qos < classes_.size());
+  AEQ_CHECK_LT(packet.qos, classes_.size());
+  count_offered(packet);
   ClassState& cls = classes_[packet.qos];
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += packet.size_bytes;
+    count_dropped(packet);
     ++cls.dropped_packets;
     cls.dropped_bytes += packet.size_bytes;
     return false;
@@ -31,7 +31,7 @@ bool DwrrQueue::enqueue(const Packet& packet) {
   cls.backlog_bytes += packet.size_bytes;
   backlog_bytes_ += packet.size_bytes;
   ++backlog_packets_;
-  ++stats_.enqueued_packets;
+  count_enqueued(packet);
   return true;
 }
 
@@ -59,8 +59,7 @@ std::optional<Packet> DwrrQueue::dequeue() {
       cls.backlog_bytes -= p.size_bytes;
       backlog_bytes_ -= p.size_bytes;
       --backlog_packets_;
-      ++stats_.dequeued_packets;
-      stats_.dequeued_bytes += p.size_bytes;
+      count_dequeued(p);
       if (cls.fifo.empty()) cls.deficit = 0.0;
       maybe_mark_ecn(p);
       return p;

@@ -3,15 +3,15 @@
 namespace aeq::net {
 
 bool FifoQueue::enqueue(const Packet& packet) {
+  count_offered(packet);
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += packet.size_bytes;
+    count_dropped(packet);
     return false;
   }
   queue_.push_back(packet);
   backlog_bytes_ += packet.size_bytes;
-  ++stats_.enqueued_packets;
+  count_enqueued(packet);
   return true;
 }
 
@@ -20,8 +20,7 @@ std::optional<Packet> FifoQueue::dequeue() {
   Packet p = queue_.front();
   queue_.pop_front();
   backlog_bytes_ -= p.size_bytes;
-  ++stats_.dequeued_packets;
-  stats_.dequeued_bytes += p.size_bytes;
+  count_dequeued(p);
   maybe_mark_ecn(p);
   return p;
 }

@@ -6,7 +6,7 @@ namespace aeq::net {
 
 PfabricQueue::PfabricQueue(std::uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {
-  AEQ_ASSERT_MSG(capacity_bytes_ > 0, "pFabric requires a finite buffer");
+  AEQ_CHECK_GT_MSG(capacity_bytes_, 0u, "pFabric requires a finite buffer");
 }
 
 std::size_t PfabricQueue::min_priority_index() const {
@@ -40,32 +40,32 @@ std::size_t PfabricQueue::max_priority_index() const {
 }
 
 bool PfabricQueue::enqueue(const Packet& packet) {
-  ++stats_.enqueued_packets;
+  count_offered(packet);
   Entry incoming{packet, next_arrival_seq_++};
   // Evict lowest-urgency packets until the newcomer fits; if the newcomer is
-  // itself the least urgent, it is the one dropped.
+  // itself the least urgent, it is the one dropped. Evicted residents count
+  // as drops (they were offered and accepted earlier), so conservation
+  // (offered == dequeued + dropped + resident) holds across evictions.
   while (backlog_bytes_ + incoming.packet.size_bytes > capacity_bytes_) {
     if (queue_.empty()) {
-      ++stats_.dropped_packets;
-      stats_.dropped_bytes += incoming.packet.size_bytes;
+      count_dropped(incoming.packet);
       return false;
     }
     const std::size_t worst = max_priority_index();
     if (queue_[worst].packet.priority > incoming.packet.priority ||
         (queue_[worst].packet.priority == incoming.packet.priority)) {
-      ++stats_.dropped_packets;
-      stats_.dropped_bytes += queue_[worst].packet.size_bytes;
+      count_dropped(queue_[worst].packet);
       backlog_bytes_ -= queue_[worst].packet.size_bytes;
       queue_[worst] = queue_.back();
       queue_.pop_back();
     } else {
-      ++stats_.dropped_packets;
-      stats_.dropped_bytes += incoming.packet.size_bytes;
+      count_dropped(incoming.packet);
       return false;
     }
   }
   backlog_bytes_ += incoming.packet.size_bytes;
   queue_.push_back(incoming);
+  count_enqueued(incoming.packet);
   return true;
 }
 
@@ -76,8 +76,7 @@ std::optional<Packet> PfabricQueue::dequeue() {
   queue_[best] = queue_.back();
   queue_.pop_back();
   backlog_bytes_ -= p.size_bytes;
-  ++stats_.dequeued_packets;
-  stats_.dequeued_bytes += p.size_bytes;
+  count_dequeued(p);
   maybe_mark_ecn(p);
   return p;
 }

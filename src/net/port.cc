@@ -10,8 +10,8 @@ Port::Port(sim::Simulator& simulator, sim::Rate rate_bytes_per_sec,
       rate_(rate_bytes_per_sec),
       propagation_(propagation_delay),
       queue_(std::move(queue)) {
-  AEQ_ASSERT(rate_ > 0.0);
-  AEQ_ASSERT(propagation_ >= 0.0);
+  AEQ_CHECK_GT(rate_, 0.0);
+  AEQ_CHECK_GE(propagation_, 0.0);
   AEQ_ASSERT(queue_ != nullptr);
 }
 
@@ -25,6 +25,7 @@ void Port::deliver_head() {
   AEQ_DCHECK(!in_flight_.empty());
   const Packet packet = in_flight_.front();
   in_flight_.pop_front();
+  ++delivered_packets_;
   peer_->receive(packet);
 }
 

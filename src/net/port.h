@@ -49,6 +49,12 @@ class Port {
     return now > 0 ? busy_time() / now : 0.0;
   }
 
+  // Link-level conservation counters for the audit layer: every packet the
+  // discipline hands to the link is either still propagating (in_flight) or
+  // has been delivered to the peer — dequeued == delivered + in_flight.
+  std::uint64_t delivered_packets() const { return delivered_packets_; }
+  std::uint64_t in_flight_packets() const { return in_flight_.size(); }
+
  private:
   void try_transmit();
   void deliver_head();
@@ -61,6 +67,7 @@ class Port {
   bool busy_ = false;
   sim::Time busy_time_ = 0.0;  // completed transmissions only
   sim::Time tx_start_ = 0.0;   // start of the in-progress transmission
+  std::uint64_t delivered_packets_ = 0;
   // Packets serialized but not yet delivered (propagation in progress).
   // Delivery events are scheduled in FIFO order with a constant propagation
   // delay, so the head is always the next to arrive; keeping the packets

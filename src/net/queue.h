@@ -13,7 +13,17 @@
 namespace aeq::net {
 
 struct QueueStats {
+  // Every packet presented to enqueue(), accepted or not. The audit layer's
+  // conservation invariant (src/audit/checks.h) is stated over these:
+  //   offered == dequeued + dropped + resident
+  // holds for every discipline, including pFabric whose drops can evict
+  // packets that were previously accepted.
+  std::uint64_t offered_packets = 0;
+  std::uint64_t offered_bytes = 0;
+  // Packets accepted into the queue (offered minus rejected arrivals).
   std::uint64_t enqueued_packets = 0;
+  std::uint64_t enqueued_bytes = 0;
+  // Rejected arrivals plus (pFabric) evicted residents.
   std::uint64_t dropped_packets = 0;
   std::uint64_t dropped_bytes = 0;
   std::uint64_t dequeued_packets = 0;
@@ -69,6 +79,27 @@ class QueueDiscipline {
         backlog_bytes() >= ecn_threshold_bytes_) {
       packet.ecn_ce = true;
     }
+  }
+
+  // Stats bookkeeping shared by the disciplines. Every enqueue() must call
+  // count_offered() exactly once, then exactly one of count_enqueued() /
+  // count_dropped() per packet outcome — the audit layer's conservation
+  // check is stated over these counters.
+  void count_offered(const Packet& packet) {
+    ++stats_.offered_packets;
+    stats_.offered_bytes += packet.size_bytes;
+  }
+  void count_enqueued(const Packet& packet) {
+    ++stats_.enqueued_packets;
+    stats_.enqueued_bytes += packet.size_bytes;
+  }
+  void count_dropped(const Packet& packet) {
+    ++stats_.dropped_packets;
+    stats_.dropped_bytes += packet.size_bytes;
+  }
+  void count_dequeued(const Packet& packet) {
+    ++stats_.dequeued_packets;
+    stats_.dequeued_bytes += packet.size_bytes;
   }
 
   QueueStats stats_;

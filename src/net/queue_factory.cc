@@ -25,8 +25,8 @@ std::unique_ptr<QueueDiscipline> make_queue_impl(const QueueConfig& config) {
       return std::make_unique<SpqQueue>(config.weights.size(),
                                         config.capacity_bytes);
     case SchedulerType::kPfabric:
-      AEQ_ASSERT_MSG(config.capacity_bytes > 0,
-                     "pFabric requires a finite buffer");
+      AEQ_CHECK_GT_MSG(config.capacity_bytes, 0u,
+                       "pFabric requires a finite buffer");
       return std::make_unique<PfabricQueue>(config.capacity_bytes);
   }
   AEQ_ASSERT_MSG(false, "unknown scheduler type");

@@ -6,12 +6,13 @@ namespace aeq::net {
 
 RedQueue::RedQueue(const RedConfig& config)
     : config_(config), rng_(config.seed) {
-  AEQ_ASSERT(config_.capacity_bytes > 0);
-  AEQ_ASSERT(config_.min_threshold_bytes < config_.max_threshold_bytes);
-  AEQ_ASSERT(config_.max_threshold_bytes <= config_.capacity_bytes);
-  AEQ_ASSERT(config_.max_drop_probability > 0.0 &&
-             config_.max_drop_probability <= 1.0);
-  AEQ_ASSERT(config_.ewma_weight > 0.0 && config_.ewma_weight <= 1.0);
+  AEQ_CHECK_GT(config_.capacity_bytes, 0u);
+  AEQ_CHECK_LT(config_.min_threshold_bytes, config_.max_threshold_bytes);
+  AEQ_CHECK_LE(config_.max_threshold_bytes, config_.capacity_bytes);
+  AEQ_CHECK_GT(config_.max_drop_probability, 0.0);
+  AEQ_CHECK_LE(config_.max_drop_probability, 1.0);
+  AEQ_CHECK_GT(config_.ewma_weight, 0.0);
+  AEQ_CHECK_LE(config_.ewma_weight, 1.0);
 }
 
 double RedQueue::drop_probability() const {
@@ -31,16 +32,16 @@ double RedQueue::drop_probability() const {
 bool RedQueue::enqueue(const Packet& packet) {
   avg_backlog_ = (1.0 - config_.ewma_weight) * avg_backlog_ +
                  config_.ewma_weight * static_cast<double>(backlog_bytes_);
+  count_offered(packet);
   const bool hard_full =
       backlog_bytes_ + packet.size_bytes > config_.capacity_bytes;
   if (hard_full || rng_.bernoulli(drop_probability())) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += packet.size_bytes;
+    count_dropped(packet);
     return false;
   }
   queue_.push_back(packet);
   backlog_bytes_ += packet.size_bytes;
-  ++stats_.enqueued_packets;
+  count_enqueued(packet);
   return true;
 }
 
@@ -49,8 +50,7 @@ std::optional<Packet> RedQueue::dequeue() {
   Packet p = queue_.front();
   queue_.pop_front();
   backlog_bytes_ -= p.size_bytes;
-  ++stats_.dequeued_packets;
-  stats_.dequeued_bytes += p.size_bytes;
+  count_dequeued(p);
   maybe_mark_ecn(p);
   return p;
 }

@@ -24,7 +24,8 @@ class SharedBufferPool {
  public:
   SharedBufferPool(std::uint64_t total_bytes, double dt_alpha = 1.0)
       : total_(total_bytes), alpha_(dt_alpha) {
-    AEQ_ASSERT(total_bytes > 0 && dt_alpha > 0.0);
+    AEQ_CHECK_GT(total_bytes, 0u);
+    AEQ_CHECK_GT(dt_alpha, 0.0);
   }
 
   std::uint64_t total() const { return total_; }
@@ -42,7 +43,7 @@ class SharedBufferPool {
   }
 
   void release(std::uint64_t bytes) {
-    AEQ_ASSERT(bytes <= used_);
+    AEQ_CHECK_LE(bytes, used_);
     used_ -= bytes;
   }
 
@@ -60,27 +61,52 @@ class PooledQueue final : public QueueDiscipline {
   }
 
   bool enqueue(const Packet& packet) override {
+    count_offered(packet);
     if (!pool_.try_reserve(packet.size_bytes, inner_->backlog_bytes())) {
-      ++stats_.dropped_packets;
-      stats_.dropped_bytes += packet.size_bytes;
+      count_dropped(packet);
       return false;
     }
-    if (!inner_->enqueue(packet)) {
-      pool_.release(packet.size_bytes);  // inner discipline dropped it
-      ++stats_.dropped_packets;
-      stats_.dropped_bytes += packet.size_bytes;
+    reserved_ += packet.size_bytes;
+    const QueueStats inner_before = inner_->stats();
+    const bool accepted = inner_->enqueue(packet);
+    // Reconcile the reservation with the inner backlog: the inner
+    // discipline may have rejected the arrival outright, or (pFabric)
+    // evicted previously accepted residents to make room — either way the
+    // pool must only hold bytes that are actually buffered. Without this
+    // an eviction would leak its reservation forever (the evicted packet
+    // never reaches dequeue()), strangling the pool over time; the
+    // pool-conservation audit check (src/audit/checks.h) guards exactly
+    // this: pool.used == sum of member backlogs.
+    sync_reservation();
+    // Fold inner evictions into this decorator's drop counters: an evicted
+    // resident was already counted enqueued here and will never reach
+    // dequeue(), so without this the decorator-level conservation invariant
+    // (offered == dequeued + dropped + resident) would not close.
+    std::uint64_t evicted_packets =
+        inner_->stats().dropped_packets - inner_before.dropped_packets;
+    std::uint64_t evicted_bytes =
+        inner_->stats().dropped_bytes - inner_before.dropped_bytes;
+    if (!accepted) {
+      // The rejected arrival itself is part of the inner drop delta but is
+      // accounted through count_dropped() below.
+      evicted_packets -= 1;
+      evicted_bytes -= packet.size_bytes;
+    }
+    stats_.dropped_packets += evicted_packets;
+    stats_.dropped_bytes += evicted_bytes;
+    if (!accepted) {
+      count_dropped(packet);
       return false;
     }
-    ++stats_.enqueued_packets;
+    count_enqueued(packet);
     return true;
   }
 
   std::optional<Packet> dequeue() override {
     auto packet = inner_->dequeue();
     if (packet) {
-      pool_.release(packet->size_bytes);
-      ++stats_.dequeued_packets;
-      stats_.dequeued_bytes += packet->size_bytes;
+      sync_reservation();
+      count_dequeued(*packet);
     }
     return packet;
   }
@@ -95,12 +121,36 @@ class PooledQueue final : public QueueDiscipline {
   std::uint64_t class_backlog_bytes(QoSLevel qos) const override {
     return inner_->class_backlog_bytes(qos);
   }
+  std::uint64_t class_dropped_packets(QoSLevel qos) const override {
+    return inner_->class_dropped_packets(qos);
+  }
+  std::uint64_t class_dropped_bytes(QoSLevel qos) const override {
+    return inner_->class_dropped_bytes(qos);
+  }
 
   QueueDiscipline& inner() { return *inner_; }
+  const QueueDiscipline& inner() const { return *inner_; }
+
+  // Pool bytes currently held on behalf of the inner queue; always equal to
+  // the inner backlog between operations.
+  std::uint64_t reserved_bytes() const { return reserved_; }
 
  private:
+  // Releases any reservation not backed by buffered bytes. Reservations only
+  // ever shrink relative to the inner backlog (enqueue reserves up front),
+  // so growth here would be an accounting bug.
+  void sync_reservation() {
+    const std::uint64_t backlog = inner_->backlog_bytes();
+    AEQ_CHECK_LE(backlog, reserved_);
+    if (reserved_ > backlog) {
+      pool_.release(reserved_ - backlog);
+      reserved_ = backlog;
+    }
+  }
+
   std::unique_ptr<QueueDiscipline> inner_;
   SharedBufferPool& pool_;
+  std::uint64_t reserved_ = 0;
 };
 
 }  // namespace aeq::net

@@ -6,17 +6,18 @@ namespace aeq::net {
 
 SpqQueue::SpqQueue(std::size_t num_classes, std::uint64_t capacity_bytes)
     : capacity_bytes_(capacity_bytes) {
-  AEQ_ASSERT(num_classes > 0 && num_classes <= kMaxQoSLevels);
+  AEQ_CHECK_GT(num_classes, 0u);
+  AEQ_CHECK_LE(num_classes, kMaxQoSLevels);
   classes_.resize(num_classes);
 }
 
 bool SpqQueue::enqueue(const Packet& packet) {
-  AEQ_ASSERT(packet.qos < classes_.size());
+  AEQ_CHECK_LT(packet.qos, classes_.size());
+  count_offered(packet);
   ClassState& cls = classes_[packet.qos];
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
-    ++stats_.dropped_packets;
-    stats_.dropped_bytes += packet.size_bytes;
+    count_dropped(packet);
     ++cls.dropped_packets;
     cls.dropped_bytes += packet.size_bytes;
     return false;
@@ -25,7 +26,7 @@ bool SpqQueue::enqueue(const Packet& packet) {
   cls.backlog_bytes += packet.size_bytes;
   backlog_bytes_ += packet.size_bytes;
   ++backlog_packets_;
-  ++stats_.enqueued_packets;
+  count_enqueued(packet);
   return true;
 }
 
@@ -37,8 +38,7 @@ std::optional<Packet> SpqQueue::dequeue() {
     cls.backlog_bytes -= p.size_bytes;
     backlog_bytes_ -= p.size_bytes;
     --backlog_packets_;
-    ++stats_.dequeued_packets;
-    stats_.dequeued_bytes += p.size_bytes;
+    count_dequeued(p);
     maybe_mark_ecn(p);
     return p;
   }

@@ -11,18 +11,19 @@ std::size_t Switch::add_port(std::unique_ptr<Port> port) {
 }
 
 void Switch::set_route(HostId dst, std::size_t port_index) {
-  AEQ_ASSERT(port_index < ports_.size());
+  AEQ_CHECK_LT(port_index, ports_.size());
   routes_[dst] = {port_index};
 }
 
 void Switch::set_ecmp_route(HostId dst,
                             std::vector<std::size_t> port_indices) {
   AEQ_ASSERT(!port_indices.empty());
-  for (std::size_t i : port_indices) AEQ_ASSERT(i < ports_.size());
+  for (std::size_t i : port_indices) AEQ_CHECK_LT(i, ports_.size());
   routes_[dst] = std::move(port_indices);
 }
 
 void Switch::receive(const Packet& packet) {
+  ++received_packets_;
   auto it = routes_.find(packet.dst);
   AEQ_ASSERT_MSG(it != routes_.end(), "switch has no route for destination");
   const auto& choices = it->second;

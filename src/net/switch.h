@@ -34,10 +34,17 @@ class Switch final : public PacketSink {
   std::size_t num_ports() const { return ports_.size(); }
   const std::string& name() const { return name_; }
 
+  // Packets this switch has accepted for routing. The audit layer's
+  // routing-conservation check asserts that every received packet was
+  // offered to exactly one egress queue:
+  //   received == sum over ports of queue().stats().offered_packets.
+  std::uint64_t received_packets() const { return received_packets_; }
+
  private:
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
   std::unordered_map<HostId, std::vector<std::size_t>> routes_;
+  std::uint64_t received_packets_ = 0;
 };
 
 }  // namespace aeq::net

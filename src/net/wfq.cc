@@ -12,23 +12,23 @@ WfqQueue::WfqQueue(std::vector<double> weights, std::uint64_t capacity_bytes,
     : capacity_bytes_(capacity_bytes),
       per_class_capacity_bytes_(per_class_capacity_bytes) {
   AEQ_ASSERT_MSG(!weights.empty(), "WFQ needs at least one class");
-  AEQ_ASSERT(weights.size() <= kMaxQoSLevels);
+  AEQ_CHECK_LE(weights.size(), kMaxQoSLevels);
   classes_.resize(weights.size());
   for (std::size_t i = 0; i < weights.size(); ++i) {
-    AEQ_ASSERT_MSG(weights[i] > 0.0, "WFQ weights must be positive");
+    AEQ_CHECK_GT_MSG(weights[i], 0.0, "WFQ weights must be positive");
     classes_[i].weight = weights[i];
   }
 }
 
 void WfqQueue::count_drop(ClassState& cls, const Packet& packet) {
-  ++stats_.dropped_packets;
-  stats_.dropped_bytes += packet.size_bytes;
+  count_dropped(packet);
   ++cls.dropped_packets;
   cls.dropped_bytes += packet.size_bytes;
 }
 
 bool WfqQueue::enqueue(const Packet& packet) {
-  AEQ_ASSERT_MSG(packet.qos < classes_.size(), "packet QoS out of range");
+  AEQ_CHECK_LT_MSG(packet.qos, classes_.size(), "packet QoS out of range");
+  count_offered(packet);
   ClassState& cls = classes_[packet.qos];
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
@@ -43,12 +43,15 @@ bool WfqQueue::enqueue(const Packet& packet) {
   const double start = std::max(virtual_time_, cls.last_finish);
   const double finish =
       start + static_cast<double>(packet.size_bytes) / cls.weight;
+  // Finish tags within a class are non-decreasing by construction; the
+  // audit layer re-derives this from the pending packets (audit_tags).
+  AEQ_AUDIT_ONLY(AEQ_CHECK_GE(finish, cls.last_finish);)
   cls.last_finish = finish;
   cls.fifo.push_back(Tagged{packet, start, finish});
   cls.backlog_bytes += packet.size_bytes;
   backlog_bytes_ += packet.size_bytes;
   ++backlog_packets_;
-  ++stats_.enqueued_packets;
+  count_enqueued(packet);
   return true;
 }
 
@@ -64,20 +67,48 @@ std::optional<Packet> WfqQueue::dequeue() {
       best = i;
     }
   }
-  AEQ_ASSERT(best < classes_.size());
+  AEQ_CHECK_LT(best, classes_.size());
   ClassState& cls = classes_[best];
   Tagged tagged = cls.fifo.front();
   cls.fifo.pop_front();
   // Advance the virtual clock to the service start of the selected packet so
-  // that newly arriving classes do not accrue credit while idle.
+  // that newly arriving classes do not accrue credit while idle. Taking the
+  // max keeps the clock monotone; the audit registry independently verifies
+  // monotonicity across dequeues (wfq/virtual-time-monotone).
   virtual_time_ = std::max(virtual_time_, tagged.start_tag);
   cls.backlog_bytes -= tagged.packet.size_bytes;
   backlog_bytes_ -= tagged.packet.size_bytes;
   --backlog_packets_;
-  ++stats_.dequeued_packets;
-  stats_.dequeued_bytes += tagged.packet.size_bytes;
+  count_dequeued(tagged.packet);
   maybe_mark_ecn(tagged.packet);
   return tagged.packet;
+}
+
+void WfqQueue::audit_tags() const {
+  std::uint64_t pending_bytes = 0;
+  std::uint64_t pending_packets = 0;
+  for (const ClassState& cls : classes_) {
+    std::uint64_t class_bytes = 0;
+    double prev_finish = -std::numeric_limits<double>::infinity();
+    for (const Tagged& tagged : cls.fifo) {
+      AEQ_CHECK_LE_MSG(tagged.start_tag, tagged.finish_tag,
+                       "WFQ start tag past its finish tag");
+      AEQ_CHECK_LE_MSG(prev_finish, tagged.finish_tag,
+                       "WFQ finish tags out of order within a class");
+      prev_finish = tagged.finish_tag;
+      class_bytes += tagged.packet.size_bytes;
+    }
+    if (!cls.fifo.empty()) {
+      AEQ_CHECK_EQ_MSG(cls.last_finish, cls.fifo.back().finish_tag,
+                       "WFQ last_finish does not match newest pending tag");
+    }
+    AEQ_CHECK_EQ_MSG(cls.backlog_bytes, class_bytes,
+                     "WFQ per-class backlog out of sync with pending bytes");
+    pending_bytes += class_bytes;
+    pending_packets += cls.fifo.size();
+  }
+  AEQ_CHECK_EQ(backlog_bytes_, pending_bytes);
+  AEQ_CHECK_EQ(backlog_packets_, pending_packets);
 }
 
 std::uint64_t WfqQueue::class_backlog_bytes(QoSLevel qos) const {

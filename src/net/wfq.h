@@ -41,6 +41,14 @@ class WfqQueue final : public QueueDiscipline {
   std::size_t num_classes() const { return classes_.size(); }
   double virtual_time() const { return virtual_time_; }
 
+  // Audit hook (src/audit/checks.h): asserts the virtual-time/tag
+  // invariants the paper's delay bound (§4, Appendix B) is derived from —
+  // per-class finish tags non-decreasing in FIFO order, start <= finish for
+  // every pending packet, the class's last_finish equal to its newest
+  // pending tag, and per-class backlog consistent with the pending packets.
+  // Aborts via AEQ_CHECK_* on violation.
+  void audit_tags() const;
+
  private:
   struct Tagged {
     Packet packet;

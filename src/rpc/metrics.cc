@@ -22,12 +22,13 @@ RpcMetrics::RpcMetrics(std::size_t num_qos, const SloConfig& slo,
       slo_eligible_bytes_(num_qos, 0),
       slo_met_bytes_(num_qos, 0),
       outstanding_(num_hosts, {0, 0}) {
-  AEQ_ASSERT(num_qos >= 2);
+  AEQ_CHECK_GE(num_qos, 2u);
 }
 
 void RpcMetrics::on_issue(net::HostId dst, net::QoSLevel qos_requested,
                           net::QoSLevel qos_run, std::uint64_t bytes) {
-  AEQ_ASSERT(qos_requested < num_qos_ && qos_run < num_qos_);
+  AEQ_CHECK_LT(qos_requested, num_qos_);
+  AEQ_CHECK_LT(qos_run, num_qos_);
   bytes_requested_[qos_requested] += bytes;
   bytes_admitted_[qos_run] += bytes;
   const int group =
@@ -36,7 +37,8 @@ void RpcMetrics::on_issue(net::HostId dst, net::QoSLevel qos_requested,
 }
 
 void RpcMetrics::record(const RpcRecord& record) {
-  AEQ_ASSERT(record.qos_requested < num_qos_ && record.qos_run < num_qos_);
+  AEQ_CHECK_LT(record.qos_requested, num_qos_);
+  AEQ_CHECK_LT(record.qos_run, num_qos_);
   if (record.downgraded) ++downgraded_[record.qos_requested];
 
   const int group =

@@ -14,15 +14,16 @@ RpcStack::RpcStack(sim::Simulator& simulator, net::HostId host_id,
       admission_(admission),
       metrics_(metrics),
       config_(config) {
-  AEQ_ASSERT(config_.num_qos >= 2 && config_.mtu_bytes > 0);
+  AEQ_CHECK_GE(config_.num_qos, 2u);
+  AEQ_CHECK_GT(config_.mtu_bytes, 0u);
 }
 
 std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
                               std::uint64_t bytes,
                               sim::Time deadline_budget,
                               std::uint64_t app_tag) {
-  AEQ_ASSERT(bytes > 0);
-  AEQ_ASSERT(dst != host_id_);
+  AEQ_CHECK_GT(bytes, 0u);
+  AEQ_CHECK_NE(dst, host_id_);
   const std::uint64_t rpc_id =
       (static_cast<std::uint64_t>(host_id_) << 40) | ++issued_;
 

@@ -25,8 +25,9 @@ std::uint64_t RpcServiceNode::encode_tag(std::uint8_t kind,
                                          Priority priority,
                                          std::uint64_t payload_bytes,
                                          std::uint32_t op_seq) {
-  AEQ_ASSERT(kind >= 1 && kind <= 3);
-  AEQ_ASSERT(payload_bytes <= kPayloadMask);
+  AEQ_CHECK_GE(kind, 1u);
+  AEQ_CHECK_LE(kind, 3u);
+  AEQ_CHECK_LE(payload_bytes, kPayloadMask);
   return (static_cast<std::uint64_t>(kind) << kKindShift) |
          (static_cast<std::uint64_t>(priority) << kPriorityShift) |
          ((payload_bytes & kPayloadMask) << kPayloadShift) |
@@ -37,7 +38,7 @@ RpcServiceNode::RpcServiceNode(sim::Simulator& simulator, RpcStack& stack,
                                transport::HostStack& transport,
                                const ServiceConfig& config)
     : sim_(simulator), stack_(stack), config_(config) {
-  AEQ_ASSERT(config_.control_bytes > 0);
+  AEQ_CHECK_GT(config_.control_bytes, 0u);
   transport.set_rpc_delivery_handler(
       [this](const transport::DeliveredRpc& delivered) {
         on_delivered(delivered);
@@ -59,7 +60,7 @@ std::uint64_t RpcServiceNode::write(net::HostId server,
 std::uint64_t RpcServiceNode::start_op(RpcOp op, net::HostId server,
                                        std::uint64_t payload_bytes,
                                        Priority priority) {
-  AEQ_ASSERT(payload_bytes > 0);
+  AEQ_CHECK_GT(payload_bytes, 0u);
   const std::uint32_t seq = next_seq_++ & kSeqMask;
 
   PendingOp pending;

@@ -30,7 +30,7 @@ struct SloConfig {
 
   // Absolute RNL target for an RPC of `size_mtus` MTUs at `qos`.
   sim::Time absolute_target(net::QoSLevel qos, std::uint64_t size_mtus) const {
-    AEQ_ASSERT(qos < latency_target_per_mtu.size());
+    AEQ_CHECK_LT(qos, latency_target_per_mtu.size());
     return latency_target_per_mtu[qos] * static_cast<double>(size_mtus);
   }
 
@@ -47,7 +47,7 @@ struct SloConfig {
 // RPC size in MTUs, as used by Algorithm 1 (minimum 1).
 inline std::uint64_t size_in_mtus(std::uint64_t bytes,
                                   std::uint32_t mtu_bytes) {
-  AEQ_ASSERT(mtu_bytes > 0);
+  AEQ_CHECK_GT(mtu_bytes, 0u);
   return bytes == 0 ? 1 : (bytes + mtu_bytes - 1) / mtu_bytes;
 }
 

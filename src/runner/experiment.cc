@@ -1,14 +1,16 @@
 #include "runner/experiment.h"
 
+#include <string>
 #include <utility>
 
+#include "audit/checks.h"
 #include "sim/assert.h"
 
 namespace aeq::runner {
 
 Experiment::Experiment(const ExperimentConfig& config)
     : config_(config), sim_(config.scheduler_backend) {
-  AEQ_ASSERT(config_.num_qos >= 2);
+  AEQ_CHECK_GE(config_.num_qos, 2u);
   AEQ_ASSERT_MSG(config_.slo.num_qos() == config_.num_qos,
                  "SLO config must cover every QoS level");
 
@@ -90,6 +92,31 @@ Experiment::Experiment(const ExperimentConfig& config)
         sim_, id, *host_stacks_.back(), *controllers_.back(), *metrics_,
         stack_config));
   }
+
+  if (config_.audit) register_audit_checks();
+}
+
+void Experiment::register_audit_checks() {
+  auditor_ = std::make_unique<audit::Auditor>();
+  audit::register_simulator_checks(*auditor_, sim_);
+  audit::register_network_checks(*auditor_, network_, sim_, config_.num_qos);
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    const std::string host = "host" + std::to_string(i);
+    audit::register_transport_checks(*auditor_, host + "-transport",
+                                     *host_stacks_[i]);
+    if (aequitas_[i] != nullptr) {
+      audit::register_aequitas_checks(*auditor_, host + "-aequitas",
+                                      *aequitas_[i], sim_);
+    }
+  }
+}
+
+void Experiment::schedule_audit(sim::Time at, sim::Time end) {
+  if (at > end) return;
+  sim_.schedule_at(at, [this, at, end] {
+    auditor_->run_all();
+    schedule_audit(at + config_.audit_interval, end);
+  });
 }
 
 const workload::SizeDistribution* Experiment::own(
@@ -125,7 +152,7 @@ void Experiment::schedule_sampler(std::size_t index, sim::Time at) {
 }
 
 void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
-  AEQ_ASSERT(duration > 0.0);
+  AEQ_CHECK_GT(duration, 0.0);
   metrics_->set_warmup(warmup);
   run_end_ = warmup + duration;
   for (auto& generator : generators_) {
@@ -134,9 +161,16 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
   for (std::size_t s = 0; s < samplers_.size(); ++s) {
     schedule_sampler(s, sim_.now() + samplers_[s].interval);
   }
+  if (auditor_) {
+    AEQ_ASSERT(config_.audit_interval > 0.0);
+    schedule_audit(sim_.now() + config_.audit_interval, run_end_ + drain);
+  }
   sim_.run_until(run_end_);
   // Let in-flight RPCs finish so tail percentiles include them.
   sim_.run_until(run_end_ + drain);
+  // One final sweep over the drained state (catches leaks that only show
+  // once queues empty, e.g. a pool reservation that never released).
+  if (auditor_) auditor_->run_all();
 }
 
 double Experiment::mean_downlink_utilization() const {

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.h"
 #include "core/aequitas.h"
 #include "net/queue_factory.h"
 #include "rpc/metrics.h"
@@ -66,6 +67,15 @@ struct ExperimentConfig {
   double p_admit_floor = 0.01;
   rpc::SloConfig slo;  // required (also drives SLO-met accounting)
 
+  // Invariant auditing (src/audit/): when set, the experiment registers the
+  // full check catalogue over its components and evaluates it every
+  // `audit_interval` of simulated time plus once after the drain. Checks are
+  // read-only, so results are bit-identical with auditing on or off.
+  // Defaults on in -DAEQ_AUDIT builds (which additionally enable the
+  // per-event hot-path hooks), off otherwise.
+  bool audit = audit::kBuildEnabled;
+  sim::Time audit_interval = 50 * sim::kUsec;
+
   std::uint64_t seed = 1;
 };
 
@@ -88,6 +98,9 @@ class Experiment {
   }
 
   const ExperimentConfig& config() const { return config_; }
+
+  // The invariant-audit registry; null when ExperimentConfig::audit is off.
+  audit::Auditor* auditor() { return auditor_.get(); }
 
   // Registers and owns a size distribution for the experiment's lifetime.
   const workload::SizeDistribution* own(
@@ -114,10 +127,13 @@ class Experiment {
 
  private:
   void schedule_sampler(std::size_t index, sim::Time at);
+  void register_audit_checks();
+  void schedule_audit(sim::Time at, sim::Time end);
 
   ExperimentConfig config_;
   sim::Simulator sim_;
   topo::Network network_;
+  std::unique_ptr<audit::Auditor> auditor_;
   std::unique_ptr<rpc::RpcMetrics> metrics_;
   std::vector<std::unique_ptr<transport::HostStack>> host_stacks_;
   std::vector<std::unique_ptr<rpc::AdmissionController>> controllers_;

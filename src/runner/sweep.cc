@@ -30,7 +30,7 @@ namespace detail {
 
 void run_indexed(std::size_t count, std::size_t jobs,
                  const std::function<void(std::size_t)>& body) {
-  AEQ_ASSERT(jobs > 0);
+  AEQ_CHECK_GT(jobs, 0u);
   if (count == 0) return;
 
   std::atomic<std::size_t> next{0};

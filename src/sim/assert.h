@@ -3,18 +3,91 @@
 // AEQ_ASSERT is active in all build types (the simulator is a research tool:
 // a silently-corrupted run is worse than an abort). Use AEQ_DCHECK for checks
 // that are too hot for release builds.
+//
+// AEQ_CHECK_EQ/NE/LE/LT/GE/GT compare two operands and, on failure, print
+// both operand values plus the current simulated time and (when running
+// inside the audit registry, src/audit/) the name of the failing invariant
+// check. Prefer them over AEQ_ASSERT(a == b): the extra context turns "an
+// assert fired somewhere in a 10-second run" into an actionable report.
+//
+// The AEQ_AUDIT compile flag (CMake option -DAEQ_AUDIT=ON) additionally
+// enables hot-path invariant hooks wrapped in AEQ_AUDIT_ONLY(...) — e.g.
+// per-event scheduler monotonicity and per-update AIMD step-direction
+// checks — which are too frequent to keep in ordinary builds.
 #pragma once
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
+#include <type_traits>
+
+#ifdef AEQ_AUDIT
+#define AEQ_AUDIT_ENABLED 1
+#else
+#define AEQ_AUDIT_ENABLED 0
+#endif
+
+// Expands its arguments only in AEQ_AUDIT builds. Use for hot-path checks
+// (and the bookkeeping they need) that would be measurable overhead in
+// ordinary runs.
+#if AEQ_AUDIT_ENABLED
+#define AEQ_AUDIT_ONLY(...) __VA_ARGS__
+#else
+#define AEQ_AUDIT_ONLY(...)
+#endif
 
 namespace aeq::detail {
 
+// Simulated time of the event being dispatched on this thread, maintained by
+// sim::Simulator so assertion failures can report *when* they happened.
+// Negative while no simulator is running.
+inline thread_local double g_sim_now = -1.0;
+
+// Name of the audit-registry check currently executing on this thread
+// ("component/check", see audit::Auditor::run_all); null outside the
+// registry. Lets AEQ_CHECK_* failures name the violated invariant without
+// every check closure threading a label through.
+inline thread_local const char* g_audit_check = nullptr;
+
+inline void print_failure_context() {
+  if (g_sim_now >= 0.0) {
+    std::fprintf(stderr, " [t=%.9gs]", g_sim_now);
+  }
+  if (g_audit_check != nullptr) {
+    std::fprintf(stderr, " [audit check: %s]", g_audit_check);
+  }
+}
+
 [[noreturn]] inline void assert_fail(const char* expr, const char* file,
                                      int line, const char* msg) {
-  std::fprintf(stderr, "AEQ_ASSERT failed: %s at %s:%d%s%s\n", expr, file,
-               line, msg[0] ? " — " : "", msg);
+  std::fprintf(stderr, "AEQ_ASSERT failed: %s at %s:%d", expr, file, line);
+  print_failure_context();
+  std::fprintf(stderr, "%s%s\n", msg[0] ? " — " : "", msg);
   std::abort();
+}
+
+[[noreturn]] inline void check_fail(const char* expr, const char* file,
+                                    int line, const std::string& lhs,
+                                    const std::string& rhs, const char* msg) {
+  std::fprintf(stderr, "AEQ_CHECK failed: %s (%s vs %s) at %s:%d",
+               expr, lhs.c_str(), rhs.c_str(), file, line);
+  print_failure_context();
+  std::fprintf(stderr, "%s%s\n", msg[0] ? " — " : "", msg);
+  std::abort();
+}
+
+// Renders an operand for a failure report. Arithmetic types are promoted so
+// char-sized integers (e.g. QoSLevel) print as numbers, not glyphs.
+template <typename T>
+std::string operand_repr(const T& value) {
+  std::ostringstream os;
+  if constexpr (std::is_arithmetic_v<std::decay_t<T>>) {
+    os << +value;
+  } else {
+    os << value;
+  }
+  return os.str();
 }
 
 }  // namespace aeq::detail
@@ -35,3 +108,31 @@ namespace aeq::detail {
 #else
 #define AEQ_DCHECK(expr) AEQ_ASSERT(expr)
 #endif
+
+// Implementation detail shared by the comparison checks. Operands are
+// evaluated exactly once; the formatting path is cold (failure only).
+#define AEQ_CHECK_OP_(op, a, b, msg)                                       \
+  do {                                                                     \
+    auto&& aeq_chk_lhs_ = (a);                                             \
+    auto&& aeq_chk_rhs_ = (b);                                             \
+    if (!(aeq_chk_lhs_ op aeq_chk_rhs_)) {                                 \
+      ::aeq::detail::check_fail(#a " " #op " " #b, __FILE__, __LINE__,     \
+                                ::aeq::detail::operand_repr(aeq_chk_lhs_), \
+                                ::aeq::detail::operand_repr(aeq_chk_rhs_), \
+                                (msg));                                    \
+    }                                                                      \
+  } while (0)
+
+#define AEQ_CHECK_EQ(a, b) AEQ_CHECK_OP_(==, a, b, "")
+#define AEQ_CHECK_NE(a, b) AEQ_CHECK_OP_(!=, a, b, "")
+#define AEQ_CHECK_LE(a, b) AEQ_CHECK_OP_(<=, a, b, "")
+#define AEQ_CHECK_LT(a, b) AEQ_CHECK_OP_(<, a, b, "")
+#define AEQ_CHECK_GE(a, b) AEQ_CHECK_OP_(>=, a, b, "")
+#define AEQ_CHECK_GT(a, b) AEQ_CHECK_OP_(>, a, b, "")
+
+#define AEQ_CHECK_EQ_MSG(a, b, msg) AEQ_CHECK_OP_(==, a, b, msg)
+#define AEQ_CHECK_NE_MSG(a, b, msg) AEQ_CHECK_OP_(!=, a, b, msg)
+#define AEQ_CHECK_LE_MSG(a, b, msg) AEQ_CHECK_OP_(<=, a, b, msg)
+#define AEQ_CHECK_LT_MSG(a, b, msg) AEQ_CHECK_OP_(<, a, b, msg)
+#define AEQ_CHECK_GE_MSG(a, b, msg) AEQ_CHECK_OP_(>=, a, b, msg)
+#define AEQ_CHECK_GT_MSG(a, b, msg) AEQ_CHECK_OP_(>, a, b, msg)

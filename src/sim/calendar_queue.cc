@@ -16,7 +16,7 @@ CalendarQueue::CalendarQueue(Time initial_bucket_width,
 EventId CalendarQueue::schedule(Time t, Handler handler) {
   AEQ_ASSERT(handler != nullptr);
   AEQ_ASSERT_MSG(std::isfinite(t), "event time must be finite");
-  AEQ_ASSERT_MSG(t >= current_, "cannot schedule into the past");
+  AEQ_ASSERT_MSG(t >= floor_time_, "cannot schedule into the past");
   const EventId id = handles_.acquire();
   insert(Node{t, next_seq_++, id, std::move(handler)});
   ++live_;
@@ -47,27 +47,27 @@ bool CalendarQueue::cancel(EventId id) {
 }
 
 CalendarQueue::Node CalendarQueue::take_earliest() {
-  // Scan buckets from the cursor; an event "belongs" to the current
-  // rotation when its time falls inside the cursor bucket's window.
+  // Scan buckets from the cursor; an event belongs to the current rotation
+  // when its slot index (the same computation that placed it in its bucket,
+  // see slot_of) has been reached by the cursor's slot.
   for (std::size_t scanned = 0; scanned <= buckets_.size(); ++scanned) {
     auto& bucket = buckets_[cursor_];
-    const Time window_end = current_ + width_;
     while (!bucket.empty()) {
-      if (bucket.front().t >= window_end) break;  // future rotation
+      if (slot_of(bucket.front().t) > slot_) break;  // future rotation
       Node node = std::move(bucket.front());
       bucket.pop_front();
       if (!handles_.live(node.id)) {  // tombstone: reclaim and skip
         handles_.release(node.id);
         continue;
       }
-      // Re-anchor the epoch at the popped event so current_ never exceeds
+      // Re-anchor at the popped event so the cursor never runs ahead of
       // simulated time (resizes can leave it misaligned).
-      current_ = std::floor(node.t / width_) * width_;
+      slot_ = slot_of(node.t);
       cursor_ = bucket_of(node.t);
       return node;
     }
     cursor_ = (cursor_ + 1) % buckets_.size();
-    current_ += width_;
+    ++slot_;
   }
   // A full rotation found nothing in-window: events are sparse. Jump the
   // calendar to the earliest event anywhere (direct search).
@@ -82,7 +82,7 @@ CalendarQueue::Node CalendarQueue::take_earliest() {
   }
   AEQ_ASSERT_MSG(best < std::numeric_limits<Time>::infinity(),
                  "take_earliest on empty calendar");
-  current_ = best - std::fmod(best, width_);
+  slot_ = slot_of(best);
   cursor_ = bucket_of(best);
   return take_earliest();
 }
@@ -92,22 +92,35 @@ CalendarQueue::Popped CalendarQueue::pop() {
   Node node = take_earliest();
   handles_.release(node.id);
   --live_;
+  floor_time_ = node.t;
   maybe_resize();
+  // Scheduler contract shared with EventQueue: pops leave in strictly
+  // increasing (time, insertion-sequence) order, the property the
+  // backend-equivalence guarantee rests on.
+  AEQ_AUDIT_ONLY({
+    AEQ_CHECK_GE_MSG(node.t, last_popped_t_, "event popped out of time order");
+    if (node.t == last_popped_t_) {
+      AEQ_CHECK_GT_MSG(node.seq, last_popped_seq_,
+                       "tied events popped out of insertion order");
+    }
+    last_popped_t_ = node.t;
+    last_popped_seq_ = node.seq;
+  });
   return Popped{node.t, std::move(node.handler)};
 }
 
 Time CalendarQueue::next_time() {
   AEQ_ASSERT(live_ > 0);
   // Peek without committing the epoch advance: take_earliest re-anchors
-  // current_ at the earliest event, which may lie arbitrarily far in the
+  // the cursor at the earliest event, which may lie arbitrarily far in the
   // future — a later schedule() between this peek and the next pop() must
   // still be allowed at any t >= the last *popped* time.
-  const Time saved_current = current_;
+  const std::uint64_t saved_slot = slot_;
   const std::size_t saved_cursor = cursor_;
   Node node = take_earliest();
   const Time t = node.t;
   insert(std::move(node));  // put it back; its handle stays live
-  current_ = saved_current;
+  slot_ = saved_slot;
   cursor_ = saved_cursor;
   return t;
 }
@@ -148,8 +161,10 @@ void CalendarQueue::resize(std::size_t new_buckets) {
   std::vector<std::list<Node>> old = std::move(buckets_);
   width_ = estimate_width(old);
   buckets_.assign(new_buckets, {});
-  current_ = std::floor(current_ / width_) * width_;  // re-align the epoch
-  cursor_ = bucket_of(current_);
+  // Re-anchor at the last popped time: every live event is at or after it,
+  // so its slot (under the new width) is a valid scan start.
+  slot_ = slot_of(floor_time_);
+  cursor_ = static_cast<std::size_t>(slot_ % new_buckets);
   for (auto& bucket : old) {
     for (auto& node : bucket) {
       if (!handles_.live(node.id)) {  // purge tombstones wholesale

@@ -48,8 +48,19 @@ class CalendarQueue final : public EventScheduler {
     Handler handler;
   };
 
+  // Slot index = which `width_`-wide window an event belongs to. Window
+  // membership during the cursor scan and bucket placement both derive from
+  // this one expression: using separate float arithmetic for the two (as a
+  // textbook `current_ + width_` rolling window does) lets truncation in
+  // t / width_ land an event one slot below the window that the rolling sum
+  // says should contain it, and the scan then skips it as "future rotation"
+  // on every pass — it only resurfaces, late and out of order, via the
+  // sparse-jump fallback once the calendar drains.
+  std::uint64_t slot_of(Time t) const {
+    return static_cast<std::uint64_t>(t / width_);
+  }
   std::size_t bucket_of(Time t) const {
-    return static_cast<std::size_t>(t / width_) % buckets_.size();
+    return static_cast<std::size_t>(slot_of(t) % buckets_.size());
   }
   void insert(Node node);
   void maybe_resize();
@@ -62,11 +73,16 @@ class CalendarQueue final : public EventScheduler {
 
   std::vector<std::list<Node>> buckets_;
   Time width_;
-  Time current_ = 0.0;      // lower edge of the cursor bucket's epoch
+  std::uint64_t slot_ = 0;  // slot index of the cursor bucket's window
+  Time floor_time_ = 0.0;   // last popped time: no event may precede it
   std::size_t cursor_ = 0;  // bucket being drained
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
   HandleTable handles_;
+  // Last popped (time, seq), consulted only by the AEQ_AUDIT build's
+  // pop-order check: both backends promise strictly increasing order.
+  Time last_popped_t_ = -1.0;
+  std::uint64_t last_popped_seq_ = 0;
 };
 
 }  // namespace aeq::sim

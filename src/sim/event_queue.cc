@@ -11,6 +11,11 @@ EventId EventQueue::schedule(Time t, Handler handler) {
   heap_.push_back(Node{t, next_seq_++, id, std::move(handler)});
   std::push_heap(heap_.begin(), heap_.end(), Later{});
   ++live_;
+  // A raw queue (unlike Simulator::schedule_at) permits scheduling below the
+  // last popped time; the pop-order floor must follow the new minimum.
+  AEQ_AUDIT_ONLY({
+    if (t < last_popped_t_) last_popped_t_ = t;
+  });
   return id;
 }
 
@@ -41,6 +46,18 @@ EventQueue::Popped EventQueue::pop() {
   AEQ_ASSERT_MSG(!heap_.empty(), "pop() on empty event queue");
   Node node = take_head();
   --live_;
+  // Scheduler contract shared with CalendarQueue: pops leave in strictly
+  // increasing (time, insertion-sequence) order, the property the
+  // backend-equivalence guarantee rests on.
+  AEQ_AUDIT_ONLY({
+    AEQ_CHECK_GE_MSG(node.t, last_popped_t_, "event popped out of time order");
+    if (node.t == last_popped_t_) {
+      AEQ_CHECK_GT_MSG(node.seq, last_popped_seq_,
+                       "tied events popped out of insertion order");
+    }
+    last_popped_t_ = node.t;
+    last_popped_seq_ = node.seq;
+  });
   return Popped{node.t, std::move(node.handler)};
 }
 

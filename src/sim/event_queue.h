@@ -53,6 +53,10 @@ class EventQueue final : public EventScheduler {
   HandleTable handles_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;
+  // Last popped (time, seq), consulted only by the AEQ_AUDIT build's
+  // pop-order check: both backends promise strictly increasing order.
+  Time last_popped_t_ = -1.0;
+  std::uint64_t last_popped_seq_ = 0;
 };
 
 }  // namespace aeq::sim

@@ -7,7 +7,7 @@
 namespace aeq::sim {
 
 EventId Simulator::schedule_at(Time t, EventScheduler::Handler handler) {
-  AEQ_ASSERT_MSG(t >= now_, "cannot schedule into the past");
+  AEQ_CHECK_GE_MSG(t, now_, "cannot schedule into the past");
   return queue_->schedule(t, std::move(handler));
 }
 
@@ -15,6 +15,9 @@ void Simulator::dispatch_one() {
   auto [t, handler] = queue_->pop();
   AEQ_DCHECK(t >= now_);
   now_ = t;
+  // Keep the diagnostic clock in step so AEQ_CHECK failure reports anywhere
+  // in the call tree below carry the simulated time.
+  detail::g_sim_now = now_;
   ++events_processed_;
   handler();
 }
@@ -25,12 +28,15 @@ void Simulator::run() {
 }
 
 void Simulator::run_until(Time t_end) {
-  AEQ_ASSERT(t_end >= now_);
+  AEQ_CHECK_GE_MSG(t_end, now_, "run_until target precedes current time");
   stopped_ = false;
   while (!queue_->empty() && !stopped_ && queue_->next_time() <= t_end) {
     dispatch_one();
   }
-  if (!stopped_ && now_ < t_end) now_ = t_end;
+  if (!stopped_ && now_ < t_end) {
+    now_ = t_end;
+    detail::g_sim_now = now_;
+  }
 }
 
 }  // namespace aeq::sim

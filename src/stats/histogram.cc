@@ -29,7 +29,7 @@ void Histogram::merge(const Histogram& other) {
 }
 
 double Histogram::cdf_at(std::size_t i) const {
-  AEQ_ASSERT(i < counts_.size());
+  AEQ_CHECK_LT(i, counts_.size());
   if (total_ == 0) return 0.0;
   std::uint64_t below = underflow_;
   for (std::size_t j = 0; j <= i; ++j) below += counts_[j];

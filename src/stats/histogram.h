@@ -15,7 +15,8 @@ class Histogram {
   // overflow counted separately.
   Histogram(double lo, double hi, std::size_t bins)
       : lo_(lo), hi_(hi), counts_(bins, 0) {
-    AEQ_ASSERT(hi > lo && bins > 0);
+    AEQ_CHECK_GT(hi, lo);
+    AEQ_CHECK_GT(bins, 0u);
   }
 
   void add(double x, std::uint64_t weight = 1);

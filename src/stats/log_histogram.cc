@@ -7,8 +7,10 @@ namespace aeq::stats {
 LogHistogram::LogHistogram(double min_value, double max_value,
                            double precision)
     : min_value_(min_value), max_value_(max_value) {
-  AEQ_ASSERT(min_value > 0.0 && max_value > min_value);
-  AEQ_ASSERT(precision > 0.0 && precision < 1.0);
+  AEQ_CHECK_GT(min_value, 0.0);
+  AEQ_CHECK_GT(max_value, min_value);
+  AEQ_CHECK_GT(precision, 0.0);
+  AEQ_CHECK_LT(precision, 1.0);
   log_base_ = std::log1p(2.0 * precision);
   const auto buckets = static_cast<std::size_t>(
       std::ceil(std::log(max_value / min_value) / log_base_)) + 1;
@@ -29,7 +31,8 @@ void LogHistogram::add(double value, std::uint64_t weight) {
 
 double LogHistogram::percentile(double pct) const {
   if (total_ == 0) return 0.0;
-  AEQ_ASSERT(pct >= 0.0 && pct <= 100.0);
+  AEQ_CHECK_GE(pct, 0.0);
+  AEQ_CHECK_LE(pct, 100.0);
   const auto target = static_cast<std::uint64_t>(
       std::ceil(pct / 100.0 * static_cast<double>(total_)));
   std::uint64_t seen = 0;
@@ -44,8 +47,8 @@ double LogHistogram::percentile(double pct) const {
 }
 
 void LogHistogram::merge(const LogHistogram& other) {
-  AEQ_ASSERT(buckets_.size() == other.buckets_.size());
-  AEQ_ASSERT(min_value_ == other.min_value_);
+  AEQ_CHECK_EQ(buckets_.size(), other.buckets_.size());
+  AEQ_CHECK_EQ(min_value_, other.min_value_);
   for (std::size_t i = 0; i < buckets_.size(); ++i) {
     buckets_[i] += other.buckets_[i];
   }

@@ -31,7 +31,8 @@ void PercentileTracker::ensure_sorted() const {
 
 double PercentileTracker::percentile(double pct) const {
   if (samples_.empty()) return 0.0;
-  AEQ_ASSERT(pct >= 0.0 && pct <= 100.0);
+  AEQ_CHECK_GE(pct, 0.0);
+  AEQ_CHECK_LE(pct, 100.0);
   ensure_sorted();
   if (pct <= 0.0) return samples_.front();
   // Nearest-rank: the smallest value with at least pct% of mass at or below.

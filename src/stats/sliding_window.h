@@ -15,7 +15,7 @@ namespace aeq::stats {
 class SlidingWindowPercentile {
  public:
   explicit SlidingWindowPercentile(sim::Time window) : window_(window) {
-    AEQ_ASSERT(window > 0.0);
+    AEQ_CHECK_GT(window, 0.0);
   }
 
   void add(sim::Time now, double value) {
@@ -25,7 +25,8 @@ class SlidingWindowPercentile {
 
   // Percentile over samples within (now - window, now]; 0 when empty.
   double percentile(sim::Time now, double pct) {
-    AEQ_ASSERT(pct >= 0.0 && pct <= 100.0);
+    AEQ_CHECK_GE(pct, 0.0);
+    AEQ_CHECK_LE(pct, 100.0);
     evict(now);
     if (samples_.empty()) return 0.0;
     std::vector<double> values;

@@ -22,7 +22,7 @@ std::unique_ptr<net::Port> make_port(sim::Simulator& simulator,
 }  // namespace
 
 Network build_star(sim::Simulator& simulator, const StarConfig& config) {
-  AEQ_ASSERT(config.num_hosts >= 2);
+  AEQ_CHECK_GE(config.num_hosts, 2u);
   Network network;
   auto* fabric = network.add_switch(std::make_unique<net::Switch>("tor"));
   net::SharedBufferPool* pool = nullptr;
@@ -51,14 +51,18 @@ Network build_star(sim::Simulator& simulator, const StarConfig& config) {
     const std::size_t port = fabric->add_port(std::move(downlink));
     fabric->set_route(id, port);
     network.register_downlink(&fabric->port(port));
+    if (pool != nullptr) {
+      network.register_pool_member(pool, &fabric->port(port).queue());
+    }
   }
   return network;
 }
 
 Network build_leaf_spine(sim::Simulator& simulator,
                          const LeafSpineConfig& config) {
-  AEQ_ASSERT(config.hosts_per_leaf >= 1 && config.num_leaves >= 2 &&
-             config.num_spines >= 1);
+  AEQ_CHECK_GE(config.hosts_per_leaf, 1u);
+  AEQ_CHECK_GE(config.num_leaves, 2u);
+  AEQ_CHECK_GE(config.num_spines, 1u);
   Network network;
   const std::size_t total_hosts = config.hosts_per_leaf * config.num_leaves;
 

@@ -6,8 +6,8 @@ namespace aeq::topo {
 
 net::Host* Network::add_host(std::unique_ptr<net::Host> host) {
   AEQ_ASSERT(host != nullptr);
-  AEQ_ASSERT_MSG(host->id() == static_cast<net::HostId>(hosts_.size()),
-                 "hosts must be added in id order");
+  AEQ_CHECK_EQ_MSG(host->id(), static_cast<net::HostId>(hosts_.size()),
+                   "hosts must be added in id order");
   hosts_.push_back(std::move(host));
   return hosts_.back().get();
 }

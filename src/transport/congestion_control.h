@@ -28,6 +28,11 @@ class CongestionControl {
   virtual void on_idle_restart() {}
 
   virtual double cwnd_packets() const = 0;
+
+  // Audit hook (src/audit/checks.h): asserts the implementation's window
+  // bounds and estimator sanity via AEQ_CHECK_*; default is check-free for
+  // implementations without internal invariants.
+  virtual void audit_invariants() const {}
 };
 
 // Fixed window: no reaction to congestion. Used for validation experiments

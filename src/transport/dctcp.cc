@@ -48,4 +48,17 @@ void DctcpCC::on_idle_restart() {
   window_marked_ = 0.0;
 }
 
+void DctcpCC::audit_invariants() const {
+  AEQ_CHECK_GE_MSG(alpha_, 0.0, "DCTCP alpha negative");
+  AEQ_CHECK_LE_MSG(alpha_, 1.0, "DCTCP alpha above 1");
+  AEQ_CHECK_LE_MSG(window_marked_, window_acked_,
+                   "more marked than acked packets in window");
+  AEQ_CHECK_GE_MSG(cwnd_, config_.min_cwnd, "DCTCP cwnd under min_cwnd");
+  AEQ_CHECK_LE_MSG(
+      cwnd_,
+      std::max({config_.max_cwnd, config_.initial_cwnd, config_.restart_cwnd}),
+      "DCTCP cwnd above max_cwnd");
+  AEQ_CHECK_GE_MSG(srtt_, 0.0, "DCTCP srtt negative");
+}
+
 }  // namespace aeq::transport

@@ -34,6 +34,13 @@ class DctcpCC final : public CongestionControl {
   void on_idle_restart() override;
   double cwnd_packets() const override { return cwnd_; }
 
+  // DCTCP estimator sanity: alpha (the EWMA of the marked fraction) must
+  // stay in [0, 1], the per-window mark count can never exceed the ACK
+  // count, and cwnd stays within [min_cwnd, max(max_cwnd, initial_cwnd,
+  // restart_cwnd)] (restart/initial may legitimately sit above max_cwnd
+  // under operator overrides).
+  void audit_invariants() const override;
+
   double alpha() const { return alpha_; }
 
  private:

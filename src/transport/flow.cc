@@ -170,6 +170,26 @@ void Flow::handle_ack(const net::Packet& ack) {
   }
 }
 
+void Flow::audit_invariants() const {
+  AEQ_CHECK_LE_MSG(acked_, next_seq_, "ACK point beyond send point");
+  AEQ_CHECK_LE_MSG(next_seq_, stream_end_, "send point beyond stream end");
+  std::uint64_t prev_end = acked_;
+  for (const PendingMessage& msg : messages_) {
+    // Completed messages are popped eagerly, so every queued message ends
+    // strictly past the ACK point, and the deque stays sorted (message_at
+    // binary-searches on this).
+    AEQ_CHECK_GT_MSG(msg.end_offset, prev_end,
+                     "message end_offset not increasing past ACK point");
+    AEQ_CHECK_GE_MSG(msg.end_offset, msg.bytes, "message larger than stream");
+    prev_end = msg.end_offset;
+  }
+  if (!messages_.empty()) {
+    AEQ_CHECK_EQ_MSG(messages_.back().end_offset, stream_end_,
+                     "last queued message does not end at stream end");
+  }
+  cc_->audit_invariants();
+}
+
 void Flow::complete_messages() {
   while (!messages_.empty() && messages_.front().end_offset <= acked_) {
     PendingMessage msg = std::move(messages_.front());

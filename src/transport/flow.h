@@ -67,6 +67,14 @@ class Flow {
   std::uint64_t queued_messages() const { return messages_.size(); }
   const CongestionControl& cc() const { return *cc_; }
 
+  // Audit hook (src/audit/checks.h): asserts the cumulative-ACK stream
+  // ordering acked <= next_seq <= stream_end (go-back-N can rewind next_seq,
+  // but never below the ACK point), that queued messages partition the
+  // unacknowledged stream suffix in strictly increasing end_offset order,
+  // and delegates to the congestion controller's own invariants. Aborts via
+  // AEQ_CHECK_* on violation.
+  void audit_invariants() const;
+
  private:
   struct PendingMessage {
     std::uint64_t end_offset;  // stream offset one past the last byte

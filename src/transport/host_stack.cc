@@ -21,9 +21,11 @@ HostStack::HostStack(sim::Simulator& simulator, net::Host& host,
 
 std::uint64_t HostStack::flow_key(net::HostId dst, net::QoSLevel qos,
                                   int lane) const {
-  AEQ_ASSERT(dst >= 0 && static_cast<std::size_t>(dst) < num_hosts_);
-  AEQ_ASSERT(qos < net::kMaxQoSLevels);
-  AEQ_ASSERT(lane >= 0 && static_cast<std::uint64_t>(lane) < kLanes);
+  AEQ_CHECK_GE(dst, 0);
+  AEQ_CHECK_LT(static_cast<std::size_t>(dst), num_hosts_);
+  AEQ_CHECK_LT(qos, net::kMaxQoSLevels);
+  AEQ_CHECK_GE(lane, 0);
+  AEQ_CHECK_LT(static_cast<std::uint64_t>(lane), kLanes);
   return ((static_cast<std::uint64_t>(host_.id()) * num_hosts_ +
            static_cast<std::uint64_t>(dst)) *
               net::kMaxQoSLevels +

@@ -71,6 +71,15 @@ class HostStack final : public MessageTransport {
 
   net::Host& host() { return host_; }
 
+  // Visits every sender-side flow (iteration order is unspecified — the
+  // audit layer only aggregates or asserts per-flow, never emits events).
+  void for_each_flow(const std::function<void(const Flow&)>& fn) const {
+    for (const auto& [key, flow] : flows_) {
+      (void)key;
+      fn(*flow);
+    }
+  }
+
  private:
   struct ReceiverState {
     std::uint64_t next_expected = 0;

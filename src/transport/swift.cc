@@ -37,4 +37,11 @@ void SwiftCC::on_loss(sim::Time now) {
   clamp();
 }
 
+void SwiftCC::audit_invariants() const {
+  AEQ_CHECK_GE_MSG(cwnd_, config_.min_cwnd, "Swift cwnd under min_cwnd");
+  AEQ_CHECK_LE_MSG(cwnd_, std::max(config_.max_cwnd, config_.restart_cwnd),
+                   "Swift cwnd above max_cwnd");
+  AEQ_CHECK_GE_MSG(srtt_, 0.0, "Swift srtt negative");
+}
+
 }  // namespace aeq::transport

@@ -42,6 +42,14 @@ class SwiftCC final : public CongestionControl {
   }
   double cwnd_packets() const override { return cwnd_; }
 
+  // Swift window-bounds/pacing sanity: cwnd within [min_cwnd,
+  // max(max_cwnd, restart_cwnd)] (idle restart may legitimately place the
+  // window at restart_cwnd even when an operator sets it above max_cwnd),
+  // and a non-negative RTT estimate — a negative or NaN srtt would corrupt
+  // both the pacing gap (rtt/cwnd for cwnd < 1) and the once-per-RTT
+  // decrease gate.
+  void audit_invariants() const override;
+
   sim::Time smoothed_rtt() const { return srtt_; }
 
  private:

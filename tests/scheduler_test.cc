@@ -227,6 +227,27 @@ TEST(CalendarQueueTest, OverflowEventStillFiresAfterNearTermDrain) {
   EXPECT_EQ(popped, (std::vector<double>{2e-6, 0.5, 2.0}));
 }
 
+TEST(CalendarQueueTest, SlotBoundaryTruncatedEventIsNotStranded) {
+  // Regression: t = 0.0018 with the default 1us width truncates to slot 1799
+  // in bucket placement (0.0018 / 1e-6 computes just under 1800), while a
+  // float rolling-window scan put it in slot 1800's window. The scan then
+  // skipped it as "future rotation" forever and it surfaced late — and out
+  // of order — via the sparse-jump fallback, silently regressing simulated
+  // time. Placement and window membership must share one slot computation.
+  sim::CalendarQueue q;  // 1us buckets, 256 of them
+  std::vector<double> expected;
+  q.schedule(0.0018, [] {});
+  expected.push_back(0.0018);
+  for (int k = 1; k <= 300; ++k) {
+    const double t = 0.0018 + k * 0.7e-6;  // mid-slot, spans > one rotation
+    q.schedule(t, [] {});
+    expected.push_back(t);
+  }
+  std::vector<double> popped;
+  while (!q.empty()) popped.push_back(q.pop().time);
+  EXPECT_EQ(popped, expected);  // already sorted: strictly increasing input
+}
+
 TEST(CalendarQueueTest, ResizeBothDirectionsPreservesOrderAndNextTime) {
   sim::CalendarQueue q;  // 256 buckets initially
   sim::Rng rng(31);

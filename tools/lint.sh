@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Runs clang-tidy (config: .clang-tidy) over the library sources using the
+# compile database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS, on by
+# default).
+#
+# Usage: tools/lint.sh [build-dir]
+#   build-dir  directory holding compile_commands.json (default: build)
+#
+# Exits 0 when clang-tidy finds nothing, non-zero on findings. When
+# clang-tidy is not installed the script reports that and exits 0 so local
+# workflows without the tool keep working; CI installs it and runs this for
+# real (.github/workflows/ci.yml, job `lint`).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+build_dir="${1:-build}"
+
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "${tidy}" ]]; then
+  echo "lint.sh: clang-tidy not found on PATH; skipping (install clang-tidy to lint locally)" >&2
+  exit 0
+fi
+
+db="${build_dir}/compile_commands.json"
+if [[ ! -f "${db}" ]]; then
+  echo "lint.sh: ${db} not found — configure first: cmake -B ${build_dir} -S ." >&2
+  exit 1
+fi
+
+# Library sources only: tests/bench link GTest/benchmark headers that trip
+# third-party lint noise; the warning-hardened -Werror build covers them.
+mapfile -t sources < <(find src -name '*.cc' | sort)
+
+echo "lint.sh: ${tidy} over ${#sources[@]} files (database: ${db})"
+"${tidy}" -p "${build_dir}" --quiet "${sources[@]}"
+echo "lint.sh: clean"
