@@ -18,7 +18,8 @@ using namespace aeq;
 
 runner::PointResult run(const char* name,
                         runner::ExperimentConfig::CcKind cc, bool aequitas,
-                        std::uint64_t seed) {
+                        std::uint64_t seed,
+                        const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 17;
   config.num_qos = 3;
@@ -32,6 +33,7 @@ runner::PointResult run(const char* name,
                                      50 * sim::kUsec / size_mtus, 0.0},
                                     99.9);
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
   bench::AllToAllSpec spec;
@@ -74,10 +76,12 @@ int main(int argc, char** argv) {
       {"fixed window (none)", runner::ExperimentConfig::CcKind::kFixedWindow},
   };
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (const Case& c : cases) {
     for (bool aequitas : {false, true}) {
-      sweep.submit([c, aequitas](const runner::PointContext& ctx) {
-        return run(c.name, c.kind, aequitas, ctx.seed);
+      sweep.submit([c, aequitas, trace = args.trace,
+                    point = trace_point++](const runner::PointContext& ctx) {
+        return run(c.name, c.kind, aequitas, ctx.seed, trace, point);
       });
     }
   }

@@ -44,7 +44,8 @@ class DropController final : public rpc::AdmissionController {
   core::AequitasController inner_;
 };
 
-runner::PointResult run(bool drop, std::uint64_t seed) {
+runner::PointResult run(bool drop, std::uint64_t seed,
+                        const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 3;
   config.num_qos = 2;
@@ -64,6 +65,7 @@ runner::PointResult run(bool drop, std::uint64_t seed) {
     config.enable_aequitas = true;
   }
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
 
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
@@ -103,9 +105,11 @@ int main(int argc, char** argv) {
                       "Downgrade (Aequitas) vs drop-based admission under "
                       "2x offered load (3-node, SLO 15us)");
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (bool drop : {false, true}) {
-    sweep.submit([drop](const runner::PointContext& ctx) {
-      return run(drop, ctx.seed);
+    sweep.submit([drop, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
+      return run(drop, ctx.seed, trace, point);
     });
   }
   stats::Table table({{"policy", 22},

@@ -16,7 +16,8 @@ namespace {
 
 using namespace aeq;
 
-runner::PointResult run(bool with_aequitas, std::uint64_t seed) {
+runner::PointResult run(bool with_aequitas, std::uint64_t seed,
+                        const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.use_leaf_spine = true;
   config.leaf_spine.hosts_per_leaf = 8;
@@ -37,6 +38,7 @@ runner::PointResult run(bool with_aequitas, std::uint64_t seed) {
                                      120 * sim::kUsec / size_mtus, 0.0},
                                     99.9);
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
 
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
@@ -78,9 +80,11 @@ int main(int argc, char** argv) {
                       "2:1 oversubscribed uplinks, cross-leaf traffic only "
                       "(SLO 60/120us)");
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (bool with_aequitas : {false, true}) {
-    sweep.submit([with_aequitas](const runner::PointContext& ctx) {
-      return run(with_aequitas, ctx.seed);
+    sweep.submit([with_aequitas, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
+      return run(with_aequitas, ctx.seed, trace, point);
     });
   }
   const auto points = sweep.run();

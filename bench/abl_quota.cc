@@ -23,7 +23,8 @@ struct Result {
   double p999_us;
 };
 
-Result run(bool with_quota, std::uint64_t seed) {
+Result run(bool with_quota, std::uint64_t seed,
+           const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 3;
   config.num_qos = 2;
@@ -81,6 +82,7 @@ Result run(bool with_quota, std::uint64_t seed) {
     config.enable_aequitas = true;
   }
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
 
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
@@ -120,9 +122,11 @@ int main(int argc, char** argv) {
                       "Per-tenant quota server over Aequitas (tenant "
                       "weights 3:1, both over-demanding QoS_h)");
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (bool with_quota : {false, true}) {
-    sweep.submit([with_quota](const runner::PointContext& ctx) {
-      const Result r = run(with_quota, ctx.seed);
+    sweep.submit([with_quota, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
+      const Result r = run(with_quota, ctx.seed, trace, point);
       return runner::PointResult::single(
           {with_quota ? "with quota server (3:1)" : "Aequitas only (1:1)",
            r.thput_a_gbps, r.thput_b_gbps, r.p999_us});

@@ -40,7 +40,8 @@ class GlobalStateController final : public rpc::AdmissionController {
   core::AequitasController inner_;
 };
 
-runner::PointResult run(bool per_destination, std::uint64_t seed) {
+runner::PointResult run(bool per_destination, std::uint64_t seed,
+                        const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 9;
   config.num_qos = 2;
@@ -60,6 +61,7 @@ runner::PointResult run(bool per_destination, std::uint64_t seed) {
     };
   }
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
 
   std::unordered_map<int, std::uint64_t> issued, downgraded;
   stats::PercentileTracker background_rnl;
@@ -113,9 +115,11 @@ int main(int argc, char** argv) {
                       "Per-destination admission state vs a global "
                       "per-QoS p_admit (hotspot at host 0)");
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (bool per_destination : {true, false}) {
-    sweep.submit([per_destination](const runner::PointContext& ctx) {
-      return run(per_destination, ctx.seed);
+    sweep.submit([per_destination, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
+      return run(per_destination, ctx.seed, trace, point);
     });
   }
   stats::Table table({{"state granularity", 24},

@@ -37,16 +37,42 @@ inline void print_header(const char* figure, const char* title) {
 
 inline void print_footer() { std::printf("\n"); }
 
+// Selects which simulation point of a bench gets a telemetry trace.
+// Benches run many independent experiments (sweep points, calibration
+// runs); tracing all of them would interleave files, so --trace targets
+// exactly one, identified by the order in which the bench applies the
+// request (its submission index, which is deterministic for any --jobs N).
+struct TraceRequest {
+  std::string trace;      // --trace PATH: Chrome trace_event JSON
+  std::string trace_csv;  // --trace-csv PATH: flat per-event CSV
+  int point = 0;          // --trace-point N: which apply() site fires
+
+  bool enabled() const { return !trace.empty() || !trace_csv.empty(); }
+
+  // Attaches tracing to `experiment` iff this is the requested point.
+  // Call once per candidate experiment, numbering them 0, 1, ... in the
+  // order they are submitted/constructed.
+  void apply(runner::Experiment& experiment, int point_index = 0) const {
+    if (!enabled() || point_index != point) return;
+    experiment.trace_to(trace, trace_csv);
+  }
+};
+
 // Command line shared by every figure/ablation bench:
-//   --jobs N     worker threads for the sweep (default: AEQ_JOBS env, else
-//                hardware concurrency); results are identical for any N
-//   --seed S     base seed; per-point seeds derive from (S, point index)
-//   --csv PATH   append each rendered table as CSV ("-" = stdout)
-//   --json PATH  append each rendered table as JSON ("-" = stdout)
+//   --jobs N        worker threads for the sweep (default: AEQ_JOBS env,
+//                   else hardware concurrency); results are identical for
+//                   any N
+//   --seed S        base seed; per-point seeds derive from (S, point index)
+//   --csv PATH      append each rendered table as CSV ("-" = stdout)
+//   --json PATH     append each rendered table as JSON ("-" = stdout)
+//   --trace PATH    write a Chrome trace_event JSON for one point
+//   --trace-csv PATH  write a per-event CSV for the same point
+//   --trace-point N which point to trace (default 0, the first)
 struct BenchArgs {
   runner::SweepOptions sweep;
   std::string csv_path;
   std::string json_path;
+  TraceRequest trace;
   tools::Flags flags;       // bench-specific extras stay queryable
   bool machine_started = false;  // first emit truncates, later ones append
 };
@@ -62,6 +88,9 @@ inline BenchArgs parse_args(int argc, char** argv) {
       static_cast<std::uint64_t>(args.flags.get_int("seed", 1));
   args.csv_path = args.flags.get("csv");
   args.json_path = args.flags.get("json");
+  args.trace.trace = args.flags.get("trace");
+  args.trace.trace_csv = args.flags.get("trace-csv");
+  args.trace.point = static_cast<int>(args.flags.get_int("trace-point", 0));
   return args;
 }
 

@@ -30,6 +30,8 @@ struct FairnessSpec {
   double beta_per_mtu = 0.01;
   sim::Time duration = 600 * sim::kMsec;
   std::uint64_t seed = 1;  // callers pass the sweep point's derived seed
+  TraceRequest trace;      // forwarded from --trace/--trace-csv
+  int trace_point = 0;     // this run's index for TraceRequest::apply
 };
 
 // Self-contained: safe to call from a SweepRunner / parallel_points worker
@@ -47,6 +49,7 @@ inline FairnessResult run_fairness(const FairnessSpec& spec) {
   config.slo = rpc::SloConfig::make(
       {spec.slo_us * sim::kUsec / size_mtus, 0.0}, 99.9);
   runner::Experiment experiment(config);
+  spec.trace.apply(experiment, spec.trace_point);
 
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));

@@ -31,7 +31,8 @@ struct Timeline {
   std::map<int, double> offered_bytes;
 };
 
-Timeline run(bool with_aequitas, std::uint64_t seed) {
+Timeline run(bool with_aequitas, std::uint64_t seed,
+             const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 12;
   config.num_qos = 3;
@@ -41,6 +42,7 @@ Timeline run(bool with_aequitas, std::uint64_t seed) {
   config.slo = rpc::SloConfig::make(
       {25.0 / 8 * sim::kUsec, 50.0 / 8 * sim::kUsec, 0.0}, 99.9);
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
 
@@ -100,8 +102,10 @@ int main(int argc, char** argv) {
   // and Aequitas columns line up bucket for bucket.
   const std::uint64_t seed = sim::derive_seed(args.sweep.base_seed, 0);
   auto timelines = runner::parallel_points(
-      2, args.sweep.jobs,
-      [seed](std::size_t index) { return run(index == 1, seed); });
+      2, args.sweep.jobs, [seed, &args](std::size_t index) {
+        return run(index == 1, seed, args.trace,
+                   static_cast<int>(index));
+      });
   Timeline& base = timelines[0];
   Timeline& aeq = timelines[1];
 

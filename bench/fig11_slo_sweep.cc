@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   runner::SweepRunner sweep(args.sweep);
   // Convergence time scales with the AI increment window
   // (= per-MTU target * 1000 at p99.9), so looser SLOs run longer.
+  int trace_point = 0;
   for (double slo_us : {15.0, 20.0, 30.0, 40.0, 50.0, 60.0}) {
-    sweep.submit([slo_us](const runner::PointContext& ctx) {
+    sweep.submit([slo_us, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
       runner::ExperimentConfig config;
       config.num_hosts = 3;
       config.num_qos = 2;
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
       config.slo = rpc::SloConfig::make(
           {slo_us * sim::kUsec / size_mtus, 0.0}, 99.9);
       runner::Experiment experiment(config);
+      trace.apply(experiment, point);
 
       const auto* sizes = experiment.own(
           std::make_unique<workload::FixedSize>(32 * sim::kKiB));

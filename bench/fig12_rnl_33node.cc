@@ -13,7 +13,9 @@ namespace {
 
 using namespace aeq;
 
-runner::PointResult run_variant(bool with_aequitas, std::uint64_t seed) {
+runner::PointResult run_variant(bool with_aequitas, std::uint64_t seed,
+                                const bench::TraceRequest& trace,
+                                int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
@@ -30,6 +32,7 @@ runner::PointResult run_variant(bool with_aequitas, std::uint64_t seed) {
                                      50 * sim::kUsec / size_mtus, 0.0},
                                     99.9);
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
   bench::AllToAllSpec spec;
@@ -51,9 +54,11 @@ int main(int argc, char** argv) {
                       "33-node all-to-all, mix 60/30/10, SLO 25/50us, "
                       "w/ and w/o Aequitas");
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (bool with_aequitas : {false, true}) {
-    sweep.submit([with_aequitas](const runner::PointContext& ctx) {
-      return run_variant(with_aequitas, ctx.seed);
+    sweep.submit([with_aequitas, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
+      return run_variant(with_aequitas, ctx.seed, trace, point);
     });
   }
   const auto points = sweep.run();

@@ -18,7 +18,8 @@ struct Cdfs {
   stats::Histogram low{0.0, 512.0, 512};   // QoS_l group
 };
 
-Cdfs run(bool with_aequitas, std::uint64_t seed) {
+Cdfs run(bool with_aequitas, std::uint64_t seed,
+         const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
@@ -30,6 +31,7 @@ Cdfs run(bool with_aequitas, std::uint64_t seed) {
                                      50 * sim::kUsec / size_mtus, 0.0},
                                     99.9);
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
   bench::AllToAllSpec spec;
@@ -73,8 +75,9 @@ int main(int argc, char** argv) {
                       "mix 60/30/10), w/ and w/o Aequitas");
   const runner::SweepRunner seeds(args.sweep);
   auto cdfs = runner::parallel_points(
-      2, args.sweep.jobs, [&seeds](std::size_t index) {
-        return run(index == 1, seeds.point_seed(index));
+      2, args.sweep.jobs, [&seeds, &args](std::size_t index) {
+        return run(index == 1, seeds.point_seed(index), args.trace,
+                   static_cast<int>(index));
       });
   print_cdf("QoS_h + QoS_m outstanding RPCs:", cdfs[0].high, cdfs[1].high,
             args);

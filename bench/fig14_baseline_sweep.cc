@@ -13,8 +13,10 @@ int main(int argc, char** argv) {
                       "Baseline p99.9 RNL vs input QoS_h-share "
                       "(QoS_m fixed at 25%), 33-node, no admission control");
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (double share : {0.05, 0.15, 0.25, 0.35, 0.45, 0.55, 0.70}) {
-    sweep.submit([share](const runner::PointContext& ctx) {
+    sweep.submit([share, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
       runner::ExperimentConfig config;
       config.num_hosts = 33;
       config.num_qos = 3;
@@ -26,6 +28,7 @@ int main(int argc, char** argv) {
                                          25 * sim::kUsec / size_mtus, 0.0},
                                         99.9);
       runner::Experiment experiment(config);
+      trace.apply(experiment, point);
       const auto* sizes = experiment.own(
           std::make_unique<workload::FixedSize>(32 * sim::kKiB));
       bench::AllToAllSpec spec;

@@ -83,9 +83,12 @@ int main(int argc, char** argv) {
       {0.40, 0.40, 0.20},
   };
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (const auto& mix : inputs) {
-    sweep.submit([mix, slo](const runner::PointContext& ctx) {
+    sweep.submit([mix, slo, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
       runner::Experiment experiment = make_experiment(true, slo, ctx.seed);
+      trace.apply(experiment, point);
       attach(experiment, mix);
       experiment.run(25 * sim::kMsec, 30 * sim::kMsec);
       const auto& metrics = experiment.metrics();

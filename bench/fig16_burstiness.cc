@@ -17,8 +17,10 @@ int main(int argc, char** argv) {
   const double size_mtus = 8.0;
   const std::vector<double> rhos = {1.4, 1.6, 1.8, 2.0, 2.2};
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (double rho : rhos) {
-    sweep.submit([rho, size_mtus](const runner::PointContext& ctx) {
+    sweep.submit([rho, size_mtus, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
       runner::ExperimentConfig config;
       config.num_hosts = 33;
       config.num_qos = 3;
@@ -29,6 +31,7 @@ int main(int argc, char** argv) {
                                          50 * sim::kUsec / size_mtus, 0.0},
                                         99.9);
       runner::Experiment experiment(config);
+      trace.apply(experiment, point);
       const auto* sizes = experiment.own(
           std::make_unique<workload::FixedSize>(32 * sim::kKiB));
       bench::AllToAllSpec spec;

@@ -17,6 +17,7 @@ int main(int argc, char** argv) {
   spec.qosh_fraction_a = 0.8;
   spec.qosh_fraction_b = 0.4;
   spec.seed = sim::derive_seed(args.sweep.base_seed, 0);
+  spec.trace = args.trace;
   const bench::FairnessResult r = bench::run_fairness(spec);
   bench::emit(bench::fairness_timeline_table(r, 21), args);
   std::printf("\nsteady state (last third):\n");

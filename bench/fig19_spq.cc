@@ -15,7 +15,8 @@ namespace {
 using namespace aeq;
 
 runner::PointResult run(double qosh_share, bool aequitas_wfq,
-                        std::uint64_t seed) {
+                        std::uint64_t seed,
+                        const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
@@ -32,6 +33,7 @@ runner::PointResult run(double qosh_share, bool aequitas_wfq,
   config.slo = rpc::SloConfig::make(
       {25 * sim::kUsec / size_mtus, 50 * sim::kUsec / size_mtus, 0.0}, 99.9);
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
   const auto* sizes = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
   bench::AllToAllSpec spec;
@@ -56,10 +58,12 @@ int main(int argc, char** argv) {
                       "QoS_m fixed at 20% (SLO 25/50us)");
   const std::vector<double> shares = {0.50, 0.60, 0.70, 0.80};
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (double share : shares) {
     for (bool aequitas_wfq : {false, true}) {
-      sweep.submit([share, aequitas_wfq](const runner::PointContext& ctx) {
-        return run(share, aequitas_wfq, ctx.seed);
+      sweep.submit([share, aequitas_wfq, trace = args.trace,
+                    point = trace_point++](const runner::PointContext& ctx) {
+        return run(share, aequitas_wfq, ctx.seed, trace, point);
       });
     }
   }

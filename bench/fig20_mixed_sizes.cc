@@ -19,7 +19,8 @@ struct GroupStats {
   double shares[3] = {0.0, 0.0, 0.0};
 };
 
-GroupStats run(bool with_aequitas, std::uint64_t seed) {
+GroupStats run(bool with_aequitas, std::uint64_t seed,
+               const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
@@ -36,6 +37,7 @@ GroupStats run(bool with_aequitas, std::uint64_t seed) {
   config.alpha = 0.002;
   config.beta_per_mtu = 0.05;
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
   const auto* small = experiment.own(
       std::make_unique<workload::FixedSize>(32 * sim::kKiB));
   const auto* large = experiment.own(
@@ -72,8 +74,9 @@ int main(int argc, char** argv) {
                       "channels, SLO 25us per 8 MTUs (p99.9)");
   const runner::SweepRunner seeds(args.sweep);
   auto results = runner::parallel_points(
-      2, args.sweep.jobs, [&seeds](std::size_t index) {
-        return run(index == 1, seeds.point_seed(index));
+      2, args.sweep.jobs, [&seeds, &args](std::size_t index) {
+        return run(index == 1, seeds.point_seed(index), args.trace,
+                   static_cast<int>(index));
       });
   GroupStats& baseline = results[0];
   GroupStats& aequitas = results[1];

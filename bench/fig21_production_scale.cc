@@ -12,7 +12,8 @@ namespace {
 
 using namespace aeq;
 
-runner::PointResult run(bool with_aequitas, std::uint64_t seed) {
+runner::PointResult run(bool with_aequitas, std::uint64_t seed,
+                        const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 144;
   config.num_qos = 3;
@@ -27,6 +28,7 @@ runner::PointResult run(bool with_aequitas, std::uint64_t seed) {
   config.alpha = 0.002;
   config.beta_per_mtu = 0.05;
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
 
   bench::AllToAllSpec spec;
   spec.mix = {0.6, 0.3, 0.1};
@@ -66,9 +68,11 @@ int main(int argc, char** argv) {
                       "per-link overload; normalized SLO 4us(h)/12us(m) "
                       "per MTU");
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (bool with_aequitas : {false, true}) {
-    sweep.submit([with_aequitas](const runner::PointContext& ctx) {
-      return run(with_aequitas, ctx.seed);
+    sweep.submit([with_aequitas, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
+      return run(with_aequitas, ctx.seed, trace, point);
     });
   }
   const auto points = sweep.run();

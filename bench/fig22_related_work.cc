@@ -106,7 +106,7 @@ Row collect(const char* name, Experiment& experiment, double utilization) {
   return row;
 }
 
-Row run_aequitas(std::uint64_t seed) {
+Row run_aequitas(std::uint64_t seed, const bench::TraceRequest& trace) {
   runner::ExperimentConfig config;
   config.num_hosts = 33;
   config.num_qos = 3;
@@ -115,6 +115,9 @@ Row run_aequitas(std::uint64_t seed) {
   config.slo = make_slo();
   config.seed = seed;
   runner::Experiment experiment(config);
+  // Only the Aequitas point supports tracing (the protocol baselines use
+  // their own harness), so it is always point 0.
+  trace.apply(experiment, 0);
   attach_workload(experiment, false);
   experiment.run(12 * sim::kMsec, 15 * sim::kMsec);
   // Utilization: downlink busy fraction relative to the offered load
@@ -201,8 +204,8 @@ int main(int argc, char** argv) {
 
   runner::SweepRunner sweep(args.sweep);
   if (wanted("Aequitas")) {
-    sweep.submit([](const runner::PointContext& ctx) {
-      const Row row = run_aequitas(ctx.seed);
+    sweep.submit([trace = args.trace](const runner::PointContext& ctx) {
+      const Row row = run_aequitas(ctx.seed, trace);
       return runner::PointResult::single(
           {row.name, row.met_h, row.met_m, row.util,
            stats::Cell(row.p999[0], 0), stats::Cell(row.p999[1], 0),

@@ -77,10 +77,13 @@ int main(int argc, char** argv) {
       {base[0] / kSizeMtus, base[1] / kSizeMtus, 0.0}, 99.9);
 
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (bool with_aequitas : {false, true}) {
-    sweep.submit([with_aequitas, slo, &base](const runner::PointContext& ctx) {
+    sweep.submit([with_aequitas, slo, &base, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
       runner::Experiment experiment =
           make_experiment(with_aequitas, slo, ctx.seed);
+      trace.apply(experiment, point);
       attach(experiment, {0.50, 0.35, 0.15});
       experiment.run(15 * sim::kMsec, 20 * sim::kMsec);
       const auto& metrics = experiment.metrics();

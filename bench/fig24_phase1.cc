@@ -37,7 +37,8 @@ struct ClusterOutcome {
 // mixture.
 ClusterOutcome run_cluster(std::uint64_t seed,
                            const std::array<std::array<double, 3>, 3>& matrix,
-                           double load) {
+                           double load, const bench::TraceRequest& trace,
+                           int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 12;
   config.num_qos = 3;
@@ -47,6 +48,7 @@ ClusterOutcome run_cluster(std::uint64_t seed,
   config.slo = rpc::SloConfig::make(
       {25.0 / 8 * sim::kUsec, 50.0 / 8 * sim::kUsec, 0.0}, 99.9);
   runner::Experiment experiment(config);
+  trace.apply(experiment, point);
 
   // Wire-class byte shares and P(PC | wire class).
   double wire_share[3] = {0, 0, 0};
@@ -136,12 +138,15 @@ int main(int argc, char** argv) {
 
   // Each point = one cluster, before AND after Phase 1 on the same seed.
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (const ClusterParams& params : fleet) {
-    sweep.submit([params](const runner::PointContext& ctx) {
-      const ClusterOutcome before =
-          run_cluster(ctx.seed, params.matrix, params.load);
-      const ClusterOutcome after =
-          run_cluster(ctx.seed, identity_matrix(), params.load);
+    // Two traceable points per cluster: 2k = before, 2k+1 = after.
+    sweep.submit([params, trace = args.trace,
+                  point = (trace_point += 2) - 2](const runner::PointContext& ctx) {
+      const ClusterOutcome before = run_cluster(
+          ctx.seed, params.matrix, params.load, trace, point);
+      const ClusterOutcome after = run_cluster(
+          ctx.seed, identity_matrix(), params.load, trace, point + 1);
       runner::PointResult result;
       result.metrics["misaligned_pct"] = before.misaligned_pct;
       result.metrics["change_pct"] =

@@ -33,14 +33,18 @@ int main(int argc, char** argv) {
       {"Fig29 10/80", 0.1, 0.8, 0.0015},
   };
   runner::SweepRunner sweep(args.sweep);
+  int trace_point = 0;
   for (const auto& setting : settings) {
-    sweep.submit([setting](const runner::PointContext& ctx) {
+    sweep.submit([setting, trace = args.trace,
+                  point = trace_point++](const runner::PointContext& ctx) {
       bench::FairnessSpec spec;
       spec.qosh_fraction_a = setting.fa;
       spec.qosh_fraction_b = setting.fb;
       spec.beta_per_mtu = setting.beta;
       spec.duration = 400 * sim::kMsec;
       spec.seed = ctx.seed;
+      spec.trace = trace;
+      spec.trace_point = point;
       const bench::FairnessResult r = bench::run_fairness(spec);
       runner::PointResult result;
       result.rows.push_back(

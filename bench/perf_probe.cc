@@ -27,7 +27,8 @@ constexpr char kUsage[] =
     "           [--warmup-ms=W] [--run-ms=R] [--period-us=P]\n"
     "           [--aequitas=0|1] [--mix-h=H] [--mix-m=M]\n"
     "           [--backend=heap|calendar|both]\n"
-    "           [--sweep-points=N] [--jobs=J] [--seed=S]";
+    "           [--sweep-points=N] [--jobs=J] [--seed=S]\n"
+    "           [--trace=PATH] [--trace-csv=PATH] [--trace-point=N]";
 
 struct ProbeParams {
   double alpha = 0.01;
@@ -72,9 +73,11 @@ void attach(runner::Experiment& experiment, const ProbeParams& p) {
 // Scheduler-backend speedometer: one serial run per backend.
 void run_backends(const ProbeParams& p,
                   const std::vector<sim::SchedulerBackend>& backends,
-                  std::uint64_t seed) {
+                  std::uint64_t seed, const bench::TraceRequest& trace) {
+  int point = 0;
   for (const auto backend : backends) {
     runner::Experiment experiment = make_experiment(p, backend, seed);
+    trace.apply(experiment, point++);
     attach(experiment, p);
 
     const auto start = std::chrono::steady_clock::now();
@@ -187,7 +190,8 @@ int main(int argc, char** argv) {
   if (sweep_points > 0) {
     run_sweep_speedup(p, sweep_points, args.sweep);
   } else {
-    run_backends(p, backends, sim::derive_seed(args.sweep.base_seed, 0));
+    run_backends(p, backends, sim::derive_seed(args.sweep.base_seed, 0),
+                 args.trace);
   }
   return 0;
 }

@@ -17,7 +17,7 @@
 //     hooks (AEQ_AUDIT_ONLY in sim/, net/, core/, transport/) and flips the
 //     runtime default on (kBuildEnabled).
 //
-// See src/audit/checks.h for the invariant catalogue and DESIGN.md §9 for
+// See src/audit/checks.h for the invariant catalogue and DESIGN.md §8 for
 // the mapping from each check to the paper property it guards.
 #pragma once
 

@@ -53,9 +53,11 @@ void register_queue_checks(Auditor& auditor, std::string component,
       class_drop_packets += queue.class_dropped_packets(qos);
       class_drop_bytes += queue.class_dropped_bytes(qos);
     }
-    // Disciplines without class separation report zero per-class values
-    // (nothing to cross-check); for classful ones the per-class backlogs
-    // must partition the total exactly.
+    // The QueueDiscipline base maintains the per-class counters for every
+    // discipline, so whenever any class reports backlog the per-class
+    // backlogs must partition the total exactly. (The guard keeps the check
+    // vacuous for an idle queue and for out-of-plane traffic parked above
+    // num_qos, which the sum below does not see.)
     if (class_backlog != 0) {
       AEQ_CHECK_EQ_MSG(class_backlog, queue.backlog_bytes(),
                        "per-class backlogs do not partition queue backlog");

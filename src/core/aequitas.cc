@@ -40,9 +40,9 @@ rpc::AdmissionDecision AequitasController::admit(
   // probability exactly p_admit — in particular p_admit == 0 never admits
   // (`<=` would admit on a zero draw and make the floor soft).
   if (rng_.uniform() < state.p_admit) {
-    return {qos_requested, false, false};
+    return {qos_requested, false, false, state.p_admit};
   }
-  return {lowest_qos(), true, false};
+  return {lowest_qos(), true, false, state.p_admit};
 }
 
 void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,

@@ -163,9 +163,9 @@ rpc::AdmissionDecision QuotaController::admit(sim::Time now,
   if (!take_tokens(now, decision.qos_run, static_cast<double>(bytes))) {
     ++over_quota_;
     if (config_.drop_over_quota) {
-      return {decision.qos_run, false, true};
+      return {decision.qos_run, false, true, decision.p_admit};
     }
-    return {lowest_qos(), true, false};
+    return {lowest_qos(), true, false, decision.p_admit};
   }
   return decision;
 }

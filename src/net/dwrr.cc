@@ -23,12 +23,9 @@ bool DwrrQueue::enqueue(const Packet& packet) {
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
     count_dropped(packet);
-    ++cls.dropped_packets;
-    cls.dropped_bytes += packet.size_bytes;
     return false;
   }
   cls.fifo.push_back(packet);
-  cls.backlog_bytes += packet.size_bytes;
   backlog_bytes_ += packet.size_bytes;
   ++backlog_packets_;
   count_enqueued(packet);
@@ -56,7 +53,6 @@ std::optional<Packet> DwrrQueue::dequeue() {
       Packet p = head;
       cls.fifo.pop_front();
       cls.deficit -= static_cast<double>(p.size_bytes);
-      cls.backlog_bytes -= p.size_bytes;
       backlog_bytes_ -= p.size_bytes;
       --backlog_packets_;
       count_dequeued(p);
@@ -71,21 +67,6 @@ std::optional<Packet> DwrrQueue::dequeue() {
   // releases a packet; reaching here would be a logic error.
   AEQ_ASSERT_MSG(false, "DWRR failed to release a packet");
   return std::nullopt;
-}
-
-std::uint64_t DwrrQueue::class_backlog_bytes(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].backlog_bytes;
-}
-
-std::uint64_t DwrrQueue::class_dropped_packets(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].dropped_packets;
-}
-
-std::uint64_t DwrrQueue::class_dropped_bytes(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].dropped_bytes;
 }
 
 }  // namespace aeq::net

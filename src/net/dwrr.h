@@ -27,17 +27,13 @@ class DwrrQueue final : public QueueDiscipline {
   bool empty() const override { return backlog_packets_ == 0; }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return backlog_packets_; }
-  std::uint64_t class_backlog_bytes(QoSLevel qos) const override;
-  std::uint64_t class_dropped_packets(QoSLevel qos) const override;
-  std::uint64_t class_dropped_bytes(QoSLevel qos) const override;
 
  private:
+  // Per-class backlog/drop counters live in the QueueDiscipline base; only
+  // the round-robin scheduling state is kept here.
   struct ClassState {
     double quantum = 0.0;
     double deficit = 0.0;
-    std::uint64_t backlog_bytes = 0;
-    std::uint64_t dropped_packets = 0;
-    std::uint64_t dropped_bytes = 0;
     std::deque<Packet> fifo;
   };
 

@@ -54,7 +54,7 @@ bool PfabricQueue::enqueue(const Packet& packet) {
     const std::size_t worst = max_priority_index();
     if (queue_[worst].packet.priority > incoming.packet.priority ||
         (queue_[worst].packet.priority == incoming.packet.priority)) {
-      count_dropped(queue_[worst].packet);
+      count_evicted(queue_[worst].packet);
       backlog_bytes_ -= queue_[worst].packet.size_bytes;
       queue_[worst] = queue_.back();
       queue_.pop_back();

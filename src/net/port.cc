@@ -17,8 +17,26 @@ Port::Port(sim::Simulator& simulator, sim::Rate rate_bytes_per_sec,
 
 void Port::send(const Packet& packet) {
   AEQ_ASSERT_MSG(peer_ != nullptr, "port not connected");
-  queue_->enqueue(packet);  // drop decision belongs to the discipline
+  const bool accepted =
+      queue_->enqueue(packet);  // drop decision belongs to the discipline
+  if (obs_ != nullptr) {
+    emit_packet_event(accepted ? obs::PacketEventKind::kEnqueue
+                               : obs::PacketEventKind::kDrop,
+                      packet);
+  }
   try_transmit();
+}
+
+void Port::emit_packet_event(obs::PacketEventKind kind, const Packet& packet) {
+  obs::PacketEvent event;
+  event.t = sim_.now();
+  event.kind = kind;
+  event.port = obs_port_id_;
+  event.qos = packet.qos;
+  event.bytes = packet.size_bytes;
+  event.qlen_bytes = queue_->backlog_bytes();
+  event.qlen_packets = queue_->backlog_packets();
+  obs_->packet(event);
 }
 
 void Port::deliver_head() {
@@ -33,6 +51,9 @@ void Port::try_transmit() {
   if (busy_) return;
   auto next = queue_->dequeue();
   if (!next) return;
+  if (obs_ != nullptr) {
+    emit_packet_event(obs::PacketEventKind::kDequeue, *next);
+  }
   const sim::Time ser =
       sim::serialization_delay(next->size_bytes, rate_);
   busy_ = true;

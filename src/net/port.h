@@ -12,6 +12,7 @@
 
 #include "net/packet.h"
 #include "net/queue.h"
+#include "obs/recorder.h"
 #include "sim/simulator.h"
 
 namespace aeq::net {
@@ -26,6 +27,14 @@ class Port {
 
   // Sets the receiving end of the link. Must be called before send().
   void connect(PacketSink* peer) { peer_ = peer; }
+
+  // Attaches the telemetry recorder; `port_id` is the id this port was
+  // registered under (obs::Recorder::register_port). Null detaches — the
+  // packet-event emission then costs a single predictable branch.
+  void set_observer(obs::Recorder* recorder, std::uint32_t port_id) {
+    obs_ = recorder;
+    obs_port_id_ = port_id;
+  }
 
   // Enqueues a packet and starts transmitting if the link is idle.
   void send(const Packet& packet);
@@ -58,12 +67,15 @@ class Port {
  private:
   void try_transmit();
   void deliver_head();
+  void emit_packet_event(obs::PacketEventKind kind, const Packet& packet);
 
   sim::Simulator& sim_;
   sim::Rate rate_;
   sim::Time propagation_;
   std::unique_ptr<QueueDiscipline> queue_;
   PacketSink* peer_ = nullptr;
+  obs::Recorder* obs_ = nullptr;
+  std::uint32_t obs_port_id_ = 0;
   bool busy_ = false;
   sim::Time busy_time_ = 0.0;  // completed transmissions only
   sim::Time tx_start_ = 0.0;   // start of the in-progress transmission

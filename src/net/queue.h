@@ -5,6 +5,7 @@
 // (virtual-time), DWRR, SPQ, and pFabric's priority queue.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 
@@ -28,6 +29,17 @@ struct QueueStats {
   std::uint64_t dropped_bytes = 0;
   std::uint64_t dequeued_packets = 0;
   std::uint64_t dequeued_bytes = 0;
+};
+
+// Per-QoS-class slices of the queue counters, maintained by the base class
+// alongside QueueStats: the count_*() helpers attribute every packet to its
+// QoS class, so every discipline — classful or not — reports per-class
+// backlog and drops through one accessor set (the counter sink and the
+// audit layer read these instead of five discipline-specific APIs).
+struct ClassCounters {
+  std::array<std::uint64_t, kMaxQoSLevels> backlog_bytes{};
+  std::array<std::uint64_t, kMaxQoSLevels> dropped_packets{};
+  std::array<std::uint64_t, kMaxQoSLevels> dropped_bytes{};
 };
 
 class QueueDiscipline {
@@ -54,23 +66,26 @@ class QueueDiscipline {
   virtual std::uint64_t backlog_bytes() const = 0;
   virtual std::uint64_t backlog_packets() const = 0;
 
-  // Per-QoS backlog, for instrumentation; zero for disciplines without
-  // class separation.
-  virtual std::uint64_t class_backlog_bytes(QoSLevel /*qos*/) const {
-    return 0;
+  // Per-QoS backlog, for instrumentation. The base class maintains these
+  // from the count_*() calls, so they are exact for every discipline;
+  // virtual only for decorators (PooledQueue) that report an inner queue's
+  // backlog instead of their own.
+  virtual std::uint64_t class_backlog_bytes(QoSLevel qos) const {
+    return class_counters_.backlog_bytes[class_index(qos)];
   }
 
   // Per-QoS drop accounting (tail drops attributed to the class of the
   // dropped packet), needed to recover per-class drop rates from a shared
-  // buffer; zero for disciplines without class separation.
-  virtual std::uint64_t class_dropped_packets(QoSLevel /*qos*/) const {
-    return 0;
+  // buffer.
+  virtual std::uint64_t class_dropped_packets(QoSLevel qos) const {
+    return class_counters_.dropped_packets[class_index(qos)];
   }
-  virtual std::uint64_t class_dropped_bytes(QoSLevel /*qos*/) const {
-    return 0;
+  virtual std::uint64_t class_dropped_bytes(QoSLevel qos) const {
+    return class_counters_.dropped_bytes[class_index(qos)];
   }
 
   const QueueStats& stats() const { return stats_; }
+  const ClassCounters& class_counters() const { return class_counters_; }
 
  protected:
   // Applies the ECN mark if the (post-dequeue) backlog is past threshold.
@@ -81,10 +96,19 @@ class QueueDiscipline {
     }
   }
 
+  // All valid QoS levels index directly; out-of-range levels (foreign to
+  // the experiment's plane) collapse into the last slot instead of reading
+  // out of bounds.
+  static std::size_t class_index(QoSLevel qos) {
+    return qos < kMaxQoSLevels ? qos : kMaxQoSLevels - 1;
+  }
+
   // Stats bookkeeping shared by the disciplines. Every enqueue() must call
   // count_offered() exactly once, then exactly one of count_enqueued() /
   // count_dropped() per packet outcome — the audit layer's conservation
-  // check is stated over these counters.
+  // check is stated over these counters. A discipline that removes an
+  // already-accepted resident to make room (pFabric eviction) must use
+  // count_evicted() so the class backlog tracks the residents exactly.
   void count_offered(const Packet& packet) {
     ++stats_.offered_packets;
     stats_.offered_bytes += packet.size_bytes;
@@ -92,17 +116,30 @@ class QueueDiscipline {
   void count_enqueued(const Packet& packet) {
     ++stats_.enqueued_packets;
     stats_.enqueued_bytes += packet.size_bytes;
+    class_counters_.backlog_bytes[class_index(packet.qos)] +=
+        packet.size_bytes;
   }
   void count_dropped(const Packet& packet) {
     ++stats_.dropped_packets;
     stats_.dropped_bytes += packet.size_bytes;
+    const std::size_t cls = class_index(packet.qos);
+    ++class_counters_.dropped_packets[cls];
+    class_counters_.dropped_bytes[cls] += packet.size_bytes;
+  }
+  void count_evicted(const Packet& packet) {
+    count_dropped(packet);
+    class_counters_.backlog_bytes[class_index(packet.qos)] -=
+        packet.size_bytes;
   }
   void count_dequeued(const Packet& packet) {
     ++stats_.dequeued_packets;
     stats_.dequeued_bytes += packet.size_bytes;
+    class_counters_.backlog_bytes[class_index(packet.qos)] -=
+        packet.size_bytes;
   }
 
   QueueStats stats_;
+  ClassCounters class_counters_;
   std::uint64_t ecn_threshold_bytes_ = 0;
 };
 

@@ -68,6 +68,7 @@ class PooledQueue final : public QueueDiscipline {
     }
     reserved_ += packet.size_bytes;
     const QueueStats inner_before = inner_->stats();
+    const ClassCounters inner_class_before = inner_->class_counters();
     const bool accepted = inner_->enqueue(packet);
     // Reconcile the reservation with the inner backlog: the inner
     // discipline may have rejected the arrival outright, or (pFabric)
@@ -94,6 +95,8 @@ class PooledQueue final : public QueueDiscipline {
     }
     stats_.dropped_packets += evicted_packets;
     stats_.dropped_bytes += evicted_bytes;
+    if (evicted_packets != 0) fold_class_drops(inner_class_before, packet,
+                                               accepted);
     if (!accepted) {
       count_dropped(packet);
       return false;
@@ -118,14 +121,15 @@ class PooledQueue final : public QueueDiscipline {
   std::uint64_t backlog_packets() const override {
     return inner_->backlog_packets();
   }
+  // The decorator's own base-class backlog slices drift on inner evictions
+  // (an evicted resident never passes through this object's
+  // count_dequeued), so per-class backlog is answered by the inner queue —
+  // the single source of truth for what is buffered. Drop slices are NOT
+  // forwarded: the base counters here cover DT rejections and rejected
+  // arrivals directly, and enqueue() folds inner eviction deltas in, so the
+  // inherited accessors report the complete decorator-level picture.
   std::uint64_t class_backlog_bytes(QoSLevel qos) const override {
     return inner_->class_backlog_bytes(qos);
-  }
-  std::uint64_t class_dropped_packets(QoSLevel qos) const override {
-    return inner_->class_dropped_packets(qos);
-  }
-  std::uint64_t class_dropped_bytes(QoSLevel qos) const override {
-    return inner_->class_dropped_bytes(qos);
   }
 
   QueueDiscipline& inner() { return *inner_; }
@@ -136,6 +140,27 @@ class PooledQueue final : public QueueDiscipline {
   std::uint64_t reserved_bytes() const { return reserved_; }
 
  private:
+  // Attributes the inner queue's eviction drops (delta since
+  // `inner_before`) to their QoS classes in this decorator's counters. The
+  // rejected arrival, when there is one, is excluded the same way as in the
+  // aggregate fold — count_dropped() accounts it separately.
+  void fold_class_drops(const ClassCounters& inner_before,
+                        const Packet& arrival, bool accepted) {
+    const ClassCounters& after = inner_->class_counters();
+    for (std::size_t i = 0; i < kMaxQoSLevels; ++i) {
+      std::uint64_t d_packets =
+          after.dropped_packets[i] - inner_before.dropped_packets[i];
+      std::uint64_t d_bytes =
+          after.dropped_bytes[i] - inner_before.dropped_bytes[i];
+      if (!accepted && i == class_index(arrival.qos)) {
+        d_packets -= 1;
+        d_bytes -= arrival.size_bytes;
+      }
+      class_counters_.dropped_packets[i] += d_packets;
+      class_counters_.dropped_bytes[i] += d_bytes;
+    }
+  }
+
   // Releases any reservation not backed by buffered bytes. Reservations only
   // ever shrink relative to the inner backlog (enqueue reserves up front),
   // so growth here would be an accounting bug.

@@ -14,16 +14,12 @@ SpqQueue::SpqQueue(std::size_t num_classes, std::uint64_t capacity_bytes)
 bool SpqQueue::enqueue(const Packet& packet) {
   AEQ_CHECK_LT(packet.qos, classes_.size());
   count_offered(packet);
-  ClassState& cls = classes_[packet.qos];
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
     count_dropped(packet);
-    ++cls.dropped_packets;
-    cls.dropped_bytes += packet.size_bytes;
     return false;
   }
-  cls.fifo.push_back(packet);
-  cls.backlog_bytes += packet.size_bytes;
+  classes_[packet.qos].push_back(packet);
   backlog_bytes_ += packet.size_bytes;
   ++backlog_packets_;
   count_enqueued(packet);
@@ -31,11 +27,10 @@ bool SpqQueue::enqueue(const Packet& packet) {
 }
 
 std::optional<Packet> SpqQueue::dequeue() {
-  for (auto& cls : classes_) {
-    if (cls.fifo.empty()) continue;
-    Packet p = cls.fifo.front();
-    cls.fifo.pop_front();
-    cls.backlog_bytes -= p.size_bytes;
+  for (auto& fifo : classes_) {
+    if (fifo.empty()) continue;
+    Packet p = fifo.front();
+    fifo.pop_front();
     backlog_bytes_ -= p.size_bytes;
     --backlog_packets_;
     count_dequeued(p);
@@ -43,21 +38,6 @@ std::optional<Packet> SpqQueue::dequeue() {
     return p;
   }
   return std::nullopt;
-}
-
-std::uint64_t SpqQueue::class_backlog_bytes(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].backlog_bytes;
-}
-
-std::uint64_t SpqQueue::class_dropped_packets(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].dropped_packets;
-}
-
-std::uint64_t SpqQueue::class_dropped_bytes(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].dropped_bytes;
 }
 
 }  // namespace aeq::net

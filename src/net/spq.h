@@ -21,22 +21,13 @@ class SpqQueue final : public QueueDiscipline {
   bool empty() const override { return backlog_packets_ == 0; }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return backlog_packets_; }
-  std::uint64_t class_backlog_bytes(QoSLevel qos) const override;
-  std::uint64_t class_dropped_packets(QoSLevel qos) const override;
-  std::uint64_t class_dropped_bytes(QoSLevel qos) const override;
 
  private:
-  struct ClassState {
-    std::uint64_t backlog_bytes = 0;
-    std::uint64_t dropped_packets = 0;
-    std::uint64_t dropped_bytes = 0;
-    std::deque<Packet> fifo;
-  };
-
+  // Per-class backlog/drop counters live in the QueueDiscipline base.
   std::uint64_t capacity_bytes_;
   std::uint64_t backlog_bytes_ = 0;
   std::uint64_t backlog_packets_ = 0;
-  std::vector<ClassState> classes_;
+  std::vector<std::deque<Packet>> classes_;
 };
 
 }  // namespace aeq::net

@@ -20,24 +20,19 @@ WfqQueue::WfqQueue(std::vector<double> weights, std::uint64_t capacity_bytes,
   }
 }
 
-void WfqQueue::count_drop(ClassState& cls, const Packet& packet) {
-  count_dropped(packet);
-  ++cls.dropped_packets;
-  cls.dropped_bytes += packet.size_bytes;
-}
-
 bool WfqQueue::enqueue(const Packet& packet) {
   AEQ_CHECK_LT_MSG(packet.qos, classes_.size(), "packet QoS out of range");
   count_offered(packet);
   ClassState& cls = classes_[packet.qos];
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
-    count_drop(cls, packet);
+    count_dropped(packet);
     return false;
   }
   if (per_class_capacity_bytes_ != 0 &&
-      cls.backlog_bytes + packet.size_bytes > per_class_capacity_bytes_) {
-    count_drop(cls, packet);
+      class_backlog_bytes(packet.qos) + packet.size_bytes >
+          per_class_capacity_bytes_) {
+    count_dropped(packet);
     return false;
   }
   const double start = std::max(virtual_time_, cls.last_finish);
@@ -48,7 +43,6 @@ bool WfqQueue::enqueue(const Packet& packet) {
   AEQ_AUDIT_ONLY(AEQ_CHECK_GE(finish, cls.last_finish);)
   cls.last_finish = finish;
   cls.fifo.push_back(Tagged{packet, start, finish});
-  cls.backlog_bytes += packet.size_bytes;
   backlog_bytes_ += packet.size_bytes;
   ++backlog_packets_;
   count_enqueued(packet);
@@ -76,7 +70,6 @@ std::optional<Packet> WfqQueue::dequeue() {
   // max keeps the clock monotone; the audit registry independently verifies
   // monotonicity across dequeues (wfq/virtual-time-monotone).
   virtual_time_ = std::max(virtual_time_, tagged.start_tag);
-  cls.backlog_bytes -= tagged.packet.size_bytes;
   backlog_bytes_ -= tagged.packet.size_bytes;
   --backlog_packets_;
   count_dequeued(tagged.packet);
@@ -87,7 +80,8 @@ std::optional<Packet> WfqQueue::dequeue() {
 void WfqQueue::audit_tags() const {
   std::uint64_t pending_bytes = 0;
   std::uint64_t pending_packets = 0;
-  for (const ClassState& cls : classes_) {
+  for (std::size_t i = 0; i < classes_.size(); ++i) {
+    const ClassState& cls = classes_[i];
     std::uint64_t class_bytes = 0;
     double prev_finish = -std::numeric_limits<double>::infinity();
     for (const Tagged& tagged : cls.fifo) {
@@ -102,28 +96,14 @@ void WfqQueue::audit_tags() const {
       AEQ_CHECK_EQ_MSG(cls.last_finish, cls.fifo.back().finish_tag,
                        "WFQ last_finish does not match newest pending tag");
     }
-    AEQ_CHECK_EQ_MSG(cls.backlog_bytes, class_bytes,
+    AEQ_CHECK_EQ_MSG(class_backlog_bytes(static_cast<QoSLevel>(i)),
+                     class_bytes,
                      "WFQ per-class backlog out of sync with pending bytes");
     pending_bytes += class_bytes;
     pending_packets += cls.fifo.size();
   }
   AEQ_CHECK_EQ(backlog_bytes_, pending_bytes);
   AEQ_CHECK_EQ(backlog_packets_, pending_packets);
-}
-
-std::uint64_t WfqQueue::class_backlog_bytes(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].backlog_bytes;
-}
-
-std::uint64_t WfqQueue::class_dropped_packets(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].dropped_packets;
-}
-
-std::uint64_t WfqQueue::class_dropped_bytes(QoSLevel qos) const {
-  if (qos >= classes_.size()) return 0;
-  return classes_[qos].dropped_bytes;
 }
 
 }  // namespace aeq::net

@@ -34,9 +34,6 @@ class WfqQueue final : public QueueDiscipline {
   bool empty() const override { return backlog_packets_ == 0; }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return backlog_packets_; }
-  std::uint64_t class_backlog_bytes(QoSLevel qos) const override;
-  std::uint64_t class_dropped_packets(QoSLevel qos) const override;
-  std::uint64_t class_dropped_bytes(QoSLevel qos) const override;
 
   std::size_t num_classes() const { return classes_.size(); }
   double virtual_time() const { return virtual_time_; }
@@ -55,16 +52,13 @@ class WfqQueue final : public QueueDiscipline {
     double start_tag;
     double finish_tag;
   };
+  // Per-class backlog and drop counters live in the QueueDiscipline base
+  // (ClassCounters); only the scheduling state is per-discipline.
   struct ClassState {
     double weight = 1.0;
     double last_finish = 0.0;  // finish tag of the newest packet in class
-    std::uint64_t backlog_bytes = 0;
-    std::uint64_t dropped_packets = 0;
-    std::uint64_t dropped_bytes = 0;
     std::deque<Tagged> fifo;
   };
-
-  void count_drop(ClassState& cls, const Packet& packet);
 
   std::uint64_t capacity_bytes_;
   std::uint64_t per_class_capacity_bytes_;

@@ -1,0 +1,166 @@
+#include "obs/chrome_trace_sink.h"
+
+#include <cstdio>
+
+#include "sim/assert.h"
+
+namespace aeq::obs {
+namespace {
+
+// Simulation time → trace microseconds, fixed 3 decimals so sub-µs packet
+// spacing at 100G stays visible and output is locale-independent.
+std::string fmt_us(sim::Time t) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", t / sim::kUsec);
+  return buffer;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string escaped;
+  escaped.reserve(text.size());
+  for (const char c : text) {
+    if (c == '"' || c == '\\') escaped.push_back('\\');
+    escaped.push_back(c);
+  }
+  return escaped;
+}
+
+const char* admission_name(const AdmissionDecision& event) {
+  if (event.dropped) return "admission_drop";
+  if (event.downgraded) return "downgrade";
+  return "admit";
+}
+
+}  // namespace
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : file_(path, std::ios::out | std::ios::trunc), out_(&file_) {
+  AEQ_ASSERT_MSG(file_.is_open(),
+                 "ChromeTraceSink: cannot open trace output file");
+  write_prologue();
+}
+
+ChromeTraceSink::ChromeTraceSink(std::ostream* out) : out_(out) {
+  AEQ_ASSERT(out != nullptr);
+  write_prologue();
+}
+
+ChromeTraceSink::~ChromeTraceSink() {
+  // Close the JSON even if the run never reached flush() (e.g. a test that
+  // destroys the recorder early); flush() makes this a no-op.
+  if (!finalized_) flush(0.0);
+}
+
+void ChromeTraceSink::write_prologue() {
+  *out_ << "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+}
+
+std::ostream& ChromeTraceSink::begin_event() {
+  if (!first_event_) *out_ << ",";
+  first_event_ = false;
+  *out_ << "\n";
+  ++events_written_;
+  return *out_;
+}
+
+void ChromeTraceSink::ensure_host_named(net::HostId host) {
+  if (finalized_ || !named_hosts_.insert(host).second) return;
+  begin_event() << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << host
+                << ",\"tid\":0,\"args\":{\"name\":\"host " << host << "\"}}";
+}
+
+void ChromeTraceSink::on_port_registered(std::uint32_t port,
+                                         const std::string& name) {
+  if (finalized_) return;
+  begin_event() << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":"
+                << (kPortPidBase + port) << ",\"tid\":0,\"args\":{\"name\":\""
+                << json_escape(name) << "\"}}";
+}
+
+void ChromeTraceSink::on_rpc_generated(const RpcGenerated& event) {
+  if (finalized_) return;
+  ensure_host_named(event.src);
+  begin_event() << "{\"ph\":\"i\",\"name\":\"rpc_generated\",\"cat\":\"rpc\""
+                << ",\"s\":\"t\",\"ts\":" << fmt_us(event.t)
+                << ",\"pid\":" << event.src
+                << ",\"tid\":" << static_cast<int>(event.qos_requested)
+                << ",\"args\":{\"rpc_id\":" << event.rpc_id
+                << ",\"dst\":" << event.dst << ",\"bytes\":" << event.bytes
+                << "}}";
+}
+
+void ChromeTraceSink::on_admission(const AdmissionDecision& event) {
+  if (finalized_) return;
+  ensure_host_named(event.src);
+  begin_event() << "{\"ph\":\"i\",\"name\":\"" << admission_name(event)
+                << "\",\"cat\":\"admission\",\"s\":\"t\",\"ts\":"
+                << fmt_us(event.t) << ",\"pid\":" << event.src
+                << ",\"tid\":" << static_cast<int>(event.qos_from)
+                << ",\"args\":{\"rpc_id\":" << event.rpc_id
+                << ",\"dst\":" << event.dst
+                << ",\"qos_to\":" << static_cast<int>(event.qos_to)
+                << ",\"p_admit\":" << event.p_admit << "}}";
+}
+
+void ChromeTraceSink::on_packet(const PacketEvent& event) {
+  if (finalized_) return;
+  const std::uint32_t pid = kPortPidBase + event.port;
+  if (event.kind == PacketEventKind::kDrop) {
+    begin_event() << "{\"ph\":\"i\",\"name\":\"packet_drop\",\"cat\":\"net\""
+                  << ",\"s\":\"p\",\"ts\":" << fmt_us(event.t)
+                  << ",\"pid\":" << pid
+                  << ",\"tid\":" << static_cast<int>(event.qos)
+                  << ",\"args\":{\"bytes\":" << event.bytes << "}}";
+    return;
+  }
+  begin_event() << "{\"ph\":\"C\",\"name\":\"qlen\",\"cat\":\"net\",\"ts\":"
+                << fmt_us(event.t) << ",\"pid\":" << pid
+                << ",\"args\":{\"bytes\":" << event.qlen_bytes
+                << ",\"packets\":" << event.qlen_packets << "}}";
+}
+
+void ChromeTraceSink::on_cwnd(const CwndUpdate& event) {
+  if (finalized_) return;
+  ensure_host_named(event.src);
+  begin_event() << "{\"ph\":\"C\",\"name\":\"cwnd dst" << event.dst << " q"
+                << static_cast<int>(event.qos) << "\",\"cat\":\"transport\""
+                << ",\"ts\":" << fmt_us(event.t) << ",\"pid\":" << event.src
+                << ",\"args\":{\"packets\":" << event.cwnd_packets << "}}";
+}
+
+void ChromeTraceSink::on_rpc_complete(const RpcComplete& event) {
+  if (finalized_) return;
+  ensure_host_named(event.src);
+  if (event.terminated) {
+    begin_event() << "{\"ph\":\"i\",\"name\":\"rpc_terminated\""
+                  << ",\"cat\":\"rpc\",\"s\":\"t\",\"ts\":" << fmt_us(event.t)
+                  << ",\"pid\":" << event.src
+                  << ",\"tid\":" << static_cast<int>(event.qos_requested)
+                  << ",\"args\":{\"rpc_id\":" << event.rpc_id
+                  << ",\"dst\":" << event.dst << "}}";
+    return;
+  }
+  // The span covers exactly the RPC's network latency: it starts rnl before
+  // the completion time, on the delivered-QoS row of the source host.
+  begin_event() << "{\"ph\":\"X\",\"name\":\"rpc\",\"cat\":\"rpc\",\"ts\":"
+                << fmt_us(event.t - event.rnl)
+                << ",\"dur\":" << fmt_us(event.rnl)
+                << ",\"pid\":" << event.src
+                << ",\"tid\":" << static_cast<int>(event.qos_run)
+                << ",\"args\":{\"rpc_id\":" << event.rpc_id
+                << ",\"dst\":" << event.dst << ",\"bytes\":" << event.bytes
+                << ",\"qos_requested\":"
+                << static_cast<int>(event.qos_requested)
+                << ",\"slo_met\":" << (event.slo_met ? "true" : "false")
+                << ",\"downgraded\":" << (event.downgraded ? "true" : "false")
+                << "}}";
+}
+
+void ChromeTraceSink::flush(sim::Time /*now*/) {
+  if (finalized_) return;
+  finalized_ = true;
+  *out_ << "\n]}\n";
+  out_->flush();
+}
+
+}  // namespace aeq::obs

@@ -1,0 +1,67 @@
+// ChromeTraceSink: emits the run as Chrome trace_event JSON.
+//
+// The output loads directly in chrome://tracing or https://ui.perfetto.dev:
+//  - each completed RPC is a complete ("X") span on the source host's track,
+//    one thread-row per delivered QoS class, spanning exactly its RNL;
+//  - admission decisions are instant ("i") events on the same track, with
+//    p_admit in the args;
+//  - each port's queue depth is a counter ("C") track (pid 10000+port),
+//    updated on every enqueue/dequeue, with drops as instants;
+//  - each flow's congestion window is a counter track on the source host.
+//
+// Events stream to the output as they arrive (no buffering of the run), so
+// trace size is bounded by disk, not memory. flush() closes the JSON; the
+// sink writes nothing after that.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+#include <unordered_set>
+
+#include "obs/recorder.h"
+
+namespace aeq::obs {
+
+class ChromeTraceSink : public Sink {
+ public:
+  // Opens `path` for writing (truncates). Fails hard on open error: a trace
+  // the user asked for but cannot get is a config error, not a warning.
+  explicit ChromeTraceSink(const std::string& path);
+  // Streams into a caller-owned ostream (tests).
+  explicit ChromeTraceSink(std::ostream* out);
+  ~ChromeTraceSink() override;
+
+  void on_port_registered(std::uint32_t port,
+                          const std::string& name) override;
+  void on_rpc_generated(const RpcGenerated& event) override;
+  void on_admission(const AdmissionDecision& event) override;
+  void on_packet(const PacketEvent& event) override;
+  void on_cwnd(const CwndUpdate& event) override;
+  void on_rpc_complete(const RpcComplete& event) override;
+
+  void flush(sim::Time now) override;
+
+  std::uint64_t events_written() const { return events_written_; }
+
+ private:
+  // pid namespaces inside the trace: hosts use their HostId verbatim, port
+  // counter tracks live at kPortPidBase + port id.
+  static constexpr std::uint32_t kPortPidBase = 10000;
+
+  void write_prologue();
+  // Starts one event object (handles the separating comma) and returns the
+  // stream for the caller to finish the object.
+  std::ostream& begin_event();
+  void ensure_host_named(net::HostId host);
+
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  bool finalized_ = false;
+  bool first_event_ = true;
+  std::uint64_t events_written_ = 0;
+  std::unordered_set<net::HostId> named_hosts_;
+};
+
+}  // namespace aeq::obs

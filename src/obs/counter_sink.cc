@@ -1,0 +1,87 @@
+#include "obs/counter_sink.h"
+
+namespace aeq::obs {
+
+void CounterSink::on_rpc_generated(const RpcGenerated& /*event*/) {
+  ++rpcs_generated_;
+}
+
+void CounterSink::on_admission(const AdmissionDecision& event) {
+  if (event.dropped) {
+    ++admission_dropped_;
+  } else if (event.downgraded) {
+    ++downgraded_;
+  } else {
+    ++admitted_;
+  }
+  p_admit_sum_ += event.p_admit;
+  ++p_admit_samples_;
+}
+
+void CounterSink::on_packet(const PacketEvent& event) {
+  switch (event.kind) {
+    case PacketEventKind::kEnqueue:
+      ++enqueued_[event.qos];
+      break;
+    case PacketEventKind::kDequeue:
+      ++dequeued_[event.qos];
+      break;
+    case PacketEventKind::kDrop:
+      ++dropped_[event.qos];
+      break;
+  }
+}
+
+void CounterSink::on_cwnd(const CwndUpdate& /*event*/) { ++cwnd_updates_; }
+
+void CounterSink::on_rpc_complete(const RpcComplete& event) {
+  if (event.terminated) {
+    ++rpcs_terminated_;
+  } else {
+    ++rpcs_completed_;
+  }
+  if (event.slo_met) ++slo_met_;
+}
+
+std::uint64_t CounterSink::total_packets_dropped() const {
+  std::uint64_t total = 0;
+  for (const auto count : dropped_) total += count;
+  return total;
+}
+
+double CounterSink::mean_p_admit() const {
+  return p_admit_samples_ == 0 ? 1.0
+                               : p_admit_sum_ / static_cast<double>(
+                                                    p_admit_samples_);
+}
+
+stats::Table CounterSink::to_table() const {
+  stats::Table table({{"counter", 28, 0}, {"value", 12, 0}});
+  const auto row = [&table](const char* name, double value, int prec = 0) {
+    table.add_row({name, stats::Cell(value, prec)});
+  };
+  row("rpcs_generated", static_cast<double>(rpcs_generated_));
+  row("rpcs_completed", static_cast<double>(rpcs_completed_));
+  row("rpcs_terminated", static_cast<double>(rpcs_terminated_));
+  row("admitted", static_cast<double>(admitted_));
+  row("downgraded", static_cast<double>(downgraded_));
+  row("admission_dropped", static_cast<double>(admission_dropped_));
+  row("slo_met", static_cast<double>(slo_met_));
+  row("mean_p_admit", mean_p_admit(), 4);
+  row("cwnd_updates", static_cast<double>(cwnd_updates_));
+  for (net::QoSLevel qos = 0; qos < net::kMaxQoSLevels; ++qos) {
+    if (enqueued_[qos] == 0 && dequeued_[qos] == 0 && dropped_[qos] == 0) {
+      continue;
+    }
+    const std::string prefix = "qos" + std::to_string(qos) + "_packets_";
+    table.add_row({prefix + "enqueued",
+                   stats::Cell(static_cast<double>(enqueued_[qos]), 0)});
+    table.add_row({prefix + "dequeued",
+                   stats::Cell(static_cast<double>(dequeued_[qos]), 0)});
+    table.add_row({prefix + "dropped",
+                   stats::Cell(static_cast<double>(dropped_[qos]), 0)});
+  }
+  return table;
+}
+
+}  // namespace aeq::obs

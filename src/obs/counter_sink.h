@@ -1,0 +1,69 @@
+// CounterSink: cheap aggregate counters over the event stream.
+//
+// The "always sensible" sink: no output file, no per-event storage — just
+// totals (and small per-QoS arrays) that summarize a run. `to_table()`
+// renders them through stats::Table so bench binaries can print or export
+// the aggregate view next to their figure output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "obs/recorder.h"
+#include "stats/table.h"
+
+namespace aeq::obs {
+
+class CounterSink : public Sink {
+ public:
+  void on_rpc_generated(const RpcGenerated& event) override;
+  void on_admission(const AdmissionDecision& event) override;
+  void on_packet(const PacketEvent& event) override;
+  void on_cwnd(const CwndUpdate& event) override;
+  void on_rpc_complete(const RpcComplete& event) override;
+
+  std::uint64_t rpcs_generated() const { return rpcs_generated_; }
+  std::uint64_t rpcs_completed() const { return rpcs_completed_; }
+  std::uint64_t rpcs_terminated() const { return rpcs_terminated_; }
+  std::uint64_t admitted() const { return admitted_; }
+  std::uint64_t downgraded() const { return downgraded_; }
+  std::uint64_t admission_dropped() const { return admission_dropped_; }
+  std::uint64_t slo_met() const { return slo_met_; }
+  std::uint64_t cwnd_updates() const { return cwnd_updates_; }
+
+  std::uint64_t packets_enqueued(net::QoSLevel qos) const {
+    return enqueued_[qos];
+  }
+  std::uint64_t packets_dequeued(net::QoSLevel qos) const {
+    return dequeued_[qos];
+  }
+  std::uint64_t packets_dropped(net::QoSLevel qos) const {
+    return dropped_[qos];
+  }
+  std::uint64_t total_packets_dropped() const;
+
+  // Mean of the p_admit values sampled at each admission decision (1.0 when
+  // no decisions were recorded).
+  double mean_p_admit() const;
+
+  // One row per counter: name, value. Per-QoS packet counters render one
+  // row per class that saw traffic.
+  stats::Table to_table() const;
+
+ private:
+  std::uint64_t rpcs_generated_ = 0;
+  std::uint64_t rpcs_completed_ = 0;
+  std::uint64_t rpcs_terminated_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t downgraded_ = 0;
+  std::uint64_t admission_dropped_ = 0;
+  std::uint64_t slo_met_ = 0;
+  std::uint64_t cwnd_updates_ = 0;
+  double p_admit_sum_ = 0.0;
+  std::uint64_t p_admit_samples_ = 0;
+  std::array<std::uint64_t, net::kMaxQoSLevels> enqueued_{};
+  std::array<std::uint64_t, net::kMaxQoSLevels> dequeued_{};
+  std::array<std::uint64_t, net::kMaxQoSLevels> dropped_{};
+};
+
+}  // namespace aeq::obs

@@ -1,0 +1,97 @@
+#include "obs/csv_sink.h"
+
+#include <cstdio>
+
+#include "sim/assert.h"
+
+namespace aeq::obs {
+namespace {
+
+std::string us(sim::Time t) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.3f", t / sim::kUsec);
+  return buffer;
+}
+
+std::string num(double v) {
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.6g", v);
+  return buffer;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+std::string num(net::HostId v) { return std::to_string(v); }
+std::string num(net::QoSLevel v) { return std::to_string(v); }
+
+const char* packet_kind_name(PacketEventKind kind) {
+  switch (kind) {
+    case PacketEventKind::kEnqueue:
+      return "enqueue";
+    case PacketEventKind::kDequeue:
+      return "dequeue";
+    case PacketEventKind::kDrop:
+      return "drop";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CsvSink::CsvSink(const std::string& path)
+    : file_(path, std::ios::out | std::ios::trunc), out_(&file_) {
+  AEQ_ASSERT_MSG(file_.is_open(), "CsvSink: cannot open trace output file");
+  *out_ << "time_us,event,host,peer,port,qos,rpc_id,bytes,value,detail\n";
+}
+
+CsvSink::CsvSink(std::ostream* out) : out_(out) {
+  AEQ_ASSERT(out != nullptr);
+  *out_ << "time_us,event,host,peer,port,qos,rpc_id,bytes,value,detail\n";
+}
+
+void CsvSink::row(sim::Time t, const char* event, const std::string& host,
+                  const std::string& peer, const std::string& port,
+                  const std::string& qos, const std::string& rpc_id,
+                  const std::string& bytes, const std::string& value,
+                  const std::string& detail) {
+  *out_ << us(t) << ',' << event << ',' << host << ',' << peer << ',' << port
+        << ',' << qos << ',' << rpc_id << ',' << bytes << ',' << value << ','
+        << detail << '\n';
+  ++rows_written_;
+}
+
+void CsvSink::on_rpc_generated(const RpcGenerated& event) {
+  row(event.t, "rpc_generated", num(event.src), num(event.dst), "",
+      num(event.qos_requested), num(event.rpc_id), num(event.bytes), "", "");
+}
+
+void CsvSink::on_admission(const AdmissionDecision& event) {
+  const char* detail = event.dropped      ? "drop"
+                       : event.downgraded ? "downgrade"
+                                          : "admit";
+  row(event.t, "admission", num(event.src), num(event.dst), "",
+      num(event.qos_to), num(event.rpc_id), "", num(event.p_admit), detail);
+}
+
+void CsvSink::on_packet(const PacketEvent& event) {
+  row(event.t, "packet", "", "", num(std::uint64_t{event.port}),
+      num(event.qos), "", num(std::uint64_t{event.bytes}),
+      num(event.qlen_bytes), packet_kind_name(event.kind));
+}
+
+void CsvSink::on_cwnd(const CwndUpdate& event) {
+  row(event.t, "cwnd", num(event.src), num(event.dst), "", num(event.qos), "",
+      "", num(event.cwnd_packets), "");
+}
+
+void CsvSink::on_rpc_complete(const RpcComplete& event) {
+  const char* detail = event.terminated ? "terminated"
+                       : event.slo_met  ? "slo_met"
+                                        : "slo_miss";
+  row(event.t, "rpc_complete", num(event.src), num(event.dst), "",
+      num(event.qos_run), num(event.rpc_id), num(event.bytes),
+      us(event.rnl), detail);
+}
+
+void CsvSink::flush(sim::Time /*now*/) { out_->flush(); }
+
+}  // namespace aeq::obs

@@ -1,0 +1,52 @@
+// CsvSink: flat timeseries of every event, one row each.
+//
+// The pandas/gnuplot-friendly counterpart of the Chrome sink: a single CSV
+// with a shared column set, where columns an event type does not use are
+// left empty. Rows stream out in emission order (simulation time order
+// within one run).
+//
+//   time_us,event,host,peer,port,qos,rpc_id,bytes,value,detail
+//
+// `value` carries the event's primary scalar (p_admit, qlen bytes, cwnd
+// packets, rnl µs); `detail` a short disposition tag (admit/downgrade/...,
+// enqueue/dequeue/drop, slo_met/slo_miss).
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <ostream>
+#include <string>
+
+#include "obs/recorder.h"
+
+namespace aeq::obs {
+
+class CsvSink : public Sink {
+ public:
+  explicit CsvSink(const std::string& path);
+  explicit CsvSink(std::ostream* out);
+
+  void on_rpc_generated(const RpcGenerated& event) override;
+  void on_admission(const AdmissionDecision& event) override;
+  void on_packet(const PacketEvent& event) override;
+  void on_cwnd(const CwndUpdate& event) override;
+  void on_rpc_complete(const RpcComplete& event) override;
+
+  void flush(sim::Time now) override;
+
+  std::uint64_t rows_written() const { return rows_written_; }
+
+ private:
+  // Writes one row; empty strings render as empty cells.
+  void row(sim::Time t, const char* event, const std::string& host,
+           const std::string& peer, const std::string& port,
+           const std::string& qos, const std::string& rpc_id,
+           const std::string& bytes, const std::string& value,
+           const std::string& detail);
+
+  std::ofstream file_;
+  std::ostream* out_ = nullptr;
+  std::uint64_t rows_written_ = 0;
+};
+
+}  // namespace aeq::obs

@@ -1,0 +1,88 @@
+// Event taxonomy of the unified observability layer.
+//
+// One small, stable set of per-RPC lifecycle and per-packet events covers
+// everything the paper's evaluation needs to explain *why* an RPC met or
+// missed its SLO: when it was generated, what the admission controller
+// decided (and at what p_admit), where its packets queued or dropped, how
+// the congestion window moved, and the final RNL verdict. Emitters fill
+// these plain structs; sinks (obs/recorder.h) decide what to do with them.
+//
+// Events are deliberately POD — no strings, no allocation — so constructing
+// one on the hot path costs a handful of stores, and a disabled recorder
+// (null pointer at every emission site) costs one predictable branch.
+#pragma once
+
+#include <cstdint>
+
+#include "net/packet.h"
+#include "sim/units.h"
+
+namespace aeq::obs {
+
+// An RPC entered the stack at its requested QoS (before admission).
+struct RpcGenerated {
+  sim::Time t = 0.0;
+  std::uint64_t rpc_id = 0;
+  net::HostId src = net::kNoHost;
+  net::HostId dst = net::kNoHost;
+  net::QoSLevel qos_requested = net::kQoSHigh;
+  std::uint64_t bytes = 0;
+};
+
+// The admission controller's verdict for one RPC: admitted on its requested
+// QoS, downgraded to `qos_to`, or rejected outright (quota-style policies).
+struct AdmissionDecision {
+  sim::Time t = 0.0;
+  std::uint64_t rpc_id = 0;
+  net::HostId src = net::kNoHost;
+  net::HostId dst = net::kNoHost;
+  net::QoSLevel qos_from = net::kQoSHigh;
+  net::QoSLevel qos_to = net::kQoSHigh;
+  double p_admit = 1.0;  // the channel's admit probability at decision time
+  bool downgraded = false;
+  bool dropped = false;
+};
+
+enum class PacketEventKind : std::uint8_t { kEnqueue, kDequeue, kDrop };
+
+// A packet crossed (or failed to cross) one egress queue. `port` is the id
+// the experiment registered for that port (Recorder::register_port);
+// `qlen_*` is the queue backlog *after* the operation, which is what a
+// timeline of these events turns into a queue-depth curve.
+struct PacketEvent {
+  sim::Time t = 0.0;
+  PacketEventKind kind = PacketEventKind::kEnqueue;
+  std::uint32_t port = 0;
+  net::QoSLevel qos = net::kQoSHigh;
+  std::uint32_t bytes = 0;
+  std::uint64_t qlen_bytes = 0;
+  std::uint64_t qlen_packets = 0;
+};
+
+// A flow's congestion window changed (ACK advance, loss, or idle restart).
+struct CwndUpdate {
+  sim::Time t = 0.0;
+  net::HostId src = net::kNoHost;
+  net::HostId dst = net::kNoHost;
+  net::QoSLevel qos = net::kQoSHigh;
+  double cwnd_packets = 0.0;
+};
+
+// Terminal event of an RPC: completed (with its measured RNL) or terminated
+// (deadline kill / admission rejection). `slo_met` is evaluated against the
+// SLO of the *requested* QoS, as in the paper's compliance accounting.
+struct RpcComplete {
+  sim::Time t = 0.0;
+  std::uint64_t rpc_id = 0;
+  net::HostId src = net::kNoHost;
+  net::HostId dst = net::kNoHost;
+  net::QoSLevel qos_requested = net::kQoSHigh;
+  net::QoSLevel qos_run = net::kQoSHigh;
+  std::uint64_t bytes = 0;
+  sim::Time rnl = 0.0;
+  bool slo_met = false;
+  bool downgraded = false;
+  bool terminated = false;
+};
+
+}  // namespace aeq::obs

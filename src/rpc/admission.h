@@ -17,6 +17,11 @@ struct AdmissionDecision {
   // Aequitas never sets this; it exists for the downgrade-vs-drop ablation
   // and for quota policies that enforce hard limits.
   bool dropped = false;
+  // The (dst, qos_requested) channel's admit probability at decision time;
+  // 1.0 for controllers without probabilistic admission. Surfaced to the
+  // observability layer (obs::AdmissionDecision) so traces can correlate
+  // downgrades with the AIMD state that caused them.
+  double p_admit = 1.0;
 };
 
 class AdmissionController {

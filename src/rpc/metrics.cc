@@ -16,6 +16,7 @@ RpcMetrics::RpcMetrics(std::size_t num_qos, const SloConfig& slo,
       bytes_completed_(num_qos, 0),
       completed_(num_qos, 0),
       downgraded_(num_qos, 0),
+      downgraded_delivered_(num_qos, 0),
       terminated_(num_qos, 0),
       slo_eligible_(num_qos, 0),
       slo_met_(num_qos, 0),
@@ -26,11 +27,15 @@ RpcMetrics::RpcMetrics(std::size_t num_qos, const SloConfig& slo,
 }
 
 void RpcMetrics::on_issue(net::HostId dst, net::QoSLevel qos_requested,
-                          net::QoSLevel qos_run, std::uint64_t bytes) {
+                          net::QoSLevel qos_run, std::uint64_t bytes,
+                          bool admission_dropped) {
   AEQ_CHECK_LT(qos_requested, num_qos_);
   AEQ_CHECK_LT(qos_run, num_qos_);
   bytes_requested_[qos_requested] += bytes;
-  bytes_admitted_[qos_run] += bytes;
+  // Admission-rejected RPCs never enter the network, so their bytes are not
+  // admitted traffic; crediting them would overstate the admitted mix of
+  // hard-drop policies.
+  if (!admission_dropped) bytes_admitted_[qos_run] += bytes;
   const int group =
       static_cast<std::size_t>(qos_run) + 1 == num_qos_ ? 1 : 0;
   ++outstanding_[static_cast<std::size_t>(dst)][group];
@@ -39,7 +44,12 @@ void RpcMetrics::on_issue(net::HostId dst, net::QoSLevel qos_requested,
 void RpcMetrics::record(const RpcRecord& record) {
   AEQ_CHECK_LT(record.qos_requested, num_qos_);
   AEQ_CHECK_LT(record.qos_run, num_qos_);
-  if (record.downgraded) ++downgraded_[record.qos_requested];
+  if (record.downgraded) {
+    ++downgraded_[record.qos_requested];
+    ++downgraded_delivered_[record.qos_run];
+    ++downgraded_channel_[channel_key(record.src, record.dst,
+                                      record.qos_requested)];
+  }
 
   const int group =
       static_cast<std::size_t>(record.qos_run) + 1 == num_qos_ ? 1 : 0;
@@ -107,6 +117,20 @@ double RpcMetrics::slo_met_fraction_bytes(
   return eligible ? static_cast<double>(slo_met_bytes_[qos_requested]) /
                         static_cast<double>(eligible)
                   : 0.0;
+}
+
+std::uint64_t RpcMetrics::channel_key(net::HostId src, net::HostId dst,
+                                      net::QoSLevel qos) const {
+  return (static_cast<std::uint64_t>(static_cast<std::uint32_t>(src)) << 40) |
+         (static_cast<std::uint64_t>(static_cast<std::uint32_t>(dst)) << 8) |
+         qos;
+}
+
+std::uint64_t RpcMetrics::downgraded_on_channel(net::HostId src,
+                                                net::HostId dst,
+                                                net::QoSLevel qos) const {
+  const auto it = downgraded_channel_.find(channel_key(src, dst, qos));
+  return it == downgraded_channel_.end() ? 0 : it->second;
 }
 
 std::uint64_t RpcMetrics::total_completed() const {

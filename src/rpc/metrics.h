@@ -7,6 +7,7 @@
 
 #include <array>
 #include <cstdint>
+#include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
@@ -41,9 +42,12 @@ class RpcMetrics {
   // Called by RpcStack when an RPC is issued / completes. Traffic-mix
   // accounting (requested/admitted bytes) happens at issue time so the
   // shares reflect offered traffic even when large messages are still in
-  // flight at the end of a run.
+  // flight at the end of a run. `admission_dropped` marks an RPC the
+  // admission controller rejected outright: its bytes count as requested
+  // but never as admitted (they do not enter the network).
   void on_issue(net::HostId dst, net::QoSLevel qos_requested,
-                net::QoSLevel qos_run, std::uint64_t bytes);
+                net::QoSLevel qos_run, std::uint64_t bytes,
+                bool admission_dropped = false);
   void record(const RpcRecord& record);
 
   // Measurement window: records outside [t_start, inf) are counted for
@@ -83,9 +87,21 @@ class RpcMetrics {
   std::uint64_t completed(net::QoSLevel qos_run) const {
     return completed_[qos_run];
   }
+  // Downgrade counts are kept under both attributions: by the QoS the RPC
+  // asked for (who suffered the downgrade — the paper's per-class
+  // accounting) and by the QoS it was delivered on (where the traffic
+  // actually ran, matching the rnl_by_run_qos percentiles).
   std::uint64_t downgraded(net::QoSLevel qos_requested) const {
     return downgraded_[qos_requested];
   }
+  std::uint64_t downgraded_delivered(net::QoSLevel qos_run) const {
+    return downgraded_delivered_[qos_run];
+  }
+  // Downgrades of one (src, dst, qos_requested) RPC channel — the unit the
+  // per-channel AIMD operates on — so QoS-mix accounting can be audited
+  // channel by channel.
+  std::uint64_t downgraded_on_channel(net::HostId src, net::HostId dst,
+                                      net::QoSLevel qos_requested) const;
   std::uint64_t terminated(net::QoSLevel qos_requested) const {
     return terminated_[qos_requested];
   }
@@ -124,8 +140,14 @@ class RpcMetrics {
   std::vector<std::uint64_t> bytes_requested_;
   std::vector<std::uint64_t> bytes_admitted_;
   std::vector<std::uint64_t> bytes_completed_;
+  std::uint64_t channel_key(net::HostId src, net::HostId dst,
+                            net::QoSLevel qos) const;
+
   std::vector<std::uint64_t> completed_;
   std::vector<std::uint64_t> downgraded_;
+  std::vector<std::uint64_t> downgraded_delivered_;
+  // Sparse: only channels that actually saw a downgrade hold an entry.
+  std::unordered_map<std::uint64_t, std::uint64_t> downgraded_channel_;
   std::vector<std::uint64_t> terminated_;
   std::vector<std::uint64_t> slo_eligible_;
   std::vector<std::uint64_t> slo_met_;

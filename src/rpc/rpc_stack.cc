@@ -29,8 +29,34 @@ std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
 
   const net::QoSLevel qos_requested =
       qos_for_priority(priority, config_.num_qos);
+
+  if (obs_ != nullptr) {
+    obs::RpcGenerated generated;
+    generated.t = sim_.now();
+    generated.rpc_id = rpc_id;
+    generated.src = host_id_;
+    generated.dst = dst;
+    generated.qos_requested = qos_requested;
+    generated.bytes = bytes;
+    obs_->rpc_generated(generated);
+  }
+
   const AdmissionDecision decision =
       admission_.admit(sim_.now(), host_id_, dst, qos_requested, bytes);
+
+  if (obs_ != nullptr) {
+    obs::AdmissionDecision admitted;
+    admitted.t = sim_.now();
+    admitted.rpc_id = rpc_id;
+    admitted.src = host_id_;
+    admitted.dst = dst;
+    admitted.qos_from = qos_requested;
+    admitted.qos_to = decision.qos_run;
+    admitted.p_admit = decision.p_admit;
+    admitted.downgraded = decision.downgraded;
+    admitted.dropped = decision.dropped;
+    obs_->admission(admitted);
+  }
 
   RpcRecord record;
   record.rpc_id = rpc_id;
@@ -46,11 +72,14 @@ std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
 
   if (decision.dropped) {
     // Rejected at admission: never enters the network. Accounted like a
-    // terminated RPC (an SLO miss with zero goodput).
+    // terminated RPC (an SLO miss with zero goodput), and its bytes are
+    // never credited as admitted traffic.
     record.terminated = true;
     record.completed = record.issued;
-    metrics_.on_issue(dst, qos_requested, decision.qos_run, bytes);
+    metrics_.on_issue(dst, qos_requested, decision.qos_run, bytes,
+                      /*admission_dropped=*/true);
     metrics_.record(record);
+    emit_finished(record);
     if (listener_) listener_(record);
     return rpc_id;
   }
@@ -76,9 +105,32 @@ std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
                                  finished.qos_run, finished.rnl,
                                  finished.size_mtus);
         metrics_.record(finished);
+        emit_finished(finished);
         if (listener_) listener_(finished);
       });
   return rpc_id;
+}
+
+void RpcStack::emit_finished(const RpcRecord& record) {
+  if (obs_ == nullptr) return;
+  obs::RpcComplete event;
+  event.t = record.completed;
+  event.rpc_id = record.rpc_id;
+  event.src = record.src;
+  event.dst = record.dst;
+  event.qos_requested = record.qos_requested;
+  event.qos_run = record.qos_run;
+  event.bytes = record.bytes;
+  event.rnl = record.rnl;
+  event.downgraded = record.downgraded;
+  event.terminated = record.terminated;
+  // Compliance is judged against the requested QoS's SLO, exactly as the
+  // metrics sink does (§6.10); terminated RPCs always miss.
+  const SloConfig& slo = metrics_.slo();
+  event.slo_met = !record.terminated && slo.has_slo(record.qos_requested) &&
+                  record.rnl <= slo.absolute_target(record.qos_requested,
+                                                    record.size_mtus);
+  obs_->rpc_complete(event);
 }
 
 }  // namespace aeq::rpc

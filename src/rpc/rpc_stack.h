@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "net/packet.h"
+#include "obs/recorder.h"
 #include "rpc/admission.h"
 #include "rpc/metrics.h"
 #include "rpc/priority.h"
@@ -49,7 +50,15 @@ class RpcStack {
   std::uint64_t issued_count() const { return issued_; }
   net::HostId host_id() const { return host_id_; }
 
+  // Attaches the telemetry recorder: every issue emits RpcGenerated +
+  // AdmissionDecision, every finish (completion, termination, admission
+  // rejection) emits RpcComplete. Null detaches.
+  void set_observer(obs::Recorder* recorder) { obs_ = recorder; }
+
  private:
+  void emit_finished(const RpcRecord& record);
+
+  obs::Recorder* obs_ = nullptr;
   sim::Simulator& sim_;
   net::HostId host_id_;
   transport::MessageTransport& transport_;

@@ -4,6 +4,8 @@
 #include <utility>
 
 #include "audit/checks.h"
+#include "obs/chrome_trace_sink.h"
+#include "obs/csv_sink.h"
 #include "sim/assert.h"
 
 namespace aeq::runner {
@@ -13,6 +15,18 @@ Experiment::Experiment(const ExperimentConfig& config)
   AEQ_CHECK_GE(config_.num_qos, 2u);
   AEQ_ASSERT_MSG(config_.slo.num_qos() == config_.num_qos,
                  "SLO config must cover every QoS level");
+  // The legacy use_fixed_window alias may only restate the fixed-window
+  // choice; combined with a conflicting cc_kind it is a configuration error
+  // (it used to silently override the requested transport).
+  AEQ_ASSERT_MSG(!config_.use_fixed_window ||
+                     config_.cc_kind == ExperimentConfig::CcKind::kSwift ||
+                     config_.cc_kind == ExperimentConfig::CcKind::kFixedWindow,
+                 "ExperimentConfig::use_fixed_window conflicts with the "
+                 "configured cc_kind; use cc_kind = CcKind::kFixedWindow "
+                 "instead of the legacy flag");
+  if (config_.use_fixed_window) {
+    config_.cc_kind = ExperimentConfig::CcKind::kFixedWindow;
+  }
 
   net::QueueConfig queue;
   queue.type = config_.scheduler;
@@ -55,8 +69,7 @@ Experiment::Experiment(const ExperimentConfig& config)
   for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
     const auto id = static_cast<net::HostId>(i);
     auto cc_factory = [this]() -> std::unique_ptr<transport::CongestionControl> {
-      if (config_.use_fixed_window ||
-          config_.cc_kind == ExperimentConfig::CcKind::kFixedWindow) {
+      if (config_.cc_kind == ExperimentConfig::CcKind::kFixedWindow) {
         return std::make_unique<transport::FixedWindowCC>(
             config_.fixed_window_packets);
       }
@@ -94,6 +107,47 @@ Experiment::Experiment(const ExperimentConfig& config)
   }
 
   if (config_.audit) register_audit_checks();
+  if (!config_.trace.empty() || !config_.trace_csv.empty()) enable_tracing();
+}
+
+void Experiment::trace_to(const std::string& chrome_json,
+                          const std::string& csv) {
+  AEQ_ASSERT_MSG(recorder_ == nullptr, "tracing is already enabled");
+  if (chrome_json.empty() && csv.empty()) return;
+  config_.trace = chrome_json;
+  config_.trace_csv = csv;
+  enable_tracing();
+}
+
+void Experiment::enable_tracing() {
+  recorder_ = std::make_unique<obs::Recorder>();
+  if (!config_.trace.empty()) {
+    recorder_->own_sink(std::make_unique<obs::ChromeTraceSink>(config_.trace));
+  }
+  if (!config_.trace_csv.empty()) {
+    recorder_->own_sink(std::make_unique<obs::CsvSink>(config_.trace_csv));
+  }
+  // Stable port naming: host NICs first (in host order), then each fabric
+  // switch's egress ports. Names land in the trace as process labels.
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    const std::uint32_t pid =
+        recorder_->register_port("host" + std::to_string(i) + "-nic");
+    network_.host(static_cast<net::HostId>(i))
+        .egress()
+        .set_observer(recorder_.get(), pid);
+  }
+  for (std::size_t s = 0; s < network_.num_switches(); ++s) {
+    net::Switch& sw = network_.fabric_switch(s);
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      const std::uint32_t pid = recorder_->register_port(
+          sw.name() + "-port" + std::to_string(p));
+      sw.port(p).set_observer(recorder_.get(), pid);
+    }
+  }
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    host_stacks_[i]->set_observer(recorder_.get());
+    stacks_[i]->set_observer(recorder_.get());
+  }
 }
 
 void Experiment::register_audit_checks() {
@@ -171,6 +225,7 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
   // One final sweep over the drained state (catches leaks that only show
   // once queues empty, e.g. a pool reservation that never released).
   if (auditor_) auditor_->run_all();
+  if (recorder_) recorder_->flush(sim_.now());
 }
 
 double Experiment::mean_downlink_utilization() const {

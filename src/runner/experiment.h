@@ -5,11 +5,13 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "audit/audit.h"
 #include "core/aequitas.h"
 #include "net/queue_factory.h"
+#include "obs/recorder.h"
 #include "rpc/metrics.h"
 #include "rpc/rpc_stack.h"
 #include "sim/simulator.h"
@@ -76,6 +78,15 @@ struct ExperimentConfig {
   bool audit = audit::kBuildEnabled;
   sim::Time audit_interval = 50 * sim::kUsec;
 
+  // Telemetry (src/obs/): setting `trace` writes a Chrome trace_event JSON
+  // file (load in chrome://tracing or Perfetto); `trace_csv` writes a flat
+  // per-event CSV timeseries. Either one attaches an obs::Recorder to every
+  // port, transport flow, and RPC stack. When both are empty no recorder is
+  // created and every emission site reduces to a single null-pointer test,
+  // so results are bit-identical with tracing on or off.
+  std::string trace;
+  std::string trace_csv;
+
   std::uint64_t seed = 1;
 };
 
@@ -101,6 +112,18 @@ class Experiment {
 
   // The invariant-audit registry; null when ExperimentConfig::audit is off.
   audit::Auditor* auditor() { return auditor_.get(); }
+
+  // The telemetry recorder; null unless ExperimentConfig::trace or
+  // trace_csv is set. Extra sinks (e.g. obs::CounterSink) may be attached
+  // before run().
+  obs::Recorder* tracing() { return recorder_.get(); }
+
+  // Post-construction equivalent of setting ExperimentConfig::trace /
+  // trace_csv: creates the recorder and wires every port, flow, and RPC
+  // stack. Must be called before run(), at most once, and only when the
+  // config did not already enable tracing.
+  void trace_to(const std::string& chrome_json,
+                const std::string& csv = "");
 
   // Registers and owns a size distribution for the experiment's lifetime.
   const workload::SizeDistribution* own(
@@ -129,11 +152,13 @@ class Experiment {
   void schedule_sampler(std::size_t index, sim::Time at);
   void register_audit_checks();
   void schedule_audit(sim::Time at, sim::Time end);
+  void enable_tracing();
 
   ExperimentConfig config_;
   sim::Simulator sim_;
   topo::Network network_;
   std::unique_ptr<audit::Auditor> auditor_;
+  std::unique_ptr<obs::Recorder> recorder_;
   std::unique_ptr<rpc::RpcMetrics> metrics_;
   std::vector<std::unique_ptr<transport::HostStack>> host_stacks_;
   std::vector<std::unique_ptr<rpc::AdmissionController>> controllers_;

@@ -29,6 +29,7 @@ void Flow::send_message(std::uint64_t bytes, std::uint64_t rpc_id,
   if (next_seq_ == stream_end_ && bytes_in_flight() == 0 &&
       sim_.now() - last_activity_ > config_.idle_restart_after) {
     cc_->on_idle_restart();
+    emit_cwnd();
   }
   stream_end_ += bytes;
   messages_.push_back(PendingMessage{stream_end_, bytes, rpc_id, app_tag,
@@ -134,7 +135,19 @@ void Flow::rearm_rto() {
 void Flow::on_rto() {
   if (bytes_in_flight() == 0) return;
   cc_->on_loss(sim_.now());
+  emit_cwnd();
   retransmit_from_ack();
+}
+
+void Flow::emit_cwnd() {
+  if (obs_ == nullptr) return;
+  obs::CwndUpdate event;
+  event.t = sim_.now();
+  event.src = src_host_.id();
+  event.dst = dst_;
+  event.qos = qos_;
+  event.cwnd_packets = cc_->cwnd_packets();
+  obs_->cwnd(event);
 }
 
 void Flow::retransmit_from_ack() {
@@ -157,6 +170,7 @@ void Flow::handle_ack(const net::Packet& ack) {
                 static_cast<double>(advanced) /
                     static_cast<double>(config_.mtu_bytes),
                 ack.ecn_echo);
+    emit_cwnd();
     complete_messages();
     rearm_rto();
     try_send();
@@ -165,6 +179,7 @@ void Flow::handle_ack(const net::Packet& ack) {
     if (++dup_acks_ >= 3) {
       dup_acks_ = 0;
       cc_->on_loss(sim_.now());
+      emit_cwnd();
       retransmit_from_ack();
     }
   }

@@ -15,6 +15,7 @@
 
 #include "net/host.h"
 #include "net/packet.h"
+#include "obs/recorder.h"
 #include "sim/simulator.h"
 #include "transport/congestion_control.h"
 #include "transport/message.h"
@@ -67,6 +68,10 @@ class Flow {
   std::uint64_t queued_messages() const { return messages_.size(); }
   const CongestionControl& cc() const { return *cc_; }
 
+  // Attaches the telemetry recorder: every congestion-window move (ACK
+  // advance, loss, idle restart) emits a CwndUpdate. Null detaches.
+  void set_observer(obs::Recorder* recorder) { obs_ = recorder; }
+
   // Audit hook (src/audit/checks.h): asserts the cumulative-ACK stream
   // ordering acked <= next_seq <= stream_end (go-back-N can rewind next_seq,
   // but never below the ACK point), that queued messages partition the
@@ -97,6 +102,7 @@ class Flow {
   void on_rto();
   void retransmit_from_ack();
   sim::Time pace_gap() const;
+  void emit_cwnd();
 
   sim::Simulator& sim_;
   net::Host& src_host_;
@@ -105,6 +111,7 @@ class Flow {
   std::uint64_t flow_id_;
   TransportConfig config_;
   std::unique_ptr<CongestionControl> cc_;
+  obs::Recorder* obs_ = nullptr;
 
   std::uint64_t stream_end_ = 0;  // total bytes enqueued
   std::uint64_t next_seq_ = 0;    // next byte to (re)transmit

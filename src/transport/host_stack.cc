@@ -42,6 +42,7 @@ Flow& HostStack::flow_to(net::HostId dst, net::QoSLevel qos, int lane) {
              .emplace(key, std::make_unique<Flow>(sim_, host_, dst, qos, key,
                                                   config_, cc_factory_()))
              .first;
+    if (obs_ != nullptr) it->second->set_observer(obs_);
   }
   return *it->second;
 }

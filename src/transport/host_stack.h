@@ -63,6 +63,16 @@ class HostStack final : public MessageTransport {
     rpc_delivery_handler_ = std::move(handler);
   }
 
+  // Attaches the telemetry recorder to every existing and future flow of
+  // this stack (CwndUpdate emission). Null detaches.
+  void set_observer(obs::Recorder* recorder) {
+    obs_ = recorder;
+    for (auto& [key, flow] : flows_) {
+      (void)key;
+      flow->set_observer(recorder);
+    }
+  }
+
   // In-order payload bytes delivered to this host (receiver-side goodput).
   std::uint64_t bytes_delivered() const { return bytes_delivered_; }
   std::uint64_t bytes_delivered(net::QoSLevel qos) const {
@@ -100,6 +110,7 @@ class HostStack final : public MessageTransport {
   std::size_t num_hosts_;
   TransportConfig config_;
   CcFactory cc_factory_;
+  obs::Recorder* obs_ = nullptr;
   ControlHandler control_handler_;
   RpcDeliveryHandler rpc_delivery_handler_;
 

@@ -188,5 +188,52 @@ TEST(RpcStackTest, DowngradeVisibleToApplication) {
   EXPECT_GE(downgrades, 18);
 }
 
+TEST(RpcMetricsTest, DowngradeAttributionByRequestedDeliveredAndChannel) {
+  RpcMetrics metrics(3, SloConfig::make({15 * sim::kUsec, 25 * sim::kUsec,
+                                         0.0}, 99.9), 4);
+  auto downgrade = [&](net::HostId src, net::HostId dst,
+                       net::QoSLevel from, net::QoSLevel to) {
+    metrics.on_issue(dst, from, to, 4096);
+    RpcRecord record;
+    record.src = src;
+    record.dst = dst;
+    record.qos_requested = from;
+    record.qos_run = to;
+    record.downgraded = true;
+    record.bytes = 4096;
+    record.rnl = 1 * sim::kUsec;
+    metrics.record(record);
+  };
+  downgrade(0, 1, net::kQoSHigh, 1);  // QoS_h -> QoS_m
+  downgrade(0, 1, net::kQoSHigh, 2);  // QoS_h -> scavenger
+  downgrade(2, 1, net::kQoSHigh, 2);  // same dst/qos, other src
+  downgrade(0, 3, 1, 2);              // QoS_m -> scavenger
+
+  // Who asked and suffered (by requested QoS)...
+  EXPECT_EQ(metrics.downgraded(net::kQoSHigh), 3u);
+  EXPECT_EQ(metrics.downgraded(1), 1u);
+  EXPECT_EQ(metrics.downgraded(2), 0u);
+  // ...where the traffic actually landed (by delivered QoS)...
+  EXPECT_EQ(metrics.downgraded_delivered(net::kQoSHigh), 0u);
+  EXPECT_EQ(metrics.downgraded_delivered(1), 1u);
+  EXPECT_EQ(metrics.downgraded_delivered(2), 3u);
+  // ...and per (src, dst, qos_requested) channel, the AIMD's unit.
+  EXPECT_EQ(metrics.downgraded_on_channel(0, 1, net::kQoSHigh), 2u);
+  EXPECT_EQ(metrics.downgraded_on_channel(2, 1, net::kQoSHigh), 1u);
+  EXPECT_EQ(metrics.downgraded_on_channel(0, 3, 1), 1u);
+  EXPECT_EQ(metrics.downgraded_on_channel(0, 1, 1), 0u);
+  EXPECT_EQ(metrics.downgraded_on_channel(3, 0, net::kQoSHigh), 0u);
+}
+
+TEST(RpcMetricsTest, AdmissionDropCountsRequestedButNotAdmittedBytes) {
+  RpcMetrics metrics(2, SloConfig::make({15 * sim::kUsec, 0.0}, 99.9), 2);
+  metrics.on_issue(1, net::kQoSHigh, net::kQoSHigh, 1000);
+  metrics.on_issue(1, net::kQoSHigh, net::kQoSHigh, 3000,
+                   /*admission_dropped=*/true);
+  EXPECT_DOUBLE_EQ(metrics.requested_share(net::kQoSHigh), 1.0);
+  EXPECT_EQ(metrics.bytes_requested(net::kQoSHigh), 4000u);
+  EXPECT_EQ(metrics.bytes_admitted(net::kQoSHigh), 1000u);
+}
+
 }  // namespace
 }  // namespace aeq::rpc

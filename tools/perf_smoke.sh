@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Perf smoke: assert that perf_probe's events/sec with tracing disabled has
+# not regressed more than AEQ_PERF_TOLERANCE percent (default 5) against
+# the committed baseline in tools/perf_baseline_ci.txt.
+#
+# The baseline is an absolute events/sec number and therefore machine
+# dependent; it guards the observability instrumentation (a null-recorder
+# branch on every emission site) from quietly growing hot-path cost on a
+# comparable machine. Refresh it on the reference machine with:
+#
+#   AEQ_PERF_UPDATE_BASELINE=1 tools/perf_smoke.sh <build-dir>
+#
+# Usage: tools/perf_smoke.sh [build-dir]   (default: build)
+set -euo pipefail
+
+build_dir=${1:-build}
+probe="$build_dir/bench/perf_probe"
+baseline_file="$(dirname "$0")/perf_baseline_ci.txt"
+tolerance_pct=${AEQ_PERF_TOLERANCE:-5}
+
+if [[ ! -x "$probe" ]]; then
+  echo "perf_smoke: $probe not found (build the bench targets first)" >&2
+  exit 1
+fi
+
+# Best-of-3 to damp scheduler noise; the workload itself is deterministic
+# (the probe prints identical event counts every run).
+best=0
+for _ in 1 2 3; do
+  rate=$("$probe" --warmup-ms=2 --run-ms=4 --backend=both |
+    sed -n 's/.*= \([0-9.]*\)M events\/sec.*/\1/p' | sort -g | tail -1)
+  [[ -n "$rate" ]] || { echo "perf_smoke: could not parse events/sec" >&2; exit 1; }
+  best=$(awk -v a="$best" -v b="$rate" 'BEGIN { print (b > a) ? b : a }')
+done
+
+if [[ "${AEQ_PERF_UPDATE_BASELINE:-0}" == "1" ]]; then
+  {
+    echo "# perf_probe events/sec baseline (millions), tracing disabled."
+    echo "# Best of 3 x '--warmup-ms=2 --run-ms=4 --backend=both', best backend."
+    echo "# Refresh: AEQ_PERF_UPDATE_BASELINE=1 tools/perf_smoke.sh <build-dir>"
+    echo "events_per_sec_millions=$best"
+  } > "$baseline_file"
+  echo "perf_smoke: baseline updated to ${best}M events/sec"
+  exit 0
+fi
+
+baseline=$(sed -n 's/^events_per_sec_millions=//p' "$baseline_file")
+[[ -n "$baseline" ]] || { echo "perf_smoke: no baseline in $baseline_file" >&2; exit 1; }
+
+floor=$(awk -v b="$baseline" -v t="$tolerance_pct" 'BEGIN { print b * (1 - t / 100) }')
+echo "perf_smoke: measured ${best}M events/sec, baseline ${baseline}M," \
+  "floor ${floor}M (tolerance ${tolerance_pct}%)"
+awk -v m="$best" -v f="$floor" 'BEGIN { exit !(m >= f) }' || {
+  echo "perf_smoke: REGRESSION — ${best}M < ${floor}M events/sec" >&2
+  exit 1
+}
+echo "perf_smoke: OK"

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Validate a Chrome trace_event JSON file produced by obs::ChromeTraceSink.
+
+Stdlib-only (no jsonschema dependency): checks the JSON Object Format of
+the trace_event spec -- a top-level object with a `traceEvents` array --
+and, per event, the fields each phase type requires:
+
+  M (metadata)        name, pid, args.name
+  X (complete span)   ts, dur >= 0, pid, tid
+  i (instant)         ts, s in {t, p, g}, pid, tid
+  C (counter)         ts, pid, numeric args
+
+Exits non-zero on the first malformed event. With --expect-spans it also
+requires at least one RPC span and one counter sample, which is what a
+traced fig/abl run must contain.
+
+The sink streams one event object per line, and traced runs easily reach
+tens of gigabytes, so the validator streams too: each line is parsed and
+checked independently and memory use stays flat. If the file does not
+match the one-event-per-line layout it falls back to a whole-document
+json.load.
+
+Usage: tools/validate_trace.py TRACE.json [--expect-spans]
+"""
+
+import argparse
+import collections
+import json
+import numbers
+import sys
+
+PROLOGUE = '{"displayTimeUnit":"ms","traceEvents":['
+
+ALLOWED_PHASES = {"M", "X", "i", "C"}
+INSTANT_SCOPES = {"t", "p", "g"}
+
+
+def fail(index, event, why):
+    snippet = json.dumps(event)[:200]
+    sys.exit(f"traceEvents[{index}]: {why}\n  {snippet}")
+
+
+def require(event, index, key, types):
+    if key not in event:
+        fail(index, event, f"missing required key '{key}'")
+    if not isinstance(event[key], types):
+        fail(index, event, f"key '{key}' has type {type(event[key]).__name__}")
+    return event[key]
+
+
+def validate_event(event, index):
+    if not isinstance(event, dict):
+        fail(index, event, "event is not an object")
+    phase = require(event, index, "ph", str)
+    if phase not in ALLOWED_PHASES:
+        fail(index, event, f"unknown phase '{phase}'")
+    pid = require(event, index, "pid", int)
+    if pid < 0:
+        fail(index, event, "negative pid")
+    require(event, index, "name", str)
+
+    if phase == "M":
+        args = require(event, index, "args", dict)
+        if event["name"] == "process_name" and not isinstance(
+            args.get("name"), str
+        ):
+            fail(index, event, "process_name metadata without args.name")
+        return
+
+    ts = require(event, index, "ts", numbers.Real)
+    if ts < 0:
+        fail(index, event, "negative timestamp")
+    if phase == "X":
+        dur = require(event, index, "dur", numbers.Real)
+        if dur < 0:
+            fail(index, event, "negative span duration")
+        require(event, index, "tid", int)
+    elif phase == "i":
+        scope = require(event, index, "s", str)
+        if scope not in INSTANT_SCOPES:
+            fail(index, event, f"instant scope '{scope}' not in t/p/g")
+        require(event, index, "tid", int)
+    elif phase == "C":
+        args = require(event, index, "args", dict)
+        if not args:
+            fail(index, event, "counter event with empty args")
+        for key, value in args.items():
+            if not isinstance(value, numbers.Real):
+                fail(index, event, f"counter series '{key}' is not numeric")
+
+
+def iter_events_streaming(handle):
+    """Yields event objects from the sink's one-event-per-line layout.
+
+    Raises ValueError if the file deviates from that layout; the caller
+    falls back to a whole-document parse.
+    """
+    first = handle.readline().rstrip("\n")
+    if first != PROLOGUE:
+        raise ValueError("unexpected prologue")
+    closed = False
+    for line in handle:
+        line = line.rstrip("\n")
+        if line == "]}":
+            closed = True
+            continue
+        if closed:
+            raise ValueError("content after the closing brackets")
+        if line.endswith(","):
+            line = line[:-1]
+        yield json.loads(line)
+    if not closed:
+        raise ValueError("trace not closed (missing flush?)")
+
+
+def iter_events_document(path):
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            sys.exit(f"{path}: not valid JSON: {err}")
+    if not isinstance(doc, dict) or not isinstance(
+        doc.get("traceEvents"), list
+    ):
+        sys.exit(f"{path}: missing top-level traceEvents array")
+    unit = doc.get("displayTimeUnit", "ms")
+    if unit not in ("ms", "ns"):
+        sys.exit(f"{path}: invalid displayTimeUnit '{unit}'")
+    yield from doc["traceEvents"]
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", help="path to the trace_event JSON file")
+    parser.add_argument(
+        "--expect-spans",
+        action="store_true",
+        help="require at least one RPC span and one counter sample",
+    )
+    opts = parser.parse_args()
+
+    phases = collections.Counter()
+    count = 0
+    try:
+        with open(opts.trace) as handle:
+            for event in iter_events_streaming(handle):
+                validate_event(event, count)
+                phases[event["ph"]] += 1
+                count += 1
+    except (ValueError, json.JSONDecodeError):
+        # Not the sink's line layout (hand-edited or third-party trace):
+        # validate the whole document in memory instead.
+        phases.clear()
+        count = 0
+        for event in iter_events_document(opts.trace):
+            validate_event(event, count)
+            phases[event["ph"]] += 1
+            count += 1
+
+    if count == 0:
+        sys.exit(f"{opts.trace}: trace contains no events")
+    if opts.expect_spans and (phases["X"] == 0 or phases["C"] == 0):
+        sys.exit(
+            f"{opts.trace}: expected RPC spans and counter samples, got "
+            f"{dict(phases)}"
+        )
+
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(phases.items()))
+    print(f"{opts.trace}: OK — {count} events ({summary})")
+
+
+if __name__ == "__main__":
+    main()
