@@ -37,24 +37,54 @@ inline void print_header(const char* figure, const char* title) {
 
 inline void print_footer() { std::printf("\n"); }
 
-// Selects which simulation point of a bench gets a telemetry trace.
+// Selects which simulation point of a bench gets telemetry attached.
 // Benches run many independent experiments (sweep points, calibration
-// runs); tracing all of them would interleave files, so --trace targets
-// exactly one, identified by the order in which the bench applies the
-// request (its submission index, which is deterministic for any --jobs N).
+// runs); tracing all of them would interleave files, so the telemetry
+// flags target exactly one, identified by the order in which the bench
+// applies the request (its submission index, which is deterministic for
+// any --jobs N).
 struct TraceRequest {
   std::string trace;      // --trace PATH: Chrome trace_event JSON
   std::string trace_csv;  // --trace-csv PATH: flat per-event CSV
-  int point = 0;          // --trace-point N: which apply() site fires
+  // --timeseries BASE: windowed timeline at BASE.csv and BASE.json;
+  // --timeseries-width U: window width in simulated microseconds.
+  std::string timeseries;
+  double timeseries_width_us = 100.0;
+  // --watchdog PATH: enable the anomaly watchdog, log anomalies to PATH
+  // ("-" = stderr). Implies windowed telemetry even without --timeseries.
+  bool watchdog = false;
+  std::string watchdog_log;
+  // --flight-recorder PATH: ring-buffer post-mortem; dump lands at PATH on
+  // the first anomaly or on an assert/audit failure.
+  std::string flight_recorder;
+  int point = 0;  // --trace-point N: which apply() site fires
 
-  bool enabled() const { return !trace.empty() || !trace_csv.empty(); }
+  bool enabled() const {
+    return !trace.empty() || !trace_csv.empty() || !timeseries.empty() ||
+           watchdog || !flight_recorder.empty();
+  }
 
-  // Attaches tracing to `experiment` iff this is the requested point.
+  runner::TelemetrySpec spec() const {
+    runner::TelemetrySpec spec;
+    spec.trace = trace;
+    spec.trace_csv = trace_csv;
+    if (!timeseries.empty()) {
+      spec.timeseries_csv = timeseries + ".csv";
+      spec.timeseries_json = timeseries + ".json";
+    }
+    spec.timeseries_width = timeseries_width_us * sim::kUsec;
+    spec.watchdog = watchdog;
+    spec.watchdog_log = watchdog_log == "-" ? "" : watchdog_log;
+    spec.flight_recorder = flight_recorder;
+    return spec;
+  }
+
+  // Attaches telemetry to `experiment` iff this is the requested point.
   // Call once per candidate experiment, numbering them 0, 1, ... in the
   // order they are submitted/constructed.
   void apply(runner::Experiment& experiment, int point_index = 0) const {
     if (!enabled() || point_index != point) return;
-    experiment.trace_to(trace, trace_csv);
+    experiment.enable_telemetry(spec());
   }
 };
 
@@ -67,7 +97,11 @@ struct TraceRequest {
 //   --json PATH     append each rendered table as JSON ("-" = stdout)
 //   --trace PATH    write a Chrome trace_event JSON for one point
 //   --trace-csv PATH  write a per-event CSV for the same point
-//   --trace-point N which point to trace (default 0, the first)
+//   --timeseries BASE  write windowed telemetry to BASE.csv and BASE.json
+//   --timeseries-width U  window width in simulated microseconds (100)
+//   --watchdog PATH  enable the anomaly watchdog; log to PATH ("-"=stderr)
+//   --flight-recorder PATH  post-mortem ring buffer; dump on anomaly/crash
+//   --trace-point N which point gets the telemetry (default 0, the first)
 struct BenchArgs {
   runner::SweepOptions sweep;
   std::string csv_path;
@@ -90,6 +124,15 @@ inline BenchArgs parse_args(int argc, char** argv) {
   args.json_path = args.flags.get("json");
   args.trace.trace = args.flags.get("trace");
   args.trace.trace_csv = args.flags.get("trace-csv");
+  args.trace.timeseries = args.flags.get("timeseries");
+  args.trace.timeseries_width_us =
+      args.flags.get_double("timeseries-width", 100.0);
+  // `--watchdog` alone parses as the bare-boolean value "true": enable the
+  // watchdog with anomalies on stderr. Any other value is the log path.
+  const std::string watchdog_arg = args.flags.get("watchdog");
+  args.trace.watchdog = args.flags.has("watchdog");
+  args.trace.watchdog_log = watchdog_arg == "true" ? "" : watchdog_arg;
+  args.trace.flight_recorder = args.flags.get("flight-recorder");
   args.trace.point = static_cast<int>(args.flags.get_int("trace-point", 0));
   return args;
 }

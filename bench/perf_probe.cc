@@ -28,7 +28,9 @@ constexpr char kUsage[] =
     "           [--aequitas=0|1] [--mix-h=H] [--mix-m=M]\n"
     "           [--backend=heap|calendar|both]\n"
     "           [--sweep-points=N] [--jobs=J] [--seed=S]\n"
-    "           [--trace=PATH] [--trace-csv=PATH] [--trace-point=N]";
+    "           [--trace=PATH] [--trace-csv=PATH] [--trace-point=N]\n"
+    "           [--timeseries=BASE] [--timeseries-width=USEC]\n"
+    "           [--watchdog[=PATH]] [--flight-recorder=PATH]";
 
 struct ProbeParams {
   double alpha = 0.01;

@@ -156,6 +156,13 @@ void ChromeTraceSink::on_rpc_complete(const RpcComplete& event) {
                 << "}}";
 }
 
+void ChromeTraceSink::annotate(sim::Time t, const std::string& label) {
+  if (finalized_) return;
+  begin_event() << "{\"ph\":\"i\",\"name\":\"" << json_escape(label)
+                << "\",\"cat\":\"anomaly\",\"s\":\"g\",\"ts\":" << fmt_us(t)
+                << ",\"pid\":0,\"tid\":0}";
+}
+
 void ChromeTraceSink::flush(sim::Time /*now*/) {
   if (finalized_) return;
   finalized_ = true;

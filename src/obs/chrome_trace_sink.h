@@ -43,6 +43,11 @@ class ChromeTraceSink : public Sink {
 
   void flush(sim::Time now) override;
 
+  // Writes a free-form global instant ("i", scope "g") at `t`. The flight
+  // recorder uses this to mark the anomaly that triggered a dump so the
+  // trigger is visible on the Perfetto timeline next to the evidence.
+  void annotate(sim::Time t, const std::string& label);
+
   std::uint64_t events_written() const { return events_written_; }
 
  private:

@@ -37,8 +37,10 @@ void CounterSink::on_cwnd(const CwndUpdate& /*event*/) { ++cwnd_updates_; }
 void CounterSink::on_rpc_complete(const RpcComplete& event) {
   if (event.terminated) {
     ++rpcs_terminated_;
+    bytes_terminated_ += event.bytes;
   } else {
     ++rpcs_completed_;
+    bytes_completed_ += event.bytes;
   }
   if (event.slo_met) ++slo_met_;
 }
@@ -47,6 +49,13 @@ std::uint64_t CounterSink::total_packets_dropped() const {
   std::uint64_t total = 0;
   for (const auto count : dropped_) total += count;
   return total;
+}
+
+double CounterSink::slo_compliance() const {
+  return rpcs_completed_ == 0
+             ? 1.0
+             : static_cast<double>(slo_met_) /
+                   static_cast<double>(rpcs_completed_);
 }
 
 double CounterSink::mean_p_admit() const {
@@ -67,6 +76,9 @@ stats::Table CounterSink::to_table() const {
   row("downgraded", static_cast<double>(downgraded_));
   row("admission_dropped", static_cast<double>(admission_dropped_));
   row("slo_met", static_cast<double>(slo_met_));
+  row("slo_compliance", slo_compliance(), 4);
+  row("bytes_completed", static_cast<double>(bytes_completed_));
+  row("bytes_terminated", static_cast<double>(bytes_terminated_));
   row("mean_p_admit", mean_p_admit(), 4);
   row("cwnd_updates", static_cast<double>(cwnd_updates_));
   for (net::QoSLevel qos = 0; qos < net::kMaxQoSLevels; ++qos) {

@@ -31,6 +31,17 @@ class CounterSink : public Sink {
   std::uint64_t slo_met() const { return slo_met_; }
   std::uint64_t cwnd_updates() const { return cwnd_updates_; }
 
+  // Payload bytes by terminal disposition, kept apart so the completed
+  // figure agrees with RpcMetrics::bytes_completed (which never counts
+  // terminated or admission-rejected RPCs as delivered traffic).
+  std::uint64_t bytes_completed() const { return bytes_completed_; }
+  std::uint64_t bytes_terminated() const { return bytes_terminated_; }
+
+  // SLO-met fraction over *completed* RPCs (terminated ones never meet an
+  // SLO and are excluded from the denominator), matching the accounting of
+  // rpc::RpcMetrics::slo_met_fraction. 1.0 when nothing completed.
+  double slo_compliance() const;
+
   std::uint64_t packets_enqueued(net::QoSLevel qos) const {
     return enqueued_[qos];
   }
@@ -59,6 +70,8 @@ class CounterSink : public Sink {
   std::uint64_t admission_dropped_ = 0;
   std::uint64_t slo_met_ = 0;
   std::uint64_t cwnd_updates_ = 0;
+  std::uint64_t bytes_completed_ = 0;
+  std::uint64_t bytes_terminated_ = 0;
   double p_admit_sum_ = 0.0;
   std::uint64_t p_admit_samples_ = 0;
   std::array<std::uint64_t, net::kMaxQoSLevels> enqueued_{};

@@ -45,13 +45,22 @@ class Sink {
 class Recorder {
  public:
   // Registers a sink the caller keeps alive for the recorder's lifetime.
-  void add_sink(Sink* sink) { sinks_.push_back(sink); }
+  // Ports registered before the sink arrived are replayed immediately, so a
+  // sink attached mid-run (e.g. a flight recorder armed on anomaly) still
+  // learns every port's name.
+  void add_sink(Sink* sink) {
+    for (std::size_t id = 0; id < port_names_.size(); ++id) {
+      sink->on_port_registered(static_cast<std::uint32_t>(id),
+                               port_names_[id]);
+    }
+    sinks_.push_back(sink);
+  }
 
-  // Registers a sink the recorder owns.
+  // Registers a sink the recorder owns. Known ports replay as in add_sink.
   Sink* own_sink(std::unique_ptr<Sink> sink) {
     Sink* raw = sink.get();
     owned_.push_back(std::move(sink));
-    sinks_.push_back(raw);
+    add_sink(raw);
     return raw;
   }
 

@@ -1,5 +1,6 @@
 #include "runner/experiment.h"
 
+#include <iostream>
 #include <string>
 #include <utility>
 
@@ -106,26 +107,144 @@ Experiment::Experiment(const ExperimentConfig& config)
         stack_config));
   }
 
+  // Fold the legacy trace aliases into the spec before wiring.
+  if (!config_.trace.empty()) config_.telemetry.trace = config_.trace;
+  if (!config_.trace_csv.empty()) {
+    config_.telemetry.trace_csv = config_.trace_csv;
+  }
   if (config_.audit) register_audit_checks();
-  if (!config_.trace.empty() || !config_.trace_csv.empty()) enable_tracing();
+  if (config_.telemetry.any()) wire_telemetry();
+}
+
+Experiment::~Experiment() {
+  // Disarm the assert-failure hook if it still points at this experiment
+  // (parallel sweeps run one experiment per thread; both slots are
+  // thread_local, so this races with nobody).
+  if (detail::g_failure_sink_arg == this) {
+    detail::g_failure_sink = nullptr;
+    detail::g_failure_sink_arg = nullptr;
+  }
 }
 
 void Experiment::trace_to(const std::string& chrome_json,
                           const std::string& csv) {
-  AEQ_ASSERT_MSG(recorder_ == nullptr, "tracing is already enabled");
   if (chrome_json.empty() && csv.empty()) return;
-  config_.trace = chrome_json;
-  config_.trace_csv = csv;
-  enable_tracing();
+  TelemetrySpec spec;
+  spec.trace = chrome_json;
+  spec.trace_csv = csv;
+  enable_telemetry(spec);
 }
 
-void Experiment::enable_tracing() {
-  recorder_ = std::make_unique<obs::Recorder>();
-  if (!config_.trace.empty()) {
-    recorder_->own_sink(std::make_unique<obs::ChromeTraceSink>(config_.trace));
+void Experiment::enable_telemetry(const TelemetrySpec& spec) {
+  AEQ_ASSERT_MSG(recorder_ == nullptr, "telemetry is already enabled");
+  if (!spec.any()) return;
+  config_.telemetry = spec;
+  config_.trace = spec.trace;
+  config_.trace_csv = spec.trace_csv;
+  wire_telemetry();
+}
+
+void Experiment::fill_watchdog_defaults(obs::WatchdogConfig& config) const {
+  // Compliance alarms derive from the configured SLO percentiles, backed
+  // off by a margin so ordinary jitter around the target stays silent: a
+  // 99.9% SLO alarms when a window's compliance drops below ~90%.
+  constexpr double kAlarmMargin = 0.9;
+  if (config.compliance_target.empty()) {
+    config.compliance_target.assign(config_.num_qos, 0.0);
+    for (std::size_t q = 0; q < config_.num_qos; ++q) {
+      const auto qos = static_cast<net::QoSLevel>(q);
+      if (!config_.slo.has_slo(qos)) continue;  // scavenger class: no alarm
+      config.compliance_target[q] =
+          kAlarmMargin * config_.slo.target_percentile[q] / 100.0;
+    }
   }
-  if (!config_.trace_csv.empty()) {
-    recorder_->own_sink(std::make_unique<obs::CsvSink>(config_.trace_csv));
+  if (config.saturation_qlen_bytes == 0) {
+    config.saturation_qlen_bytes = static_cast<std::uint64_t>(
+        0.95 * static_cast<double>(config_.buffer_bytes));
+  }
+  // "Pinned at the controller's own floor" — separates pathological
+  // collapse from ordinary heavy throttling of misbehaving channels.
+  if (config.p_admit_floor < 0.0) {
+    config.p_admit_floor = 1.5 * config_.p_admit_floor;
+  }
+}
+
+void Experiment::on_anomaly(const obs::Anomaly& anomaly) {
+  if (watchdog_log_ != nullptr) {
+    *watchdog_log_ << "[watchdog] " << obs::describe(anomaly) << std::endl;
+  }
+  // The first anomaly gets the flight dump: its ring still holds the onset
+  // of the problem, which later anomalies' rings may have evicted.
+  if (flight_ != nullptr && !flight_dumped_) {
+    flight_dumped_ = true;
+    flight_->dump(config_.telemetry.flight_recorder, &anomaly);
+    if (timeseries_ != nullptr) {
+      timeseries_->write_recent_csv(config_.telemetry.flight_recorder +
+                                    ".timeseries.csv");
+    }
+  }
+}
+
+void Experiment::failure_dump(void* self) {
+  auto* experiment = static_cast<Experiment*>(self);
+  if (experiment->flight_ == nullptr || experiment->flight_dumped_) return;
+  experiment->flight_dumped_ = true;
+  experiment->flight_->dump(experiment->config_.telemetry.flight_recorder);
+  if (experiment->timeseries_ != nullptr) {
+    experiment->timeseries_->write_recent_csv(
+        experiment->config_.telemetry.flight_recorder + ".timeseries.csv");
+  }
+}
+
+void Experiment::wire_telemetry() {
+  const TelemetrySpec& spec = config_.telemetry;
+  recorder_ = std::make_unique<obs::Recorder>();
+  if (!spec.trace.empty()) {
+    recorder_->own_sink(std::make_unique<obs::ChromeTraceSink>(spec.trace));
+  }
+  if (!spec.trace_csv.empty()) {
+    recorder_->own_sink(std::make_unique<obs::CsvSink>(spec.trace_csv));
+  }
+  if (!spec.flight_recorder.empty()) {
+    flight_ = static_cast<obs::FlightRecorder*>(
+        recorder_->own_sink(std::make_unique<obs::FlightRecorder>(
+            spec.flight_recorder_config)));
+    // Arm the last-gasp hook: an assert/audit failure dumps the ring
+    // before aborting.
+    detail::g_failure_sink = &Experiment::failure_dump;
+    detail::g_failure_sink_arg = this;
+  }
+  // The timeseries sink registers after the flight recorder so that when a
+  // window closes mid-event and the watchdog fires, the ring already holds
+  // the event that closed the window.
+  if (spec.windowed()) {
+    obs::TimeseriesConfig ts;
+    ts.window = spec.timeseries_width;
+    ts.num_qos = config_.num_qos;
+    ts.csv_path = spec.timeseries_csv;
+    ts.json_path = spec.timeseries_json;
+    timeseries_ = static_cast<obs::TimeseriesSink*>(
+        recorder_->own_sink(std::make_unique<obs::TimeseriesSink>(ts)));
+  }
+  if (spec.watchdog) {
+    obs::WatchdogConfig wd = spec.watchdog_config;
+    fill_watchdog_defaults(wd);
+    watchdog_ = std::make_unique<obs::Watchdog>(wd);
+    if (!spec.watchdog_log.empty()) {
+      watchdog_log_file_.open(spec.watchdog_log,
+                              std::ios::out | std::ios::trunc);
+      AEQ_ASSERT_MSG(watchdog_log_file_.is_open(),
+                     "cannot open watchdog log file");
+      watchdog_log_ = &watchdog_log_file_;
+    } else {
+      watchdog_log_ = &std::cerr;
+    }
+    timeseries_->add_window_listener(
+        [this](const obs::WindowStats& window) {
+          watchdog_->on_window(window);
+        });
+    watchdog_->add_callback(
+        [this](const obs::Anomaly& anomaly) { on_anomaly(anomaly); });
   }
   // Stable port naming: host NICs first (in host order), then each fabric
   // switch's egress ports. Names land in the trace as process labels.
@@ -173,6 +292,18 @@ void Experiment::schedule_audit(sim::Time at, sim::Time end) {
   });
 }
 
+// Periodic clock for the windowed telemetry: advance_to only *reads* sink
+// state, so (like the audit sweep) the extra events cannot perturb the
+// simulation. Without the tick a fully stalled run would never close
+// another window and the watchdog's stall rule could never fire.
+void Experiment::schedule_telemetry_tick(sim::Time at, sim::Time end) {
+  if (at > end) return;
+  sim_.schedule_at(at, [this, at, end] {
+    timeseries_->advance_to(at);
+    schedule_telemetry_tick(at + config_.telemetry.timeseries_width, end);
+  });
+}
+
 const workload::SizeDistribution* Experiment::own(
     std::unique_ptr<workload::SizeDistribution> dist) {
   owned_dists_.push_back(std::move(dist));
@@ -208,6 +339,13 @@ void Experiment::schedule_sampler(std::size_t index, sim::Time at) {
 void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
   AEQ_CHECK_GT(duration, 0.0);
   metrics_->set_warmup(warmup);
+  // The warmup transient (admission probabilities converging down from 1)
+  // is expected turbulence, not an anomaly; going quiet after generation
+  // ends is the drain working, not a stall.
+  if (watchdog_) {
+    watchdog_->set_quiet_until(warmup);
+    watchdog_->set_stall_horizon(warmup + duration);
+  }
   run_end_ = warmup + duration;
   for (auto& generator : generators_) {
     generator->run(sim_.now(), run_end_);
@@ -218,6 +356,11 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
   if (auditor_) {
     AEQ_ASSERT(config_.audit_interval > 0.0);
     schedule_audit(sim_.now() + config_.audit_interval, run_end_ + drain);
+  }
+  if (timeseries_ != nullptr) {
+    AEQ_ASSERT(config_.telemetry.timeseries_width > 0.0);
+    schedule_telemetry_tick(sim_.now() + config_.telemetry.timeseries_width,
+                            run_end_ + drain);
   }
   sim_.run_until(run_end_);
   // Let in-flight RPCs finish so tail percentiles include them.

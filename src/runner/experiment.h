@@ -3,15 +3,20 @@
 // generators into one runnable object. Every bench/example builds on this.
 #pragma once
 
+#include <fstream>
 #include <functional>
 #include <memory>
+#include <ostream>
 #include <string>
 #include <vector>
 
 #include "audit/audit.h"
 #include "core/aequitas.h"
 #include "net/queue_factory.h"
+#include "obs/flight_recorder.h"
 #include "obs/recorder.h"
+#include "obs/timeseries_sink.h"
+#include "obs/watchdog.h"
 #include "rpc/metrics.h"
 #include "rpc/rpc_stack.h"
 #include "sim/simulator.h"
@@ -23,6 +28,49 @@
 #include "workload/size_dist.h"
 
 namespace aeq::runner {
+
+// Everything the telemetry pipeline can attach to one experiment. All
+// outputs are independent; any non-empty path (or `watchdog`) creates the
+// obs::Recorder and wires every port, flow, and RPC stack. With the whole
+// spec empty no recorder exists and every emission site reduces to a single
+// null-pointer test, so results stay bit-identical with telemetry on or off.
+struct TelemetrySpec {
+  // Raw per-event streams (PR-4 sinks).
+  std::string trace;      // Chrome trace_event JSON (Perfetto-loadable)
+  std::string trace_csv;  // flat per-event CSV
+
+  // Windowed timeline (obs::TimeseriesSink): per-QoS RNL percentiles,
+  // SLO compliance, byte shares, p_admit, port queue depths — one bounded
+  // record per `timeseries_width` of simulated time.
+  std::string timeseries_csv;
+  std::string timeseries_json;
+  sim::Time timeseries_width = 100 * sim::kUsec;
+
+  // Online anomaly detection over closed windows (obs::Watchdog). Enabled
+  // implies a TimeseriesSink even when both timeseries paths are empty.
+  // Anomaly lines go to `watchdog_log` ("" = stderr). Zero/empty thresholds
+  // in `watchdog_config` are auto-filled by the experiment: compliance
+  // targets from the SLO percentiles (with an alarm margin), saturation
+  // from the port buffer size.
+  bool watchdog = false;
+  std::string watchdog_log;
+  obs::WatchdogConfig watchdog_config;
+
+  // Post-mortem ring buffer (obs::FlightRecorder). The path is where the
+  // Chrome-trace snapshot lands when the watchdog first fires or when an
+  // AEQ_ASSERT/AEQ_CHECK (including audit invariants) aborts the run; the
+  // recent timeseries rows land next to it at `<path>.timeseries.csv`.
+  std::string flight_recorder;
+  obs::FlightRecorderConfig flight_recorder_config;
+
+  bool windowed() const {
+    return !timeseries_csv.empty() || !timeseries_json.empty() || watchdog;
+  }
+  bool any() const {
+    return !trace.empty() || !trace_csv.empty() || windowed() ||
+           !flight_recorder.empty();
+  }
+};
 
 struct ExperimentConfig {
   // Simulation executive: which event-scheduler backend dispatches events.
@@ -78,12 +126,10 @@ struct ExperimentConfig {
   bool audit = audit::kBuildEnabled;
   sim::Time audit_interval = 50 * sim::kUsec;
 
-  // Telemetry (src/obs/): setting `trace` writes a Chrome trace_event JSON
-  // file (load in chrome://tracing or Perfetto); `trace_csv` writes a flat
-  // per-event CSV timeseries. Either one attaches an obs::Recorder to every
-  // port, transport flow, and RPC stack. When both are empty no recorder is
-  // created and every emission site reduces to a single null-pointer test,
-  // so results are bit-identical with tracing on or off.
+  // Telemetry (src/obs/): see TelemetrySpec. `trace` / `trace_csv` are
+  // legacy aliases for telemetry.trace / telemetry.trace_csv, folded into
+  // the spec at construction.
+  TelemetrySpec telemetry;
   std::string trace;
   std::string trace_csv;
 
@@ -93,6 +139,7 @@ struct ExperimentConfig {
 class Experiment {
  public:
   explicit Experiment(const ExperimentConfig& config);
+  ~Experiment();
 
   sim::Simulator& simulator() { return sim_; }
   topo::Network& network() { return network_; }
@@ -113,15 +160,22 @@ class Experiment {
   // The invariant-audit registry; null when ExperimentConfig::audit is off.
   audit::Auditor* auditor() { return auditor_.get(); }
 
-  // The telemetry recorder; null unless ExperimentConfig::trace or
-  // trace_csv is set. Extra sinks (e.g. obs::CounterSink) may be attached
-  // before run().
+  // The telemetry recorder; null unless some TelemetrySpec output is set.
+  // Extra sinks (e.g. obs::CounterSink) may be attached before run().
   obs::Recorder* tracing() { return recorder_.get(); }
 
-  // Post-construction equivalent of setting ExperimentConfig::trace /
-  // trace_csv: creates the recorder and wires every port, flow, and RPC
-  // stack. Must be called before run(), at most once, and only when the
-  // config did not already enable tracing.
+  // The windowed-telemetry components; null unless the spec enables them.
+  obs::TimeseriesSink* timeseries() { return timeseries_; }
+  obs::Watchdog* watchdog() { return watchdog_.get(); }
+  obs::FlightRecorder* flight_recorder() { return flight_; }
+
+  // Post-construction equivalent of setting ExperimentConfig::telemetry:
+  // creates the recorder and wires every port, flow, and RPC stack. Must be
+  // called before run(), at most once, and only when the config did not
+  // already enable telemetry.
+  void enable_telemetry(const TelemetrySpec& spec);
+
+  // Legacy alias: enable_telemetry with just trace / trace_csv set.
   void trace_to(const std::string& chrome_json,
                 const std::string& csv = "");
 
@@ -152,13 +206,25 @@ class Experiment {
   void schedule_sampler(std::size_t index, sim::Time at);
   void register_audit_checks();
   void schedule_audit(sim::Time at, sim::Time end);
-  void enable_tracing();
+  void schedule_telemetry_tick(sim::Time at, sim::Time end);
+  void wire_telemetry();
+  void fill_watchdog_defaults(obs::WatchdogConfig& config) const;
+  void on_anomaly(const obs::Anomaly& anomaly);
+  // Last-gasp hook (sim/assert.h): dumps the flight recorder and recent
+  // timeseries rows before an assert/audit failure aborts the process.
+  static void failure_dump(void* self);
 
   ExperimentConfig config_;
   sim::Simulator sim_;
   topo::Network network_;
   std::unique_ptr<audit::Auditor> auditor_;
   std::unique_ptr<obs::Recorder> recorder_;
+  obs::TimeseriesSink* timeseries_ = nullptr;  // owned by recorder_
+  obs::FlightRecorder* flight_ = nullptr;      // owned by recorder_
+  std::unique_ptr<obs::Watchdog> watchdog_;
+  std::ofstream watchdog_log_file_;
+  std::ostream* watchdog_log_ = nullptr;
+  bool flight_dumped_ = false;
   std::unique_ptr<rpc::RpcMetrics> metrics_;
   std::vector<std::unique_ptr<transport::HostStack>> host_stacks_;
   std::vector<std::unique_ptr<rpc::AdmissionController>> controllers_;

@@ -50,6 +50,24 @@ inline thread_local double g_sim_now = -1.0;
 // every check closure threading a label through.
 inline thread_local const char* g_audit_check = nullptr;
 
+// Last-gasp hook invoked (once) before an AEQ_ASSERT / AEQ_CHECK_* failure
+// aborts the process. The experiment harness points this at the flight
+// recorder (obs::FlightRecorder) so an audit-invariant violation still dumps
+// the recent event window to disk before the abort. Thread-local because
+// parallel sweeps run one experiment per worker thread; the hook is cleared
+// before it is invoked so a failure inside the dump itself cannot recurse.
+inline thread_local void (*g_failure_sink)(void*) = nullptr;
+inline thread_local void* g_failure_sink_arg = nullptr;
+
+inline void invoke_failure_sink() {
+  if (g_failure_sink == nullptr) return;
+  auto* hook = g_failure_sink;
+  void* arg = g_failure_sink_arg;
+  g_failure_sink = nullptr;
+  g_failure_sink_arg = nullptr;
+  hook(arg);
+}
+
 inline void print_failure_context() {
   if (g_sim_now >= 0.0) {
     std::fprintf(stderr, " [t=%.9gs]", g_sim_now);
@@ -64,6 +82,7 @@ inline void print_failure_context() {
   std::fprintf(stderr, "AEQ_ASSERT failed: %s at %s:%d", expr, file, line);
   print_failure_context();
   std::fprintf(stderr, "%s%s\n", msg[0] ? " — " : "", msg);
+  invoke_failure_sink();
   std::abort();
 }
 
@@ -74,6 +93,7 @@ inline void print_failure_context() {
                expr, lhs.c_str(), rhs.c_str(), file, line);
   print_failure_context();
   std::fprintf(stderr, "%s%s\n", msg[0] ? " — " : "", msg);
+  invoke_failure_sink();
   std::abort();
 }
 

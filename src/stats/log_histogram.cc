@@ -24,6 +24,11 @@ std::size_t LogHistogram::index_of(double value) const {
   return std::min(index, buckets_.size() - 1);
 }
 
+void LogHistogram::reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  total_ = 0;
+}
+
 void LogHistogram::add(double value, std::uint64_t weight) {
   buckets_[index_of(value)] += weight;
   total_ += weight;

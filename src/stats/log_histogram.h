@@ -19,6 +19,11 @@ class LogHistogram {
 
   void add(double value, std::uint64_t weight = 1);
 
+  // Zeroes every bucket, keeping the binning. Windowed consumers (e.g.
+  // obs::TimeseriesSink) reuse one histogram per window instead of
+  // reallocating the bucket array each window.
+  void reset();
+
   std::uint64_t count() const { return total_; }
   // Percentile in [0, 100]; returns the upper edge of the matched bucket
   // (a <= precision overestimate). 0 when empty.

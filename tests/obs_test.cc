@@ -187,6 +187,28 @@ TEST(RecorderTest, RegisterPortAssignsDenseIdsAndAnnouncesNames) {
   EXPECT_EQ(log, expected);
 }
 
+// Regression test: a sink attached after ports were registered must still
+// learn their names. The flight recorder and timeseries sink are wired in
+// enable_telemetry after the experiment's constructor has already named
+// every port, so add_sink replays the registry to late sinks.
+TEST(RecorderTest, LateSinkReceivesPortReplay) {
+  obs::Recorder recorder;
+  EXPECT_EQ(recorder.register_port("host0-nic"), 0u);
+  EXPECT_EQ(recorder.register_port("tor-port0"), 1u);
+
+  std::vector<std::string> log;
+  LogSink late("late", &log);
+  recorder.add_sink(&late);
+  const std::vector<std::string> expected = {"late:port0:host0-nic",
+                                             "late:port1:tor-port0"};
+  EXPECT_EQ(log, expected);
+
+  // New registrations still arrive live, exactly once.
+  recorder.register_port("tor-port1");
+  EXPECT_EQ(log.size(), 3u);
+  EXPECT_EQ(log.back(), "late:port2:tor-port1");
+}
+
 TEST(CounterSinkTest, AggregatesTheLifecycle) {
   obs::CounterSink counters;
   obs::Recorder recorder;
@@ -207,6 +229,12 @@ TEST(CounterSinkTest, AggregatesTheLifecycle) {
   EXPECT_EQ(counters.packets_enqueued(0), 0u);
   EXPECT_EQ(counters.total_packets_dropped(), 1u);
   EXPECT_DOUBLE_EQ(counters.mean_p_admit(), 0.75);
+  // The lifecycle's one RPC completed (1000 payload bytes) but missed its
+  // SLO; nothing was terminated.
+  EXPECT_EQ(counters.bytes_completed(), 1000u);
+  EXPECT_EQ(counters.bytes_terminated(), 0u);
+  EXPECT_DOUBLE_EQ(counters.slo_compliance(), 0.0);
+  EXPECT_DOUBLE_EQ(obs::CounterSink().slo_compliance(), 1.0);
   // Rendering must not crash and must carry at least the scalar counters.
   EXPECT_GE(counters.to_table().num_rows(), 8u);
 }
@@ -412,6 +440,18 @@ TEST(TracingIdentityTest, TraceCountersReconcileWithMetrics) {
     delivered_downgraded += metrics.downgraded_delivered(qos);
   }
   EXPECT_EQ(counters.slo_met(), slo_met);
+  // Completed payload bytes agree exactly with the metrics' delivered-QoS
+  // accounting; terminated bytes are kept apart and never pollute them.
+  std::uint64_t bytes_completed = 0;
+  for (net::QoSLevel qos = 0; qos < 2; ++qos) {
+    bytes_completed += metrics.bytes_completed(qos);
+  }
+  EXPECT_EQ(counters.bytes_completed(), bytes_completed);
+  EXPECT_GT(counters.bytes_completed(), 0u);
+  EXPECT_DOUBLE_EQ(
+      counters.slo_compliance(),
+      static_cast<double>(slo_met) /
+          static_cast<double>(metrics.total_completed()));
   // The trace counts downgrade *decisions*; metrics count downgraded RPCs
   // that completed. Decisions bound completions, and the two metrics views
   // (by requested vs by delivered QoS) must agree with each other exactly.

@@ -1,14 +1,19 @@
 #!/usr/bin/env bash
-# Perf smoke: assert that perf_probe's events/sec with tracing disabled has
-# not regressed more than AEQ_PERF_TOLERANCE percent (default 5) against
-# the committed baseline in tools/perf_baseline_ci.txt.
+# Perf smoke: assert that perf_probe's events/sec has not regressed more
+# than AEQ_PERF_TOLERANCE percent (default 5) against the committed
+# baseline in tools/perf_baseline_ci.txt.
 #
-# The baseline is an absolute events/sec number and therefore machine
-# dependent; it guards the observability instrumentation (a null-recorder
-# branch on every emission site) from quietly growing hot-path cost on a
-# comparable machine. Refresh it on the reference machine with:
+# Two modes, two baseline keys in the same file:
+#   default               tracing disabled (events_per_sec_millions) — guards
+#                         the null-recorder branch on every emission site
+#   AEQ_PERF_TELEMETRY=1  full windowed telemetry on (timeseries + watchdog +
+#                         flight recorder; events_per_sec_millions_telemetry)
+#                         — guards the enabled-path cost of the pipeline
 #
-#   AEQ_PERF_UPDATE_BASELINE=1 tools/perf_smoke.sh <build-dir>
+# The baselines are absolute events/sec numbers and therefore machine
+# dependent. Refresh on the reference machine with:
+#
+#   AEQ_PERF_UPDATE_BASELINE=1 [AEQ_PERF_TELEMETRY=1] tools/perf_smoke.sh <build-dir>
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -23,28 +28,36 @@ if [[ ! -x "$probe" ]]; then
   exit 1
 fi
 
+key=events_per_sec_millions
+extra_args=()
+if [[ "${AEQ_PERF_TELEMETRY:-0}" == "1" ]]; then
+  key=events_per_sec_millions_telemetry
+  scratch=$(mktemp -d)
+  trap 'rm -rf "$scratch"' EXIT
+  extra_args=(--timeseries "$scratch/ts" --watchdog "$scratch/watchdog.log"
+    --flight-recorder "$scratch/flight.json")
+fi
+
 # Best-of-3 to damp scheduler noise; the workload itself is deterministic
 # (the probe prints identical event counts every run).
 best=0
 for _ in 1 2 3; do
-  rate=$("$probe" --warmup-ms=2 --run-ms=4 --backend=both |
+  rate=$("$probe" --warmup-ms=2 --run-ms=4 --backend=both "${extra_args[@]}" |
     sed -n 's/.*= \([0-9.]*\)M events\/sec.*/\1/p' | sort -g | tail -1)
   [[ -n "$rate" ]] || { echo "perf_smoke: could not parse events/sec" >&2; exit 1; }
   best=$(awk -v a="$best" -v b="$rate" 'BEGIN { print (b > a) ? b : a }')
 done
 
 if [[ "${AEQ_PERF_UPDATE_BASELINE:-0}" == "1" ]]; then
-  {
-    echo "# perf_probe events/sec baseline (millions), tracing disabled."
-    echo "# Best of 3 x '--warmup-ms=2 --run-ms=4 --backend=both', best backend."
-    echo "# Refresh: AEQ_PERF_UPDATE_BASELINE=1 tools/perf_smoke.sh <build-dir>"
-    echo "events_per_sec_millions=$best"
-  } > "$baseline_file"
-  echo "perf_smoke: baseline updated to ${best}M events/sec"
+  # Replace this mode's key, keep the other one and the header comments.
+  grep -v "^${key}=" "$baseline_file" > "$baseline_file.tmp" 2>/dev/null || true
+  echo "${key}=$best" >> "$baseline_file.tmp"
+  mv "$baseline_file.tmp" "$baseline_file"
+  echo "perf_smoke: $key baseline updated to ${best}M events/sec"
   exit 0
 fi
 
-baseline=$(sed -n 's/^events_per_sec_millions=//p' "$baseline_file")
+baseline=$(sed -n "s/^${key}=//p" "$baseline_file")
 [[ -n "$baseline" ]] || { echo "perf_smoke: no baseline in $baseline_file" >&2; exit 1; }
 
 floor=$(awk -v b="$baseline" -v t="$tolerance_pct" 'BEGIN { print b * (1 - t / 100) }')

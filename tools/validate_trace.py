@@ -20,7 +20,17 @@ checked independently and memory use stays flat. If the file does not
 match the one-event-per-line layout it falls back to a whole-document
 json.load.
 
-Usage: tools/validate_trace.py TRACE.json [--expect-spans]
+It also understands the windowed telemetry outputs of obs::TimeseriesSink
+(--timeseries-csv / --timeseries-json): per-window schema checks plus the
+cross-row invariants the pipeline promises -- window starts strictly
+monotonic, window end after start, per-window QoS byte shares summing to
+one (or all zero), RNL percentiles ordered p50 <= p90 <= p99, and rates
+(slo_compliance, byte_share, p_admit) inside [0, 1]. A flight-recorder
+dump is an ordinary Chrome trace and goes through the positional TRACE
+path.
+
+Usage: tools/validate_trace.py [TRACE.json] [--expect-spans]
+           [--timeseries-csv TS.csv] [--timeseries-json TS.json]
 """
 
 import argparse
@@ -30,6 +40,16 @@ import numbers
 import sys
 
 PROLOGUE = '{"displayTimeUnit":"ms","traceEvents":['
+
+TIMESERIES_HEADER = (
+    "window_start_us,window_end_us,scope,completed,terminated,slo_met,"
+    "slo_compliance,rnl_p50_us,rnl_p90_us,rnl_p99_us,bytes,byte_share,"
+    "p_admit_mean,p_admit_min,admits,downgrades,admission_drops,"
+    "packet_drops,enqueued,dequeued,qlen_max_bytes,qlen_mean_bytes"
+)
+# The sink renders ratios with %.6g, so a sum of rounded shares can be off
+# by a few ULPs of the sixth significant digit.
+SHARE_TOLERANCE = 1e-4
 
 ALLOWED_PHASES = {"M", "X", "i", "C"}
 INSTANT_SCOPES = {"t", "p", "g"}
@@ -129,15 +149,191 @@ def iter_events_document(path):
     yield from doc["traceEvents"]
 
 
+def ts_fail(path, where, why):
+    sys.exit(f"{path}: {where}: {why}")
+
+
+def ts_float(path, where, name, text):
+    try:
+        return float(text)
+    except ValueError:
+        ts_fail(path, where, f"{name} '{text}' is not numeric")
+
+
+def check_unit(path, where, name, value):
+    if not 0.0 <= value <= 1.0 + SHARE_TOLERANCE:
+        ts_fail(path, where, f"{name}={value} outside [0, 1]")
+
+
+def check_percentiles(path, where, p50, p90, p99):
+    if not p50 <= p90 <= p99:
+        ts_fail(
+            path,
+            where,
+            f"percentiles not ordered: p50={p50} p90={p90} p99={p99}",
+        )
+
+
+def check_window_bounds(path, where, start, end, prev_start):
+    if end <= start:
+        ts_fail(path, where, f"window end {end} not after start {start}")
+    if prev_start is not None and start <= prev_start:
+        ts_fail(
+            path,
+            where,
+            f"window start {start} not after previous {prev_start}",
+        )
+
+
+def check_share_sum(path, where, shares):
+    total = sum(shares)
+    if total > SHARE_TOLERANCE and abs(total - 1.0) > SHARE_TOLERANCE:
+        ts_fail(path, where, f"qos byte shares sum to {total}, not 1")
+
+
+def validate_timeseries_csv(path):
+    """Streams the long-format CSV: one global row per window, then qos
+    rows, then active-port rows, all sharing the window's start/end."""
+    windows = 0
+    prev_start = None
+    shares = []
+    share_where = None
+    with open(path) as handle:
+        header = handle.readline().rstrip("\n")
+        if header != TIMESERIES_HEADER:
+            ts_fail(path, "line 1", "unexpected timeseries CSV header")
+        for lineno, line in enumerate(handle, start=2):
+            where = f"line {lineno}"
+            fields = line.rstrip("\n").split(",")
+            if len(fields) != len(TIMESERIES_HEADER.split(",")):
+                ts_fail(path, where, f"expected 22 columns, got {len(fields)}")
+            start = ts_float(path, where, "window_start_us", fields[0])
+            end = ts_float(path, where, "window_end_us", fields[1])
+            scope = fields[2]
+            if scope == "global":
+                check_window_bounds(path, where, start, end, prev_start)
+                prev_start = start
+                check_share_sum(path, share_where, shares)
+                shares = []
+                share_where = where
+                windows += 1
+                for name, text in (
+                    ("p_admit_mean", fields[12]),
+                    ("p_admit_min", fields[13]),
+                ):
+                    check_unit(path, where, name, ts_float(path, where, name, text))
+            elif scope.startswith("qos"):
+                if prev_start is None or start != prev_start:
+                    ts_fail(path, where, "qos row outside its global window")
+                compliance = ts_float(
+                    path, where, "slo_compliance", fields[6]
+                )
+                check_unit(path, where, "slo_compliance", compliance)
+                p50 = ts_float(path, where, "rnl_p50_us", fields[7])
+                p90 = ts_float(path, where, "rnl_p90_us", fields[8])
+                p99 = ts_float(path, where, "rnl_p99_us", fields[9])
+                check_percentiles(path, where, p50, p90, p99)
+                share = ts_float(path, where, "byte_share", fields[11])
+                check_unit(path, where, "byte_share", share)
+                shares.append(share)
+            elif scope.startswith("port:"):
+                if prev_start is None or start != prev_start:
+                    ts_fail(path, where, "port row outside its global window")
+                drops = ts_float(path, where, "packet_drops", fields[17])
+                enq = ts_float(path, where, "enqueued", fields[18])
+                deq = ts_float(path, where, "dequeued", fields[19])
+                if enq == 0 and deq == 0 and drops == 0:
+                    ts_fail(path, where, "idle port row should be omitted")
+            else:
+                ts_fail(path, where, f"unknown scope '{scope}'")
+    check_share_sum(path, share_where, shares)
+    if windows == 0:
+        ts_fail(path, "EOF", "no windows in timeseries CSV")
+    print(f"{path}: OK — {windows} windows (CSV)")
+
+
+def validate_timeseries_json(path):
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            sys.exit(f"{path}: not valid JSON: {err}")
+    if not isinstance(doc, dict) or not isinstance(doc.get("windows"), list):
+        ts_fail(path, "top level", "missing windows array")
+    width = doc.get("window_width_us")
+    if not isinstance(width, numbers.Real) or width <= 0:
+        ts_fail(path, "top level", f"bad window_width_us {width!r}")
+    prev_start = None
+    for index, window in enumerate(doc["windows"]):
+        where = f"windows[{index}]"
+        if not isinstance(window, dict):
+            ts_fail(path, where, "window is not an object")
+        start = window.get("window_start_us")
+        end = window.get("window_end_us")
+        if not isinstance(start, numbers.Real) or not isinstance(
+            end, numbers.Real
+        ):
+            ts_fail(path, where, "missing window bounds")
+        check_window_bounds(path, where, start, end, prev_start)
+        prev_start = start
+        universe = window.get("global")
+        if not isinstance(universe, dict):
+            ts_fail(path, where, "missing global aggregates")
+        for name in ("p_admit_mean", "p_admit_min"):
+            check_unit(path, where, name, universe.get(name, 0.0))
+        qos_list = window.get("qos")
+        if not isinstance(qos_list, list) or not qos_list:
+            ts_fail(path, where, "missing qos array")
+        shares = []
+        for qos in qos_list:
+            check_unit(path, where, "slo_compliance", qos["slo_compliance"])
+            check_percentiles(
+                path,
+                where,
+                qos["rnl_p50_us"],
+                qos["rnl_p90_us"],
+                qos["rnl_p99_us"],
+            )
+            check_unit(path, where, "byte_share", qos["byte_share"])
+            shares.append(qos["byte_share"])
+        check_share_sum(path, where, shares)
+        if not isinstance(window.get("ports"), list):
+            ts_fail(path, where, "missing ports array")
+    if not doc["windows"]:
+        ts_fail(path, "top level", "no windows in timeseries JSON")
+    print(f"{path}: OK — {len(doc['windows'])} windows (JSON)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("trace", help="path to the trace_event JSON file")
+    parser.add_argument(
+        "trace",
+        nargs="?",
+        help="path to a trace_event JSON file (incl. flight-recorder dumps)",
+    )
     parser.add_argument(
         "--expect-spans",
         action="store_true",
         help="require at least one RPC span and one counter sample",
     )
+    parser.add_argument(
+        "--timeseries-csv",
+        help="validate a TimeseriesSink CSV timeline",
+    )
+    parser.add_argument(
+        "--timeseries-json",
+        help="validate a TimeseriesSink JSON timeline",
+    )
     opts = parser.parse_args()
+    if not opts.trace and not opts.timeseries_csv and not opts.timeseries_json:
+        parser.error("nothing to validate: pass TRACE and/or --timeseries-*")
+
+    if opts.timeseries_csv:
+        validate_timeseries_csv(opts.timeseries_csv)
+    if opts.timeseries_json:
+        validate_timeseries_json(opts.timeseries_json)
+    if not opts.trace:
+        return
 
     phases = collections.Counter()
     count = 0
