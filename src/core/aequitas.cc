@@ -79,19 +79,18 @@ void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,
 }
 
 void AequitasController::audit_invariants(sim::Time now) const {
-  for (const auto& [channel, state] : states_) {
-    static_cast<void>(channel);
+  states_.for_each([&](std::uint64_t, const State& state) {
     AEQ_CHECK_GE_MSG(state.p_admit, config_.p_admit_floor,
                      "p_admit below the starvation floor");
     AEQ_CHECK_LE_MSG(state.p_admit, 1.0, "p_admit above 1");
     AEQ_CHECK_LE_MSG(state.t_last_increase, now,
                      "additive-increase timestamp in the future");
-  }
+  });
 }
 
 double AequitasController::p_admit(net::HostId dst, net::QoSLevel qos) const {
-  auto it = states_.find(key(dst, qos));
-  return it == states_.end() ? 1.0 : it->second.p_admit;
+  const State* state = states_.find(key(dst, qos));
+  return state == nullptr ? 1.0 : state->p_admit;
 }
 
 }  // namespace aeq::core

@@ -18,7 +18,6 @@
 #pragma once
 
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
@@ -26,6 +25,7 @@
 #include "rpc/slo.h"
 #include "sim/rng.h"
 #include "sim/units.h"
+#include "util/flat_map.h"
 
 namespace aeq::core {
 
@@ -82,7 +82,7 @@ class AequitasController final : public rpc::AdmissionController {
 
   AequitasConfig config_;
   sim::Rng rng_;
-  std::unordered_map<std::uint64_t, State> states_;
+  util::FlatMap64<State> states_;
 };
 
 }  // namespace aeq::core

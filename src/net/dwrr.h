@@ -7,10 +7,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "net/queue.h"
+#include "util/ring_buffer.h"
 
 namespace aeq::net {
 
@@ -24,6 +24,10 @@ class DwrrQueue final : public QueueDiscipline {
   bool enqueue(const Packet& packet) override;
   std::optional<Packet> dequeue() override;
 
+  void reserve_packets(std::size_t packets) override {
+    for (auto& cls : classes_) cls.fifo.reserve(packets);
+  }
+
   bool empty() const override { return backlog_packets_ == 0; }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return backlog_packets_; }
@@ -34,7 +38,7 @@ class DwrrQueue final : public QueueDiscipline {
   struct ClassState {
     double quantum = 0.0;
     double deficit = 0.0;
-    std::deque<Packet> fifo;
+    util::RingBuffer<Packet> fifo;
   };
 
   std::uint64_t capacity_bytes_;

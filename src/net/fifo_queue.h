@@ -2,9 +2,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "net/queue.h"
+#include "util/ring_buffer.h"
 
 namespace aeq::net {
 
@@ -17,6 +17,10 @@ class FifoQueue final : public QueueDiscipline {
   bool enqueue(const Packet& packet) override;
   std::optional<Packet> dequeue() override;
 
+  void reserve_packets(std::size_t packets) override {
+    queue_.reserve(packets);
+  }
+
   bool empty() const override { return queue_.empty(); }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return queue_.size(); }
@@ -24,7 +28,7 @@ class FifoQueue final : public QueueDiscipline {
  private:
   std::uint64_t capacity_bytes_;
   std::uint64_t backlog_bytes_ = 0;
-  std::deque<Packet> queue_;
+  util::RingBuffer<Packet> queue_;
 };
 
 }  // namespace aeq::net

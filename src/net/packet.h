@@ -5,6 +5,7 @@
 // ignored by components that do not use them.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "sim/units.h"
@@ -31,21 +32,12 @@ enum class PacketType : std::uint8_t {
   kRateResponse, // D3/PDQ allocation feedback
 };
 
-struct Packet {
-  std::uint64_t id = 0;        // globally unique, assigned at creation
-  HostId src = kNoHost;
-  HostId dst = kNoHost;
-  std::uint32_t size_bytes = 0;
-  QoSLevel qos = kQoSHigh;
-  PacketType type = PacketType::kData;
-
-  std::uint64_t flow_id = 0;  // (src, dst, qos) stream the packet belongs to
-  std::uint64_t rpc_id = 0;   // RPC/message the payload belongs to
-  std::uint64_t seq = 0;      // byte offset of first payload byte
-  std::uint64_t ack_seq = 0;  // cumulative ack (next expected byte)
+// Fields every hop and queue discipline leaves alone but some protocol or
+// endpoint needs: kept in a trailing section so the fields consulted per
+// hop (routing, sizing, sequencing, ECN) pack into the first cache line of
+// the packet.
+struct PacketCold {
   std::uint64_t msg_bytes = 0;  // total message size (message-based stacks)
-
-  sim::Time sent_time = 0.0;  // stamped by sender; echoed by ACKs for RTT
 
   // pFabric: remaining bytes of the message at send time (lower = higher
   // priority). Homa: network priority level chosen by the receiver.
@@ -62,14 +54,39 @@ struct Packet {
   // Application-level correlation tag carried end-to-end with the message
   // (request/response matching in the two-sided RPC layer).
   std::uint64_t app_tag = 0;
+};
+
+struct Packet {
+  // --- hot section: touched at every hop; fits one cache line ---
+  std::uint64_t id = 0;        // globally unique, assigned at creation
+  std::uint64_t flow_id = 0;  // (src, dst, qos) stream the packet belongs to
+  std::uint64_t rpc_id = 0;   // RPC/message the payload belongs to
+  std::uint64_t seq = 0;      // byte offset of first payload byte
+  std::uint64_t ack_seq = 0;  // cumulative ack (next expected byte)
+  sim::Time sent_time = 0.0;  // stamped by sender; echoed by ACKs for RTT
+  HostId src = kNoHost;
+  HostId dst = kNoHost;
+  std::uint32_t size_bytes = 0;
+  QoSLevel qos = kQoSHigh;
+  PacketType type = PacketType::kData;
 
   // ECN: congestion-experienced mark set by queues past their marking
   // threshold; echoed back by ACKs for DCTCP-style senders.
   bool ecn_ce = false;
   bool ecn_echo = false;
 
+  // --- cold section: protocol/endpoint metadata carried along ---
+  PacketCold cold;
+
   bool is_control() const { return type != PacketType::kData; }
 };
+
+// The split is only worth its churn if the layout actually holds: the whole
+// hot section must land in the packet's first cache line, and the overall
+// copy must stay smaller than the 136-byte pre-split struct.
+static_assert(offsetof(Packet, cold) == 64, "hot section must fill exactly one cache line");
+static_assert(sizeof(Packet) == 64 + sizeof(PacketCold), "unexpected padding between sections");
+static_assert(sizeof(Packet) <= 120, "Packet regrew past the post-split budget");
 
 // Receives packets delivered by a link. Implemented by switches and by the
 // host-side demultiplexer.

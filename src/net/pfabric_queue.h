@@ -22,6 +22,10 @@ class PfabricQueue final : public QueueDiscipline {
   bool enqueue(const Packet& packet) override;
   std::optional<Packet> dequeue() override;
 
+  void reserve_packets(std::size_t packets) override {
+    queue_.reserve(packets);
+  }
+
   bool empty() const override { return queue_.empty(); }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return queue_.size(); }
@@ -29,6 +33,9 @@ class PfabricQueue final : public QueueDiscipline {
  private:
   struct Entry {
     Packet packet;
+    // Sort key copied out of the packet's cold section at enqueue so the
+    // min/max scans stay within the entries they are comparing.
+    double priority;
     std::uint64_t arrival_seq;
   };
 

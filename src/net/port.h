@@ -6,13 +6,13 @@
 // exact utilization.
 #pragma once
 
-#include <deque>
 #include <memory>
 #include <utility>
 
 #include "net/packet.h"
 #include "net/queue.h"
 #include "obs/recorder.h"
+#include "util/ring_buffer.h"
 #include "sim/simulator.h"
 
 namespace aeq::net {
@@ -38,6 +38,13 @@ class Port {
 
   // Enqueues a packet and starts transmitting if the link is idle.
   void send(const Packet& packet);
+
+  // Pre-sizes the in-flight ring (and forwards the hint to the queue
+  // discipline) so steady-state transmission never grows storage.
+  void reserve_packets(std::size_t packets) {
+    in_flight_.reserve(packets);
+    queue_->reserve_packets(packets);
+  }
 
   QueueDiscipline& queue() { return *queue_; }
   const QueueDiscipline& queue() const { return *queue_; }
@@ -84,7 +91,7 @@ class Port {
   // Delivery events are scheduled in FIFO order with a constant propagation
   // delay, so the head is always the next to arrive; keeping the packets
   // here lets the hot-path events capture only `this` (no allocation).
-  std::deque<Packet> in_flight_;
+  util::RingBuffer<Packet> in_flight_;
 };
 
 }  // namespace aeq::net

@@ -62,6 +62,12 @@ class QueueDiscipline {
   }
   std::uint64_t ecn_threshold() const { return ecn_threshold_bytes_; }
 
+  // Pre-sizes internal per-class storage for about `packets` queued packets
+  // so enqueues below that depth never grow storage. A hint, not a cap:
+  // queues still grow past it on demand. Disciplines without pooled storage
+  // may ignore it.
+  virtual void reserve_packets(std::size_t packets) { (void)packets; }
+
   virtual bool empty() const = 0;
   virtual std::uint64_t backlog_bytes() const = 0;
   virtual std::uint64_t backlog_packets() const = 0;

@@ -40,6 +40,9 @@ std::unique_ptr<QueueDiscipline> make_queue(const QueueConfig& config) {
   if (queue && config.ecn_threshold_bytes != 0) {
     queue->set_ecn_threshold(config.ecn_threshold_bytes);
   }
+  if (queue && config.reserve_packets != 0) {
+    queue->reserve_packets(config.reserve_packets);
+  }
   return queue;
 }
 

@@ -29,6 +29,11 @@ struct QueueConfig {
   // isolates drops so an overloaded scavenger class cannot tail-drop
   // higher-QoS packets out of the shared buffer. 0 = shared buffer only.
   std::uint64_t per_class_capacity_bytes = 0;
+  // Pre-sizes each class's packet ring for this many queued packets, so a
+  // run whose queue depths stay below the hint performs no steady-state
+  // ring growth (see QueueDiscipline::reserve_packets and the allocation
+  // regression test). 0 = grow on demand.
+  std::size_t reserve_packets = 0;
 };
 
 std::unique_ptr<QueueDiscipline> make_queue(const QueueConfig& config);

@@ -8,9 +8,9 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 
 #include "net/queue.h"
+#include "util/ring_buffer.h"
 #include "sim/rng.h"
 
 namespace aeq::net {
@@ -31,6 +31,10 @@ class RedQueue final : public QueueDiscipline {
   bool enqueue(const Packet& packet) override;
   std::optional<Packet> dequeue() override;
 
+  void reserve_packets(std::size_t packets) override {
+    queue_.reserve(packets);
+  }
+
   bool empty() const override { return queue_.empty(); }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return queue_.size(); }
@@ -42,7 +46,7 @@ class RedQueue final : public QueueDiscipline {
 
   RedConfig config_;
   sim::Rng rng_;
-  std::deque<Packet> queue_;
+  util::RingBuffer<Packet> queue_;
   std::uint64_t backlog_bytes_ = 0;
   double avg_backlog_ = 0.0;
 };

@@ -105,6 +105,10 @@ class PooledQueue final : public QueueDiscipline {
     return true;
   }
 
+  void reserve_packets(std::size_t packets) override {
+    inner_->reserve_packets(packets);
+  }
+
   std::optional<Packet> dequeue() override {
     auto packet = inner_->dequeue();
     if (packet) {

@@ -4,10 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "net/queue.h"
+#include "util/ring_buffer.h"
 
 namespace aeq::net {
 
@@ -18,6 +18,10 @@ class SpqQueue final : public QueueDiscipline {
   bool enqueue(const Packet& packet) override;
   std::optional<Packet> dequeue() override;
 
+  void reserve_packets(std::size_t packets) override {
+    for (auto& cls : classes_) cls.reserve(packets);
+  }
+
   bool empty() const override { return backlog_packets_ == 0; }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
   std::uint64_t backlog_packets() const override { return backlog_packets_; }
@@ -27,7 +31,7 @@ class SpqQueue final : public QueueDiscipline {
   std::uint64_t capacity_bytes_;
   std::uint64_t backlog_bytes_ = 0;
   std::uint64_t backlog_packets_ = 0;
-  std::vector<std::deque<Packet>> classes_;
+  std::vector<util::RingBuffer<Packet>> classes_;
 };
 
 }  // namespace aeq::net

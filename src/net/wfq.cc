@@ -84,7 +84,8 @@ void WfqQueue::audit_tags() const {
     const ClassState& cls = classes_[i];
     std::uint64_t class_bytes = 0;
     double prev_finish = -std::numeric_limits<double>::infinity();
-    for (const Tagged& tagged : cls.fifo) {
+    for (std::size_t j = 0; j < cls.fifo.size(); ++j) {
+      const Tagged& tagged = cls.fifo[j];
       AEQ_CHECK_LE_MSG(tagged.start_tag, tagged.finish_tag,
                        "WFQ start tag past its finish tag");
       AEQ_CHECK_LE_MSG(prev_finish, tagged.finish_tag,

@@ -13,10 +13,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
 #include "net/queue.h"
+#include "util/ring_buffer.h"
 
 namespace aeq::net {
 
@@ -30,6 +30,10 @@ class WfqQueue final : public QueueDiscipline {
 
   bool enqueue(const Packet& packet) override;
   std::optional<Packet> dequeue() override;
+
+  void reserve_packets(std::size_t packets) override {
+    for (auto& cls : classes_) cls.fifo.reserve(packets);
+  }
 
   bool empty() const override { return backlog_packets_ == 0; }
   std::uint64_t backlog_bytes() const override { return backlog_bytes_; }
@@ -57,7 +61,7 @@ class WfqQueue final : public QueueDiscipline {
   struct ClassState {
     double weight = 1.0;
     double last_finish = 0.0;  // finish tag of the newest packet in class
-    std::deque<Tagged> fifo;
+    util::RingBuffer<Tagged> fifo;
   };
 
   std::uint64_t capacity_bytes_;

@@ -129,8 +129,9 @@ std::uint64_t RpcMetrics::channel_key(net::HostId src, net::HostId dst,
 std::uint64_t RpcMetrics::downgraded_on_channel(net::HostId src,
                                                 net::HostId dst,
                                                 net::QoSLevel qos) const {
-  const auto it = downgraded_channel_.find(channel_key(src, dst, qos));
-  return it == downgraded_channel_.end() ? 0 : it->second;
+  const std::uint64_t* count =
+      downgraded_channel_.find(channel_key(src, dst, qos));
+  return count == nullptr ? 0 : *count;
 }
 
 std::uint64_t RpcMetrics::total_completed() const {

@@ -7,7 +7,6 @@
 
 #include <array>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
@@ -15,6 +14,7 @@
 #include "rpc/slo.h"
 #include "sim/units.h"
 #include "stats/percentile.h"
+#include "util/flat_map.h"
 
 namespace aeq::rpc {
 
@@ -53,6 +53,15 @@ class RpcMetrics {
   // Measurement window: records outside [t_start, inf) are counted for
   // traffic accounting but excluded from latency percentiles.
   void set_warmup(sim::Time t_start) { warmup_end_ = t_start; }
+
+  // Pre-sizes every percentile tracker for ~n samples per QoS level so the
+  // steady-state run window performs no allocator traffic (see
+  // tests/alloc_test.cc).
+  void reserve_samples(std::size_t n) {
+    for (auto& t : rnl_run_) t.reserve(n);
+    for (auto& t : rnl_requested_) t.reserve(n);
+    for (auto& t : rnl_per_mtu_run_) t.reserve(n);
+  }
 
   // --- latency ---
   const stats::PercentileTracker& rnl_by_run_qos(net::QoSLevel qos) const {
@@ -147,7 +156,7 @@ class RpcMetrics {
   std::vector<std::uint64_t> downgraded_;
   std::vector<std::uint64_t> downgraded_delivered_;
   // Sparse: only channels that actually saw a downgrade hold an entry.
-  std::unordered_map<std::uint64_t, std::uint64_t> downgraded_channel_;
+  util::FlatMap64<std::uint64_t> downgraded_channel_;
   std::vector<std::uint64_t> terminated_;
   std::vector<std::uint64_t> slo_eligible_;
   std::vector<std::uint64_t> slo_met_;

@@ -70,7 +70,7 @@ std::uint64_t RpcServiceNode::start_op(RpcOp op, net::HostId server,
   pending.completion.priority = priority;
   pending.completion.payload_bytes = payload_bytes;
   pending.completion.started = sim_.now();
-  pending_.emplace(pending.completion.op_id, pending);
+  pending_[pending.completion.op_id] = pending;
 
   const std::uint64_t tag = encode_tag(
       static_cast<std::uint8_t>(op), priority, payload_bytes, seq);
@@ -94,10 +94,11 @@ void RpcServiceNode::on_delivered(const transport::DeliveredRpc& delivered) {
 
   if (kind == kKindResponse) {
     // Client side: the operation is complete.
-    auto it = pending_.find(op_key(delivered.src, seq));
-    if (it == pending_.end()) return;  // duplicate / stale
-    OpCompletion completion = it->second.completion;
-    pending_.erase(it);
+    const std::uint64_t op = op_key(delivered.src, seq);
+    PendingOp* found = pending_.find(op);
+    if (found == nullptr) return;  // duplicate / stale
+    OpCompletion completion = found->completion;
+    pending_.erase(op);
     completion.finished = sim_.now();
     ++completed_;
     if (listener_) listener_(completion);

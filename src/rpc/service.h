@@ -11,11 +11,11 @@
 
 #include <cstdint>
 #include <functional>
-#include <unordered_map>
 
 #include "rpc/rpc_stack.h"
 #include "sim/simulator.h"
 #include "transport/host_stack.h"
+#include "util/flat_map.h"
 
 namespace aeq::rpc {
 
@@ -83,7 +83,7 @@ class RpcServiceNode {
   ServiceConfig config_;
   OpListener listener_;
   // Outstanding ops keyed by (peer, op_seq) packed into one key.
-  std::unordered_map<std::uint64_t, PendingOp> pending_;
+  util::FlatMap64<PendingOp> pending_;
   std::uint32_t next_seq_ = 1;
   std::uint64_t completed_ = 0;
   std::uint64_t served_ = 0;

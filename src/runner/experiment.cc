@@ -35,6 +35,7 @@ Experiment::Experiment(const ExperimentConfig& config)
   queue.capacity_bytes = config_.buffer_bytes;
   queue.ecn_threshold_bytes = config_.ecn_threshold_bytes;
   queue.per_class_capacity_bytes = config_.per_class_buffer_bytes;
+  queue.reserve_packets = config_.queue_reserve_packets;
   if (config_.cc_kind == ExperimentConfig::CcKind::kDctcp &&
       queue.ecn_threshold_bytes == 0) {
     // DCTCP needs marking; default to ~20 MTUs as in its paper's guidance.
@@ -58,6 +59,23 @@ Experiment::Experiment(const ExperimentConfig& config)
     star.switch_queue = queue;
     network_ = topo::build_star(sim_, star);
   }
+
+  if (config_.queue_reserve_packets != 0) {
+    // make_queue already pre-sized each discipline's rings; extend the hint
+    // to every port's in-flight ring so links never grow storage either.
+    for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+      network_.host(static_cast<net::HostId>(i))
+          .egress()
+          .reserve_packets(config_.queue_reserve_packets);
+    }
+    for (std::size_t s = 0; s < network_.num_switches(); ++s) {
+      net::Switch& sw = network_.fabric_switch(s);
+      for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+        sw.port(p).reserve_packets(config_.queue_reserve_packets);
+      }
+    }
+  }
+  sim_.reserve_events(config_.reserve_events);
 
   metrics_ = std::make_unique<rpc::RpcMetrics>(config_.num_qos, config_.slo,
                                                network_.num_hosts());

@@ -93,6 +93,15 @@ struct ExperimentConfig {
   std::uint64_t buffer_bytes = 8 * sim::kMiB;  // per port, shared
   // Per-class drop isolation at every port (see QueueConfig); 0 = off.
   std::uint64_t per_class_buffer_bytes = 0;
+  // Pre-sizes every port queue's per-class packet ring (see
+  // QueueConfig::reserve_packets): with a hint above the run's deepest
+  // backlog the event loop performs zero steady-state allocations, which
+  // the allocation regression test pins down. 0 = grow on demand.
+  std::size_t queue_reserve_packets = 0;
+  // Pre-sizes the event scheduler (arena/handle-table/heap or calendar
+  // buckets) for this many concurrent pending events; same contract as
+  // queue_reserve_packets. 0 = grow on demand.
+  std::size_t reserve_events = 0;
 
   // Transport.
   enum class CcKind { kSwift, kDctcp, kFixedWindow };

@@ -125,8 +125,10 @@ std::string operand_repr(const T& value) {
 
 #ifdef NDEBUG
 #define AEQ_DCHECK(expr) ((void)0)
+#define AEQ_DCHECK_MSG(expr, msg) ((void)0)
 #else
 #define AEQ_DCHECK(expr) AEQ_ASSERT(expr)
+#define AEQ_DCHECK_MSG(expr, msg) AEQ_ASSERT_MSG(expr, msg)
 #endif
 
 // Implementation detail shared by the comparison checks. Operands are

@@ -9,8 +9,23 @@ namespace aeq::sim {
 
 CalendarQueue::CalendarQueue(Time initial_bucket_width,
                              std::size_t initial_buckets)
-    : buckets_(initial_buckets), width_(initial_bucket_width) {
+    : buckets_(initial_buckets, EventArena::kNil),
+      width_(initial_bucket_width) {
   AEQ_ASSERT(initial_bucket_width > 0.0 && initial_buckets >= 2);
+}
+
+void CalendarQueue::reserve_events(std::size_t n) {
+  if (n == 0) return;
+  handles_.reserve(n);
+  arena_.ensure(static_cast<std::uint32_t>(n - 1));
+  scratch_times_.reserve(n);
+  // Bucket counts track the live-event count (maybe_resize keeps them
+  // within [live/2, 4*live]), so reserving both layout vectors at the hint
+  // makes later resizes allocation-free up to `n` live events.
+  std::size_t max_buckets = buckets_.size();
+  while (max_buckets < 2 * n && max_buckets < (1u << 20)) max_buckets *= 2;
+  buckets_.reserve(max_buckets);
+  scratch_buckets_.reserve(max_buckets);
 }
 
 EventId CalendarQueue::schedule(Time t, Handler handler) {
@@ -18,22 +33,31 @@ EventId CalendarQueue::schedule(Time t, Handler handler) {
   AEQ_ASSERT_MSG(std::isfinite(t), "event time must be finite");
   AEQ_ASSERT_MSG(t >= floor_time_, "cannot schedule into the past");
   const EventId id = handles_.acquire();
-  insert(Node{t, next_seq_++, id, std::move(handler)});
+  const std::uint32_t index = HandleTable::slot_index(id);
+  arena_.ensure(index);
+  EventArena::Node& node = arena_.at(index);
+  node.t = t;
+  node.seq = next_seq_++;
+  node.id = id;
+  node.handler = std::move(handler);
+  insert(index);
   ++live_;
   maybe_resize();
   return id;
 }
 
-void CalendarQueue::insert(Node node) {
-  auto& bucket = buckets_[bucket_of(node.t)];
-  // Keep buckets sorted by (t, seq): bucket lists are short by design, so
-  // the linear scan stays cheap and pop() can take the front.
-  auto it = bucket.begin();
-  while (it != bucket.end() &&
-         (it->t < node.t || (it->t == node.t && it->seq < node.seq))) {
-    ++it;
+void CalendarQueue::insert(std::uint32_t index) {
+  EventArena::Node& node = arena_.at(index);
+  // Keep chains sorted by (t, seq): they are short by design, so the linear
+  // scan stays cheap and take_earliest can inspect heads only.
+  std::uint32_t* link = &buckets_[bucket_of(node.t)];
+  while (*link != EventArena::kNil) {
+    const EventArena::Node& cur = arena_.at(*link);
+    if (cur.t > node.t || (cur.t == node.t && cur.seq > node.seq)) break;
+    link = &arena_.at(*link).next;
   }
-  bucket.insert(it, std::move(node));
+  node.next = *link;
+  *link = index;
 }
 
 bool CalendarQueue::cancel(EventId id) {
@@ -46,25 +70,36 @@ bool CalendarQueue::cancel(EventId id) {
   return true;
 }
 
-CalendarQueue::Node CalendarQueue::take_earliest() {
+void CalendarQueue::discard_tombstone(std::uint32_t index) {
+  EventArena::Node& node = arena_.at(index);
+  // Destroy the callback (it may own resources) before the slot — and with
+  // it the arena node — goes back on the free list.
+  node.handler = nullptr;
+  node.next = EventArena::kNil;
+  handles_.release(node.id);
+}
+
+std::uint32_t CalendarQueue::take_earliest() {
   // Scan buckets from the cursor; an event belongs to the current rotation
   // when its slot index (the same computation that placed it in its bucket,
   // see slot_of) has been reached by the cursor's slot.
   for (std::size_t scanned = 0; scanned <= buckets_.size(); ++scanned) {
-    auto& bucket = buckets_[cursor_];
-    while (!bucket.empty()) {
-      if (slot_of(bucket.front().t) > slot_) break;  // future rotation
-      Node node = std::move(bucket.front());
-      bucket.pop_front();
+    std::uint32_t* head = &buckets_[cursor_];
+    while (*head != EventArena::kNil) {
+      const std::uint32_t index = *head;
+      EventArena::Node& node = arena_.at(index);
+      if (slot_of(node.t) > slot_) break;  // future rotation
+      *head = node.next;  // unlink the chain head
+      node.next = EventArena::kNil;
       if (!handles_.live(node.id)) {  // tombstone: reclaim and skip
-        handles_.release(node.id);
+        discard_tombstone(index);
         continue;
       }
       // Re-anchor at the popped event so the cursor never runs ahead of
       // simulated time (resizes can leave it misaligned).
       slot_ = slot_of(node.t);
       cursor_ = bucket_of(node.t);
-      return node;
+      return index;
     }
     cursor_ = (cursor_ + 1) % buckets_.size();
     ++slot_;
@@ -72,13 +107,14 @@ CalendarQueue::Node CalendarQueue::take_earliest() {
   // A full rotation found nothing in-window: events are sparse. Jump the
   // calendar to the earliest event anywhere (direct search).
   Time best = std::numeric_limits<Time>::infinity();
-  for (auto& bucket : buckets_) {
+  for (std::uint32_t& head : buckets_) {
     // Drop tombstoned heads so the scan sees live minima.
-    while (!bucket.empty() && !handles_.live(bucket.front().id)) {
-      handles_.release(bucket.front().id);
-      bucket.pop_front();
+    while (head != EventArena::kNil && !handles_.live(arena_.at(head).id)) {
+      const std::uint32_t dead = head;
+      head = arena_.at(dead).next;
+      discard_tombstone(dead);
     }
-    if (!bucket.empty()) best = std::min(best, bucket.front().t);
+    if (head != EventArena::kNil) best = std::min(best, arena_.at(head).t);
   }
   AEQ_ASSERT_MSG(best < std::numeric_limits<Time>::infinity(),
                  "take_earliest on empty calendar");
@@ -87,26 +123,50 @@ CalendarQueue::Node CalendarQueue::take_earliest() {
   return take_earliest();
 }
 
-CalendarQueue::Popped CalendarQueue::pop() {
-  AEQ_ASSERT_MSG(live_ > 0, "pop() on empty calendar queue");
-  Node node = take_earliest();
+bool CalendarQueue::pop_if_at_most(Time t_limit, Popped& out) {
+  if (live_ == 0) return false;
+  // Save the scan anchor: when the earliest event is past the limit it goes
+  // back in, and the cursor must not have committed the epoch advance (see
+  // next_time()).
+  const std::uint64_t saved_slot = slot_;
+  const std::size_t saved_cursor = cursor_;
+  const std::uint32_t index = take_earliest();
+  EventArena::Node& node = arena_.at(index);
+  const Time t = node.t;
+  if (t > t_limit) {
+    insert(index);  // put it back; its handle stays live
+    slot_ = saved_slot;
+    cursor_ = saved_cursor;
+    return false;
+  }
+  [[maybe_unused]] const std::uint64_t seq = node.seq;
+  out.time = t;
+  out.handler = std::move(node.handler);
   handles_.release(node.id);
   --live_;
-  floor_time_ = node.t;
+  floor_time_ = t;
   maybe_resize();
   // Scheduler contract shared with EventQueue: pops leave in strictly
   // increasing (time, insertion-sequence) order, the property the
   // backend-equivalence guarantee rests on.
   AEQ_AUDIT_ONLY({
-    AEQ_CHECK_GE_MSG(node.t, last_popped_t_, "event popped out of time order");
-    if (node.t == last_popped_t_) {
-      AEQ_CHECK_GT_MSG(node.seq, last_popped_seq_,
+    AEQ_CHECK_GE_MSG(t, last_popped_t_, "event popped out of time order");
+    if (t == last_popped_t_) {
+      AEQ_CHECK_GT_MSG(seq, last_popped_seq_,
                        "tied events popped out of insertion order");
     }
-    last_popped_t_ = node.t;
-    last_popped_seq_ = node.seq;
+    last_popped_t_ = t;
+    last_popped_seq_ = seq;
   });
-  return Popped{node.t, std::move(node.handler)};
+  return true;
+}
+
+CalendarQueue::Popped CalendarQueue::pop() {
+  Popped out;
+  const bool popped =
+      pop_if_at_most(std::numeric_limits<Time>::infinity(), out);
+  AEQ_ASSERT_MSG(popped, "pop() on empty calendar queue");
+  return out;
 }
 
 Time CalendarQueue::next_time() {
@@ -117,9 +177,9 @@ Time CalendarQueue::next_time() {
   // still be allowed at any t >= the last *popped* time.
   const std::uint64_t saved_slot = slot_;
   const std::size_t saved_cursor = cursor_;
-  Node node = take_earliest();
-  const Time t = node.t;
-  insert(std::move(node));  // put it back; its handle stays live
+  const std::uint32_t index = take_earliest();
+  const Time t = arena_.at(index).t;
+  insert(index);  // put it back; its handle stays live
   slot_ = saved_slot;
   cursor_ = saved_cursor;
   return t;
@@ -140,11 +200,14 @@ void CalendarQueue::maybe_resize() {
 // piling into one. Falls back to the current width when the sample is too
 // small or degenerate (e.g. all events at the same instant).
 Time CalendarQueue::estimate_width(
-    const std::vector<std::list<Node>>& old) const {
-  std::vector<Time> times;
+    const std::vector<std::uint32_t>& old_heads) {
+  std::vector<Time>& times = scratch_times_;
+  times.clear();
   times.reserve(live_);
-  for (const auto& bucket : old) {
-    for (const auto& node : bucket) {
+  for (std::uint32_t head : old_heads) {
+    for (std::uint32_t i = head; i != EventArena::kNil;
+         i = arena_.at(i).next) {
+      const EventArena::Node& node = arena_.at(i);
       if (handles_.live(node.id)) times.push_back(node.t);
     }
   }
@@ -158,20 +221,28 @@ Time CalendarQueue::estimate_width(
 }
 
 void CalendarQueue::resize(std::size_t new_buckets) {
-  std::vector<std::list<Node>> old = std::move(buckets_);
-  width_ = estimate_width(old);
-  buckets_.assign(new_buckets, {});
+  // Estimate against the intact old layout, then swap it into the scratch
+  // vector: both directions reuse the scratch's capacity, so recurring
+  // grow/shrink cycles cost no allocator traffic.
+  width_ = estimate_width(buckets_);
+  scratch_buckets_.assign(new_buckets, EventArena::kNil);
+  buckets_.swap(scratch_buckets_);
+  const std::vector<std::uint32_t>& old = scratch_buckets_;
   // Re-anchor at the last popped time: every live event is at or after it,
   // so its slot (under the new width) is a valid scan start.
   slot_ = slot_of(floor_time_);
   cursor_ = static_cast<std::size_t>(slot_ % new_buckets);
-  for (auto& bucket : old) {
-    for (auto& node : bucket) {
-      if (!handles_.live(node.id)) {  // purge tombstones wholesale
-        handles_.release(node.id);
-        continue;
+  for (std::uint32_t head : old) {
+    std::uint32_t i = head;
+    while (i != EventArena::kNil) {
+      const std::uint32_t next = arena_.at(i).next;
+      arena_.at(i).next = EventArena::kNil;
+      if (!handles_.live(arena_.at(i).id)) {  // purge tombstones wholesale
+        discard_tombstone(i);
+      } else {
+        insert(i);
       }
-      insert(std::move(node));
+      i = next;
     }
   }
 }

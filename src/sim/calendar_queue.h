@@ -13,10 +13,15 @@
 // one. Cancellation is validated by the generation-stamped HandleTable;
 // tombstones are reclaimed when their bucket position is drained, and a
 // resize purges them wholesale.
+//
+// A bucket is just a head index into the shared EventArena; nodes chain
+// through their intrusive `next` links in (time, seq) order. Insert, pop,
+// and resize relink indices without moving nodes, so the steady-state event
+// loop performs no allocation (the old std::list backend allocated a list
+// node per event).
 #pragma once
 
 #include <cstdint>
-#include <list>
 #include <vector>
 
 #include "sim/assert.h"
@@ -33,6 +38,8 @@ class CalendarQueue final : public EventScheduler {
   EventId schedule(Time t, Handler handler) override;
   bool cancel(EventId id) override;
   Popped pop() override;
+  bool pop_if_at_most(Time t_limit, Popped& out) override;
+  void reserve_events(std::size_t n) override;
 
   bool empty() const override { return live_ == 0; }
   std::size_t size() const override { return live_; }
@@ -41,13 +48,6 @@ class CalendarQueue final : public EventScheduler {
   std::size_t num_buckets() const { return buckets_.size(); }
 
  private:
-  struct Node {
-    Time t;
-    std::uint64_t seq;
-    EventId id;
-    Handler handler;
-  };
-
   // Slot index = which `width_`-wide window an event belongs to. Window
   // membership during the cursor scan and bucket placement both derive from
   // this one expression: using separate float arithmetic for the two (as a
@@ -62,16 +62,25 @@ class CalendarQueue final : public EventScheduler {
   std::size_t bucket_of(Time t) const {
     return static_cast<std::size_t>(slot_of(t) % buckets_.size());
   }
-  void insert(Node node);
+  // Chains the arena node `index` into its bucket in (t, seq) order.
+  void insert(std::uint32_t index);
+  // Destroys a cancelled node's callback and reclaims its handle slot.
+  void discard_tombstone(std::uint32_t index);
   void maybe_resize();
   void resize(std::size_t new_buckets);
-  Time estimate_width(const std::vector<std::list<Node>>& old) const;
+  Time estimate_width(const std::vector<std::uint32_t>& old_heads);
   // Advances cursor_ to the bucket holding the earliest event; returns the
-  // node (removed from its bucket, handle still held) — the core calendar
-  // scan.
-  Node take_earliest();
+  // node's index (unlinked from its bucket, handle still held) — the core
+  // calendar scan.
+  std::uint32_t take_earliest();
 
-  std::vector<std::list<Node>> buckets_;
+  std::vector<std::uint32_t> buckets_;  // head node index, kNil when empty
+  // Scratch storage reused across resizes (bucket layout swap and the
+  // width-estimation sample): capacity persists, so steady-state resizes
+  // allocate only when the calendar outgrows every previous record.
+  std::vector<std::uint32_t> scratch_buckets_;
+  std::vector<Time> scratch_times_;
+  EventArena arena_;
   Time width_;
   std::uint64_t slot_ = 0;  // slot index of the cursor bucket's window
   Time floor_time_ = 0.0;   // last popped time: no event may precede it

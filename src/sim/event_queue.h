@@ -1,14 +1,18 @@
-// Binary-heap scheduler backend.
+// Heap scheduler backend.
 //
 // Events are arbitrary callables scheduled at an absolute simulated time.
 // Ties are broken by insertion order (a monotonically increasing sequence
 // number), which makes every run deterministic for a fixed seed.
 // Cancellation is lazy: cancelled events stay in the heap as tombstones and
-// are skipped when popped, which keeps schedule/cancel O(log n)/O(1). The
-// heap is an explicit vector driven by std::push_heap/std::pop_heap so pop()
-// can move the handler out instead of copying it, and cancellation validity
-// is tracked by the generation-stamped HandleTable instead of per-event
-// hash-set bookkeeping.
+// are skipped when popped, which keeps schedule/cancel O(log n)/O(1).
+//
+// The heap is a hand-rolled 4-ary implicit heap over 24-byte
+// (time, seq, id) entries: a quarter of the depth of a binary heap, with
+// each node's children adjacent in memory, which roughly halves the
+// pop-path cache misses that dominate the event loop. Handlers stay put in
+// the shared EventArena, addressed by the id's slot index, so sift
+// operations move three words instead of a whole callback and steady-state
+// scheduling never touches the allocator.
 #pragma once
 
 #include <cstdint>
@@ -25,31 +29,35 @@ class EventQueue final : public EventScheduler {
   EventId schedule(Time t, Handler handler) override;
   bool cancel(EventId id) override;
   Popped pop() override;
+  bool pop_if_at_most(Time t_limit, Popped& out) override;
+  void reserve_events(std::size_t n) override;
 
   bool empty() const override { return live_ == 0; }
   std::size_t size() const override { return live_; }
   Time next_time() override;
 
  private:
-  struct Node {
+  struct Entry {
     Time t;
     std::uint64_t seq;
     EventId id;
-    Handler handler;
   };
-  struct Later {
-    bool operator()(const Node& a, const Node& b) const {
-      if (a.t != b.t) return a.t > b.t;
-      return a.seq > b.seq;
-    }
-  };
+  static bool earlier(const Entry& a, const Entry& b) {
+    if (a.t != b.t) return a.t < b.t;
+    return a.seq < b.seq;
+  }
+
+  void sift_up(std::size_t i);
+  void sift_down(std::size_t i);
 
   // Drains tombstones off the heap top so the head is a live event.
   void drop_cancelled_head();
-  // Removes and returns the head node, reclaiming its handle slot.
-  Node take_head();
+  // Removes and returns the head entry; the caller settles its arena node
+  // and handle slot.
+  Entry take_head();
 
-  std::vector<Node> heap_;
+  std::vector<Entry> heap_;
+  EventArena arena_;
   HandleTable handles_;
   std::size_t live_ = 0;
   std::uint64_t next_seq_ = 1;

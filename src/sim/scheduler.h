@@ -12,16 +12,32 @@
 // ids in O(1) with no per-event unordered_set traffic. Cancelled events stay
 // in the backend's structure as tombstones and are skipped (and their slots
 // reclaimed) lazily when drained.
+//
+// Event storage is allocation-free in steady state: handlers are
+// InlineFunctions (fixed inline capture buffer, no heap fallback) living in
+// an EventArena whose node indices are the HandleTable's slot indices, so
+// the handle free list doubles as the node free list and schedule/pop/cancel
+// recycle storage without touching the allocator once the live-event
+// high-water mark stops rising.
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <memory>
 #include <vector>
 
+#include "sim/assert.h"
 #include "sim/units.h"
+#include "util/inline_function.h"
 
 namespace aeq::sim {
+
+// Inline capture budget for event callbacks. 48 bytes covers every capture
+// in the tree (the largest — trace replay's [stack, record] — is exactly
+// 48); oversized captures fail to compile rather than silently allocating.
+// Raising this inflates every arena node, so prefer shrinking captures.
+inline constexpr std::size_t kHandlerInlineBytes = 48;
+
+using EventHandler = util::InlineFunction<void(), kHandlerInlineBytes>;
 
 // Opaque handle to a scheduled event; value 0 means "no event".
 struct EventId {
@@ -50,8 +66,13 @@ class HandleTable {
       index = static_cast<std::uint32_t>(slots_.size());
       slots_.push_back(Slot{1, false});
     }
-    slots_[index].cancelled = false;
-    return EventId{pack(index, slots_[index].generation)};
+    // Fresh and recycled slots converge here under the same invariants:
+    // release() reclaims slots clean (cancelled false, generation bumped but
+    // never wrapped to 0), so a handed-out id can never pack to 0.
+    const Slot& slot = slots_[index];
+    AEQ_DCHECK(slot.generation >= 1);
+    AEQ_DCHECK(!slot.cancelled);
+    return EventId{pack(index, slot.generation)};
   }
 
   // Pending -> cancelled. False when the id already fired, was already
@@ -74,12 +95,35 @@ class HandleTable {
   }
 
   // Reclaims the slot once the owning structure drains the event's node
-  // (fired or tombstone). Must be called exactly once per acquire().
+  // (fired or tombstone). Must be called exactly once per acquire(): a
+  // double or stale release would put the slot on the free list twice and
+  // corrupt every id handed out from it afterwards, so validity is checked
+  // — fatally in debug builds, and under AEQ_AUDIT in any build type.
   void release(EventId id) {
     const std::uint32_t index = index_of(id);
+    AEQ_DCHECK_MSG(index < slots_.size(),
+                   "release() of out-of-range event id");
+    AEQ_AUDIT_ONLY(AEQ_CHECK_LT_MSG(index, slots_.size(),
+                                    "release() of out-of-range event id"));
     Slot& slot = slots_[index];
+    AEQ_DCHECK_MSG(slot.generation == generation_of(id),
+                   "double release() or release() of a reused slot");
+    AEQ_AUDIT_ONLY(
+        AEQ_CHECK_EQ_MSG(slot.generation, generation_of(id),
+                         "double release() or release() of a reused slot"));
     if (++slot.generation == 0) slot.generation = 1;  // keep ids nonzero
+    slot.cancelled = false;  // reclaimed slots are handed out clean
     free_.push_back(index);
+  }
+
+  // Slot index packed into an id — also the event's EventArena node index.
+  static std::uint32_t slot_index(EventId id) { return index_of(id); }
+
+  // Pre-sizes the slot and free-list vectors for `n` concurrent events so
+  // later acquire/release traffic below that mark never grows them.
+  void reserve(std::size_t n) {
+    slots_.reserve(n);
+    free_.reserve(n);
   }
 
  private:
@@ -102,10 +146,56 @@ class HandleTable {
   std::vector<std::uint32_t> free_;
 };
 
+// Chunked, index-stable event-node storage shared by both scheduler
+// backends. A node's index IS its HandleTable slot index, so the handle
+// table's free list doubles as the node free list: once the table reaches
+// its high-water mark, schedule/pop/cancel recycle nodes with zero
+// allocator traffic. Chunks are never freed or moved, so Node references
+// stay valid across growth and the calendar's intrusive `next` links can
+// be plain indices.
+class EventArena {
+ public:
+  static constexpr std::uint32_t kNil = 0xffffffffu;
+
+  struct Node {
+    Time t = 0.0;
+    std::uint64_t seq = 0;
+    EventId id{};
+    std::uint32_t next = kNil;  // intrusive chain link (calendar buckets)
+    EventHandler handler;
+  };
+
+  Node& at(std::uint32_t index) {
+    AEQ_DCHECK((index >> kChunkShift) < chunks_.size());
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+  const Node& at(std::uint32_t index) const {
+    AEQ_DCHECK((index >> kChunkShift) < chunks_.size());
+    return chunks_[index >> kChunkShift][index & kChunkMask];
+  }
+
+  // Grows (by whole chunks) until `index` is addressable. This is the only
+  // allocation site — reached only while the live-event high-water mark is
+  // still rising, i.e. during warmup.
+  void ensure(std::uint32_t index) {
+    const std::size_t chunk = index >> kChunkShift;
+    while (chunks_.size() <= chunk) {
+      chunks_.push_back(std::make_unique<Node[]>(kChunkSize));
+    }
+  }
+
+ private:
+  static constexpr std::uint32_t kChunkShift = 9;  // 512 nodes per chunk
+  static constexpr std::uint32_t kChunkSize = 1u << kChunkShift;
+  static constexpr std::uint32_t kChunkMask = kChunkSize - 1;
+
+  std::vector<std::unique_ptr<Node[]>> chunks_;
+};
+
 // The scheduler concept: what Simulator needs from an event structure.
 class EventScheduler {
  public:
-  using Handler = std::function<void()>;
+  using Handler = EventHandler;
 
   struct Popped {
     Time time;
@@ -122,8 +212,21 @@ class EventScheduler {
   // already cancelled, or the id is invalid.
   virtual bool cancel(EventId id) = 0;
 
+  // Pre-sizes internal storage (arena chunks, handle table, heap/buckets)
+  // for `n` concurrent pending events, so a run whose live-event count
+  // stays below `n` performs no steady-state allocations. A hint: the
+  // structure still grows past it on demand.
+  virtual void reserve_events(std::size_t n) = 0;
+
   // Pops the earliest pending (non-cancelled) event. Precondition: !empty().
   virtual Popped pop() = 0;
+
+  // Pops the earliest live event into `out` if its time is <= t_limit;
+  // returns false (structure untouched) when the queue is empty or the
+  // earliest event is later. The executive's dispatch loop uses this
+  // instead of next_time()+pop(): one head scan per event instead of two
+  // (for the calendar backend next_time() is a full pop-and-reinsert).
+  virtual bool pop_if_at_most(Time t_limit, Popped& out) = 0;
 
   // True when no live (non-cancelled) events remain.
   virtual bool empty() const = 0;

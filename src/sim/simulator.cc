@@ -1,5 +1,6 @@
 #include "sim/simulator.h"
 
+#include <limits>
 #include <utility>
 
 #include "sim/assert.h"
@@ -11,27 +12,32 @@ EventId Simulator::schedule_at(Time t, EventScheduler::Handler handler) {
   return queue_->schedule(t, std::move(handler));
 }
 
-void Simulator::dispatch_one() {
-  auto [t, handler] = queue_->pop();
-  AEQ_DCHECK(t >= now_);
-  now_ = t;
+void Simulator::dispatch(EventScheduler::Popped& popped) {
+  AEQ_DCHECK(popped.time >= now_);
+  now_ = popped.time;
   // Keep the diagnostic clock in step so AEQ_CHECK failure reports anywhere
   // in the call tree below carry the simulated time.
   detail::g_sim_now = now_;
   ++events_processed_;
-  handler();
+  popped.handler();
 }
 
 void Simulator::run() {
   stopped_ = false;
-  while (!queue_->empty() && !stopped_) dispatch_one();
+  EventScheduler::Popped popped;
+  while (!stopped_ &&
+         queue_->pop_if_at_most(std::numeric_limits<Time>::infinity(),
+                                popped)) {
+    dispatch(popped);
+  }
 }
 
 void Simulator::run_until(Time t_end) {
   AEQ_CHECK_GE_MSG(t_end, now_, "run_until target precedes current time");
   stopped_ = false;
-  while (!queue_->empty() && !stopped_ && queue_->next_time() <= t_end) {
-    dispatch_one();
+  EventScheduler::Popped popped;
+  while (!stopped_ && queue_->pop_if_at_most(t_end, popped)) {
+    dispatch(popped);
   }
   if (!stopped_ && now_ < t_end) {
     now_ = t_end;

@@ -37,6 +37,11 @@ class Simulator {
   // Cancels a pending event; safe to call with an already-fired id.
   void cancel(EventId id) { queue_->cancel(id); }
 
+  // Pre-sizes the scheduler for `n` concurrent pending events (see
+  // EventScheduler::reserve_events): below that mark the event loop
+  // performs no steady-state allocations.
+  void reserve_events(std::size_t n) { queue_->reserve_events(n); }
+
   // Runs until the event queue drains or stop() is called.
   void run();
 
@@ -53,7 +58,7 @@ class Simulator {
   std::size_t pending_events() const { return queue_->size(); }
 
  private:
-  void dispatch_one();
+  void dispatch(EventScheduler::Popped& popped);
 
   SchedulerBackend backend_;
   std::unique_ptr<EventScheduler> queue_;

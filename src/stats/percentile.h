@@ -5,6 +5,7 @@
 // very long runs while keeping the tail estimate unbiased.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <vector>
 
@@ -40,6 +41,13 @@ class PercentileTracker {
   const Summary& summary() const { return summary_; }
 
   void clear();
+
+  // Pre-sizes sample storage so a bounded run adds samples without touching
+  // the allocator (the steady-state allocation regression test depends on
+  // this). A no-op beyond the reservoir cap, which already bounds storage.
+  void reserve(std::size_t n) {
+    samples_.reserve(capacity_ > 0 ? std::min(capacity_, n) : n);
+  }
 
   // Folds another tracker into this one (for fan-out/fan-in aggregation of
   // multi-trial sweep points). With unbounded storage on both sides the

@@ -16,10 +16,10 @@ Flow::Flow(sim::Simulator& simulator, net::Host& src_host, net::HostId dst,
       dst_(dst),
       qos_(qos),
       flow_id_(flow_id),
-      config_(config),
+      config_(&config),
       cc_(std::move(cc)) {
   AEQ_ASSERT(cc_ != nullptr);
-  AEQ_ASSERT(config_.mtu_bytes > 0);
+  AEQ_ASSERT(config_->mtu_bytes > 0);
 }
 
 void Flow::send_message(std::uint64_t bytes, std::uint64_t rpc_id,
@@ -27,7 +27,7 @@ void Flow::send_message(std::uint64_t bytes, std::uint64_t rpc_id,
                         std::uint64_t app_tag) {
   AEQ_ASSERT_MSG(bytes > 0, "empty message");
   if (next_seq_ == stream_end_ && bytes_in_flight() == 0 &&
-      sim_.now() - last_activity_ > config_.idle_restart_after) {
+      sim_.now() - last_activity_ > config_->idle_restart_after) {
     cc_->on_idle_restart();
     emit_cwnd();
   }
@@ -39,17 +39,22 @@ void Flow::send_message(std::uint64_t bytes, std::uint64_t rpc_id,
 
 const Flow::PendingMessage& Flow::message_at(std::uint64_t offset) const {
   // messages_ is sorted by end_offset; find the first end > offset.
-  auto it = std::lower_bound(
-      messages_.begin(), messages_.end(), offset,
-      [](const PendingMessage& m, std::uint64_t off) {
-        return m.end_offset <= off;
-      });
-  AEQ_ASSERT_MSG(it != messages_.end(), "offset beyond queued messages");
-  return *it;
+  std::size_t lo = 0;
+  std::size_t hi = messages_.size();
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (messages_[mid].end_offset <= offset) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  AEQ_ASSERT_MSG(lo < messages_.size(), "offset beyond queued messages");
+  return messages_[lo];
 }
 
 sim::Time Flow::pace_gap() const {
-  const sim::Time base = srtt_ > 0.0 ? srtt_ : config_.initial_rtt;
+  const sim::Time base = srtt_ > 0.0 ? srtt_ : config_->initial_rtt;
   const double cwnd = std::max(cc_->cwnd_packets(), 1e-6);
   return base / cwnd;
 }
@@ -62,10 +67,10 @@ void Flow::try_send() {
     // message's identity for receiver-side RPC delivery detection.
     const PendingMessage& msg = message_at(next_seq_);
     const auto payload = static_cast<std::uint32_t>(std::min<std::uint64_t>(
-        config_.mtu_bytes, msg.end_offset - next_seq_));
+        config_->mtu_bytes, msg.end_offset - next_seq_));
     if (cwnd_pkts >= 1.0) {
       const double cwnd_bytes =
-          cwnd_pkts * static_cast<double>(config_.mtu_bytes);
+          cwnd_pkts * static_cast<double>(config_->mtu_bytes);
       if (in_flight > 0 &&
           static_cast<double>(in_flight + payload) > cwnd_bytes) {
         break;
@@ -103,9 +108,9 @@ void Flow::send_segment(std::uint64_t offset, std::uint32_t payload) {
   p.flow_id = flow_id_;
   p.seq = offset;
   p.rpc_id = msg.rpc_id;
-  p.msg_bytes = msg.bytes;
-  p.grant_offset = msg.end_offset;  // stream offset the message ends at
-  p.app_tag = msg.app_tag;
+  p.cold.msg_bytes = msg.bytes;
+  p.cold.grant_offset = msg.end_offset;  // stream offset the message ends at
+  p.cold.app_tag = msg.app_tag;
   p.sent_time = sim_.now();
   last_activity_ = sim_.now();
   src_host_.send(p);
@@ -116,18 +121,38 @@ void Flow::update_srtt(sim::Time sample) {
 }
 
 sim::Time Flow::rto() const {
-  const sim::Time base = srtt_ > 0.0 ? srtt_ : config_.initial_rtt;
-  return std::max(config_.min_rto, config_.rto_srtt_multiplier * base);
+  const sim::Time base = srtt_ > 0.0 ? srtt_ : config_->initial_rtt;
+  return std::max(config_->min_rto, config_->rto_srtt_multiplier * base);
 }
 
 void Flow::rearm_rto() {
-  if (rto_event_) {
-    sim_.cancel(rto_event_);
-    rto_event_ = sim::EventId{};
+  // Lazy rearm: every ACK pushes the deadline forward, but the scheduled
+  // event is left in place and chases the deadline when it fires early.
+  // The eager cancel+reschedule-per-ACK alternative is the single largest
+  // source of scheduler tombstones (§DESIGN 10) — on the fig03 workload it
+  // roughly one-for-one doubles timer traffic through the event heap.
+  if (bytes_in_flight() == 0) {
+    rto_deadline_ = 0.0;  // disarm; a pending timer no-ops when it fires
+    return;
   }
-  if (bytes_in_flight() == 0) return;
-  rto_event_ = sim_.schedule_in(rto(), [this] {
+  rto_deadline_ = sim_.now() + rto();
+  if (rto_event_) {
+    if (rto_armed_ <= rto_deadline_) return;  // fires early, then chases
+    sim_.cancel(rto_event_);  // deadline moved earlier: must reschedule
+  }
+  arm_rto_at(rto_deadline_);
+}
+
+void Flow::arm_rto_at(sim::Time t) {
+  rto_armed_ = t;
+  rto_event_ = sim_.schedule_at(t, [this] {
     rto_event_ = sim::EventId{};
+    if (rto_deadline_ == 0.0) return;  // disarmed since it was scheduled
+    if (sim_.now() < rto_deadline_) {  // deadline moved later: chase it
+      arm_rto_at(rto_deadline_);
+      return;
+    }
+    rto_deadline_ = 0.0;
     on_rto();
   });
 }
@@ -168,13 +193,13 @@ void Flow::handle_ack(const net::Packet& ack) {
     update_srtt(rtt);
     cc_->on_ack(sim_.now(), rtt,
                 static_cast<double>(advanced) /
-                    static_cast<double>(config_.mtu_bytes),
+                    static_cast<double>(config_->mtu_bytes),
                 ack.ecn_echo);
     emit_cwnd();
     complete_messages();
     rearm_rto();
     try_send();
-  } else if (config_.fast_retransmit && ack.ack_seq == acked_ &&
+  } else if (config_->fast_retransmit && ack.ack_seq == acked_ &&
              bytes_in_flight() > 0) {
     if (++dup_acks_ >= 3) {
       dup_acks_ = 0;
@@ -189,9 +214,10 @@ void Flow::audit_invariants() const {
   AEQ_CHECK_LE_MSG(acked_, next_seq_, "ACK point beyond send point");
   AEQ_CHECK_LE_MSG(next_seq_, stream_end_, "send point beyond stream end");
   std::uint64_t prev_end = acked_;
-  for (const PendingMessage& msg : messages_) {
+  for (std::size_t i = 0; i < messages_.size(); ++i) {
+    const PendingMessage& msg = messages_[i];
     // Completed messages are popped eagerly, so every queued message ends
-    // strictly past the ACK point, and the deque stays sorted (message_at
+    // strictly past the ACK point, and the queue stays sorted (message_at
     // binary-searches on this).
     AEQ_CHECK_GT_MSG(msg.end_offset, prev_end,
                      "message end_offset not increasing past ACK point");

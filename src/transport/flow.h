@@ -10,7 +10,6 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <memory>
 
 #include "net/host.h"
@@ -19,6 +18,7 @@
 #include "sim/simulator.h"
 #include "transport/congestion_control.h"
 #include "transport/message.h"
+#include "util/ring_buffer.h"
 
 namespace aeq::transport {
 
@@ -44,6 +44,9 @@ struct TransportConfig {
 
 class Flow {
  public:
+  // `config` is shared, not copied: it must outlive the flow (HostStack
+  // owns the one instance all of its flows point at) and stay immutable
+  // once any flow exists — HostStack::mutable_config() enforces that.
   Flow(sim::Simulator& simulator, net::Host& src_host, net::HostId dst,
        net::QoSLevel qos, std::uint64_t flow_id, const TransportConfig& config,
        std::unique_ptr<CongestionControl> cc);
@@ -99,6 +102,7 @@ class Flow {
   void update_srtt(sim::Time sample);
   sim::Time rto() const;
   void rearm_rto();
+  void arm_rto_at(sim::Time t);
   void on_rto();
   void retransmit_from_ack();
   sim::Time pace_gap() const;
@@ -109,19 +113,25 @@ class Flow {
   net::HostId dst_;
   net::QoSLevel qos_;
   std::uint64_t flow_id_;
-  TransportConfig config_;
+  const TransportConfig* config_;
   std::unique_ptr<CongestionControl> cc_;
   obs::Recorder* obs_ = nullptr;
 
   std::uint64_t stream_end_ = 0;  // total bytes enqueued
   std::uint64_t next_seq_ = 0;    // next byte to (re)transmit
   std::uint64_t acked_ = 0;       // cumulative ack point
-  std::deque<PendingMessage> messages_;
+  util::RingBuffer<PendingMessage> messages_;
 
   sim::Time srtt_ = 0.0;
   sim::Time last_activity_ = 0.0;
   int dup_acks_ = 0;
   sim::EventId rto_event_;
+  // Lazy RTO state: the deadline ACKs keep pushing forward (0 = disarmed)
+  // and the time the pending event actually fires. The event is only ever
+  // cancelled when the deadline moves *earlier* (an srtt collapse), so the
+  // common ACK path leaves no tombstones in the scheduler.
+  sim::Time rto_deadline_ = 0.0;
+  sim::Time rto_armed_ = 0.0;
   sim::EventId pace_event_;
   sim::Time next_pace_time_ = 0.0;
 };

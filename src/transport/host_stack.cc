@@ -36,15 +36,13 @@ std::uint64_t HostStack::flow_key(net::HostId dst, net::QoSLevel qos,
 
 Flow& HostStack::flow_to(net::HostId dst, net::QoSLevel qos, int lane) {
   const std::uint64_t key = flow_key(dst, qos, lane);
-  auto it = flows_.find(key);
-  if (it == flows_.end()) {
-    it = flows_
-             .emplace(key, std::make_unique<Flow>(sim_, host_, dst, qos, key,
-                                                  config_, cc_factory_()))
-             .first;
-    if (obs_ != nullptr) it->second->set_observer(obs_);
-  }
-  return *it->second;
+  if (std::unique_ptr<Flow>* found = flows_.find(key)) return **found;
+  std::unique_ptr<Flow>& created = flows_[key];
+  created =
+      std::make_unique<Flow>(sim_, host_, dst, qos, key, config_,
+                             cc_factory_());
+  if (obs_ != nullptr) created->set_observer(obs_);
+  return *created;
 }
 
 void HostStack::send_message(const SendRequest& request,
@@ -66,8 +64,9 @@ void HostStack::on_packet(const net::Packet& packet) {
       handle_data(packet);
       break;
     case net::PacketType::kAck: {
-      auto it = flows_.find(packet.flow_id);
-      if (it != flows_.end()) it->second->handle_ack(packet);
+      if (std::unique_ptr<Flow>* flow = flows_.find(packet.flow_id)) {
+        (*flow)->handle_ack(packet);
+      }
       break;
     }
     default:
@@ -82,14 +81,14 @@ void HostStack::handle_data(const net::Packet& packet) {
   const std::uint64_t end = packet.seq + packet.size_bytes;
   const std::uint64_t before = r.next_expected;
 
-  if (rpc_delivery_handler_ && packet.grant_offset > r.next_expected) {
+  if (rpc_delivery_handler_ && packet.cold.grant_offset > r.next_expected) {
     DeliveredRpc info;
     info.rpc_id = packet.rpc_id;
-    info.app_tag = packet.app_tag;
+    info.app_tag = packet.cold.app_tag;
     info.src = packet.src;
     info.qos = packet.qos;
-    info.bytes = packet.msg_bytes;
-    r.pending_rpcs.emplace(packet.grant_offset, info);
+    info.bytes = packet.cold.msg_bytes;
+    r.pending_rpcs.emplace(packet.cold.grant_offset, info);
   }
 
   if (end > r.next_expected) {

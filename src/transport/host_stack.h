@@ -11,12 +11,13 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <unordered_map>
 
 #include "net/host.h"
+#include "sim/assert.h"
 #include "sim/simulator.h"
 #include "transport/flow.h"
 #include "transport/message.h"
+#include "util/flat_map.h"
 
 namespace aeq::transport {
 
@@ -67,10 +68,9 @@ class HostStack final : public MessageTransport {
   // this stack (CwndUpdate emission). Null detaches.
   void set_observer(obs::Recorder* recorder) {
     obs_ = recorder;
-    for (auto& [key, flow] : flows_) {
-      (void)key;
+    flows_.for_each([recorder](std::uint64_t, std::unique_ptr<Flow>& flow) {
       flow->set_observer(recorder);
-    }
+    });
   }
 
   // In-order payload bytes delivered to this host (receiver-side goodput).
@@ -84,11 +84,20 @@ class HostStack final : public MessageTransport {
   // Visits every sender-side flow (iteration order is unspecified — the
   // audit layer only aggregates or asserts per-flow, never emits events).
   void for_each_flow(const std::function<void(const Flow&)>& fn) const {
-    for (const auto& [key, flow] : flows_) {
-      (void)key;
+    flows_.for_each([&fn](std::uint64_t, const std::unique_ptr<Flow>& flow) {
       fn(*flow);
-    }
+    });
   }
+
+  // The one TransportConfig instance every flow of this stack aliases.
+  // Writable only before the first flow is created: flows keep a pointer to
+  // it, so a later mutation would silently change behavior mid-run.
+  TransportConfig& mutable_config() {
+    AEQ_ASSERT_MSG(flows_.empty(),
+                   "TransportConfig is immutable once a flow exists");
+    return config_;
+  }
+  const TransportConfig& config() const { return config_; }
 
  private:
   struct ReceiverState {
@@ -114,8 +123,8 @@ class HostStack final : public MessageTransport {
   ControlHandler control_handler_;
   RpcDeliveryHandler rpc_delivery_handler_;
 
-  std::unordered_map<std::uint64_t, std::unique_ptr<Flow>> flows_;
-  std::unordered_map<std::uint64_t, ReceiverState> receivers_;
+  util::FlatMap64<std::unique_ptr<Flow>> flows_;
+  util::FlatMap64<ReceiverState> receivers_;
   std::uint64_t bytes_delivered_ = 0;
   std::array<std::uint64_t, net::kMaxQoSLevels> bytes_delivered_per_qos_{};
 };

@@ -4,10 +4,10 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "net/packet.h"
 #include "sim/units.h"
+#include "util/inline_function.h"
 
 namespace aeq::transport {
 
@@ -25,7 +25,12 @@ struct MessageCompletion {
   sim::Time rnl() const { return completed - issued; }
 };
 
-using CompletionHandler = std::function<void(const MessageCompletion&)>;
+// Inline-only (no heap fallback): one of these is queued per in-flight
+// message, so a std::function here would mean an allocation per RPC. The
+// 96-byte budget fits the largest capture in the tree (RpcStack's
+// [this, record] completion closure at ~72 bytes) with headroom.
+using CompletionHandler =
+    util::InlineFunction<void(const MessageCompletion&), 96>;
 
 struct SendRequest {
   net::HostId dst = net::kNoHost;

@@ -1,0 +1,164 @@
+// Open-addressing hash map over packed 64-bit keys.
+//
+// Replaces the per-channel `std::unordered_map`s (flow table, receiver
+// table, controller admission state, pending RPC ops): one flat array of
+// slots, linear probing, backward-shift erase — no per-node allocation, so
+// lookups on the per-packet path stay cache-friendly and insert/erase stop
+// touching the heap once the table has grown to its steady-state size.
+//
+// Keys are arbitrary u64 values (0 is legal — the controller packs
+// (dst=0,qos=0) to key 0); occupancy is tracked in a separate byte array
+// rather than a reserved sentinel key. Iteration order is unspecified and
+// changes on rehash; callers must not depend on it for any deterministic
+// output (the bit-identity suites enforce this repo-wide).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/assert.h"
+
+namespace aeq::util {
+
+template <typename V>
+class FlatMap64 {
+ public:
+  FlatMap64() = default;
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void reserve(std::size_t n) {
+    std::size_t cap = kMinCapacity;
+    // Grow while `n` would exceed the 7/8 load factor at `cap`.
+    while (n > cap - cap / 8) cap <<= 1;
+    if (cap > capacity()) rehash(cap);
+  }
+
+  V* find(std::uint64_t key) {
+    if (size_ == 0) return nullptr;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    while (occupied_[i]) {
+      if (slots_[i].key == key) return &slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    return nullptr;
+  }
+  const V* find(std::uint64_t key) const {
+    return const_cast<FlatMap64*>(this)->find(key);
+  }
+
+  bool contains(std::uint64_t key) const { return find(key) != nullptr; }
+
+  // Returns the value for `key`, default-constructing it on first access.
+  V& operator[](std::uint64_t key) {
+    if (capacity() == 0 || size_ + 1 > capacity() - capacity() / 8) {
+      rehash(capacity() == 0 ? kMinCapacity : capacity() * 2);
+    }
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    while (occupied_[i]) {
+      if (slots_[i].key == key) return slots_[i].value;
+      i = (i + 1) & mask;
+    }
+    occupied_[i] = 1;
+    slots_[i].key = key;
+    slots_[i].value = V{};
+    ++size_;
+    return slots_[i].value;
+  }
+
+  bool erase(std::uint64_t key) {
+    if (size_ == 0) return false;
+    const std::size_t mask = capacity() - 1;
+    std::size_t i = hash(key) & mask;
+    while (occupied_[i]) {
+      if (slots_[i].key == key) {
+        // Backward-shift deletion keeps probe chains contiguous without
+        // tombstones (so load never degrades from churn).
+        std::size_t hole = i;
+        std::size_t j = (i + 1) & mask;
+        while (occupied_[j]) {
+          const std::size_t home = hash(slots_[j].key) & mask;
+          // Move j into the hole iff the hole lies on j's probe path.
+          const bool movable = ((j - home) & mask) >= ((j - hole) & mask);
+          if (movable) {
+            slots_[hole] = std::move(slots_[j]);
+            hole = j;
+          }
+          j = (j + 1) & mask;
+        }
+        occupied_[hole] = 0;
+        slots_[hole].value = V{};
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask;
+    }
+    return false;
+  }
+
+  void clear() {
+    std::fill(occupied_.begin(), occupied_.end(), std::uint8_t{0});
+    for (Slot& s : slots_) s.value = V{};
+    size_ = 0;
+  }
+
+  // Visits every (key, value) pair in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (occupied_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+      if (occupied_[i]) fn(slots_[i].key, slots_[i].value);
+    }
+  }
+
+ private:
+  struct Slot {
+    std::uint64_t key = 0;
+    V value{};
+  };
+
+  static constexpr std::size_t kMinCapacity = 16;
+
+  std::size_t capacity() const { return slots_.size(); }
+
+  // SplitMix64 finalizer: packed keys are sequential in their low bits, so
+  // mix thoroughly before masking.
+  static std::uint64_t hash(std::uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  void rehash(std::size_t new_capacity) {
+    AEQ_ASSERT((new_capacity & (new_capacity - 1)) == 0);
+    std::vector<Slot> old_slots = std::move(slots_);
+    std::vector<std::uint8_t> old_occupied = std::move(occupied_);
+    slots_ = std::vector<Slot>(new_capacity);  // default-insert: V move-only OK
+    occupied_.assign(new_capacity, 0);
+    const std::size_t mask = new_capacity - 1;
+    for (std::size_t i = 0; i < old_slots.size(); ++i) {
+      if (!old_occupied[i]) continue;
+      std::size_t j = hash(old_slots[i].key) & mask;
+      while (occupied_[j]) j = (j + 1) & mask;
+      occupied_[j] = 1;
+      slots_[j] = std::move(old_slots[i]);
+    }
+  }
+
+  std::vector<Slot> slots_;
+  std::vector<std::uint8_t> occupied_;
+  std::size_t size_ = 0;
+};
+
+}  // namespace aeq::util

@@ -30,7 +30,7 @@ net::Packet make_packet(std::uint32_t bytes, net::QoSLevel qos = 0,
   p.size_bytes = bytes;
   p.qos = qos;
   p.seq = seq;
-  p.msg_bytes = bytes;
+  p.cold.msg_bytes = bytes;
   return p;
 }
 
@@ -176,7 +176,7 @@ TEST(Checks, WellBehavedQueuesPassConservation) {
     red.enqueue(make_packet(1500, qos, i));
     wfq.enqueue(make_packet(1500, qos, i));
     net::Packet p = make_packet(1500, qos, i);
-    p.msg_bytes = (i % 7 + 1) * 1500;  // varied remaining size -> evictions
+    p.cold.msg_bytes = (i % 7 + 1) * 1500;  // varied remaining size -> evictions
     pfabric.enqueue(p);
     auditor.run_all();
     if (i % 3 == 0) {
@@ -202,7 +202,7 @@ TEST(Checks, PooledPfabricKeepsPoolConservation) {
   audit::register_queue_checks(auditor, "pooled-pfabric", *pooled, 2);
   for (std::uint64_t i = 0; i < 100; ++i) {
     net::Packet p = make_packet(1500, 0, i);
-    p.msg_bytes = (i % 9 + 1) * 1500;
+    p.cold.msg_bytes = (i % 9 + 1) * 1500;
     pooled->enqueue(p);
     auditor.run_all();
   }

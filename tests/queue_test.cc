@@ -245,7 +245,7 @@ TEST(PfabricQueueTest, DequeuesMostUrgentFirst) {
   PfabricQueue q(100000);
   auto with_priority = [](double prio, std::uint64_t id) {
     Packet p = make_packet(0, 1000, id);
-    p.priority = prio;
+    p.cold.priority = prio;
     return p;
   };
   ASSERT_TRUE(q.enqueue(with_priority(5000, 1)));
@@ -260,7 +260,7 @@ TEST(PfabricQueueTest, EvictsLeastUrgentOnOverflow) {
   PfabricQueue q(2500);
   auto with_priority = [](double prio, std::uint64_t id) {
     Packet p = make_packet(0, 1000, id);
-    p.priority = prio;
+    p.cold.priority = prio;
     return p;
   };
   ASSERT_TRUE(q.enqueue(with_priority(100, 1)));
@@ -277,7 +277,7 @@ TEST(PfabricQueueTest, DropsNewcomerWhenLeastUrgent) {
   PfabricQueue q(2000);
   auto with_priority = [](double prio, std::uint64_t id) {
     Packet p = make_packet(0, 1000, id);
-    p.priority = prio;
+    p.cold.priority = prio;
     return p;
   };
   ASSERT_TRUE(q.enqueue(with_priority(100, 1)));
@@ -290,7 +290,7 @@ TEST(PfabricQueueTest, FifoAmongEqualPriorities) {
   PfabricQueue q(100000);
   auto with_priority = [](double prio, std::uint64_t id) {
     Packet p = make_packet(0, 1000, id);
-    p.priority = prio;
+    p.cold.priority = prio;
     return p;
   };
   for (std::uint64_t i = 1; i <= 4; ++i) {

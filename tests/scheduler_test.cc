@@ -175,6 +175,39 @@ TEST(HandleTableTest, StaleIdAfterSlotReuseIsRejected) {
   EXPECT_FALSE(table.cancel(reused));  // double cancel
 }
 
+// release() must be called exactly once per acquire(): a double or stale
+// release would push the slot onto the free list twice and corrupt every id
+// handed out from it afterwards. The validation is AEQ_DCHECK (debug) plus
+// AEQ_CHECK under AEQ_AUDIT, so it compiles out of plain release builds.
+#if !defined(NDEBUG) || AEQ_AUDIT_ENABLED
+TEST(HandleTableDeathTest, DoubleReleaseIsFatal) {
+  sim::HandleTable table;
+  const sim::EventId id = table.acquire();
+  table.release(id);
+  EXPECT_DEATH(table.release(id),
+               "double release\\(\\) or release\\(\\) of a reused slot");
+}
+
+TEST(HandleTableDeathTest, ReleaseAfterSlotReuseIsFatal) {
+  sim::HandleTable table;
+  const sim::EventId stale = table.acquire();
+  table.release(stale);
+  const sim::EventId reused = table.acquire();  // same slot, new generation
+  ASSERT_TRUE(table.live(reused));
+  // Releasing the stale id would invalidate `reused` out from under its
+  // owner and double-free the slot.
+  EXPECT_DEATH(table.release(stale),
+               "double release\\(\\) or release\\(\\) of a reused slot");
+}
+
+TEST(HandleTableDeathTest, ReleaseOfOutOfRangeIdIsFatal) {
+  sim::HandleTable table;
+  (void)table.acquire();
+  const sim::EventId bogus{(std::uint64_t{1} << 32) | 0x00ffffffu};
+  EXPECT_DEATH(table.release(bogus), "out-of-range event id");
+}
+#endif  // !defined(NDEBUG) || AEQ_AUDIT_ENABLED
+
 TEST(EventQueueTest, StaleCancelAfterSlotReuseLeavesNewEventLive) {
   sim::EventQueue q;
   const sim::EventId old_id = q.schedule(1.0, [] {});

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Regenerates BENCH_hotpath.json: the committed speed artifact for the
+# hot-path overhaul (DESIGN.md §10). Runs perf_probe end to end on both
+# scheduler backends with telemetry off and fully on, plus the micro_core
+# scheduler/queue microbenchmarks, and emits one JSON document whose schema
+# is checked by `tools/validate_trace.py --bench-json`.
+#
+# The absolute numbers are machine dependent; `pre_overhaul` pins what the
+# same probe measured on the reference machine before the overhaul so the
+# speedup is visible next to the current numbers.
+#
+# Usage: tools/bench_hotpath.sh [build-dir] [out.json]
+#        (defaults: build BENCH_hotpath.json)
+set -euo pipefail
+
+build_dir=${1:-build}
+out=${2:-BENCH_hotpath.json}
+probe="$build_dir/bench/perf_probe"
+micro="$build_dir/bench/micro_core"
+probe_args=(--warmup-ms=2 --run-ms=8 --backend=both)
+
+for bin in "$probe" "$micro"; do
+  [[ -x "$bin" ]] || {
+    echo "bench_hotpath: $bin not found (build the bench targets first)" >&2
+    exit 1
+  }
+done
+
+scratch=$(mktemp -d)
+trap 'rm -rf "$scratch"' EXIT
+
+# perf_probe prints one "[backend] ... N events in T = R M events/sec" line
+# per backend; --backend=both runs the same deterministic workload on each.
+# The telemetry runs go backend-by-backend: the bench telemetry flags
+# attach to exactly one experiment (trace-point 0, the first), so a single
+# --backend=both invocation would leave the second backend untraced.
+"$probe" "${probe_args[@]}" > "$scratch/plain.txt"
+for backend in heap calendar; do
+  "$probe" --warmup-ms=2 --run-ms=8 --backend="$backend" \
+    --timeseries "$scratch/$backend-ts" \
+    --watchdog "$scratch/$backend-watchdog.log" \
+    --flight-recorder "$scratch/$backend-flight.json" \
+    >> "$scratch/telemetry.txt"
+done
+"$micro" --benchmark_format=json --benchmark_out="$scratch/micro.json" \
+  --benchmark_min_time=0.2 > /dev/null
+
+python3 - "$scratch" "$out" "${probe_args[*]}" <<'EOF'
+import json
+import re
+import sys
+
+scratch, out, probe_args = sys.argv[1], sys.argv[2], sys.argv[3]
+
+LINE = re.compile(
+    r"\[(\w+)\s*\].*?(\d+) events in [\d.]+s = ([\d.]+)M events/sec"
+)
+
+
+def parse_probe(path, telemetry):
+    results = []
+    with open(path) as handle:
+        for line in handle:
+            match = LINE.search(line)
+            if not match:
+                continue
+            results.append(
+                {
+                    "backend": match.group(1),
+                    "telemetry": telemetry,
+                    "events": int(match.group(2)),
+                    "events_per_sec_millions": float(match.group(3)),
+                }
+            )
+    if len(results) != 2:
+        sys.exit(f"bench_hotpath: expected 2 backend lines in {path}")
+    return results
+
+
+micro = json.load(open(f"{scratch}/micro.json"))
+micro_results = []
+for bench in micro["benchmarks"]:
+    entry = {
+        "name": bench["name"],
+        "cpu_ns_per_op": round(bench["cpu_time"], 1),
+    }
+    label = bench.get("label")
+    if label:
+        entry["name"] = f'{bench["name"].rsplit("/", 1)[0]}/{label}'
+    if "items_per_second" in bench:
+        entry["items_per_second"] = round(bench["items_per_second"])
+    micro_results.append(entry)
+
+doc = {
+    "schema_version": 1,
+    "benchmark": "hotpath",
+    "perf_probe": {
+        "command": f"perf_probe {probe_args}",
+        "results": parse_probe(f"{scratch}/plain.txt", False)
+        + parse_probe(f"{scratch}/telemetry.txt", True),
+    },
+    "micro_core": {
+        "command": "micro_core --benchmark_min_time=0.2",
+        "results": micro_results,
+    },
+    # Same probe, same machine, commit before the hot-path overhaul.
+    "pre_overhaul": {
+        "heap_events_per_sec_millions": 2.10,
+        "calendar_events_per_sec_millions": 1.85,
+    },
+}
+
+with open(out, "w") as handle:
+    json.dump(doc, handle, indent=2)
+    handle.write("\n")
+print(f"bench_hotpath: wrote {out}")
+EOF

@@ -29,8 +29,17 @@ one (or all zero), RNL percentiles ordered p50 <= p90 <= p99, and rates
 dump is an ordinary Chrome trace and goes through the positional TRACE
 path.
 
+Finally, --bench-json checks the committed speed artifact
+(BENCH_hotpath.json, written by tools/bench_hotpath.sh): schema version,
+one perf_probe result per backend x telemetry combination with positive
+events/sec, matching event counts across backends for the same telemetry
+mode (the two schedulers must dispatch the identical event sequence), and
+well-formed micro_core entries. CI runs it against both the committed file
+and a freshly generated one, so a schema drift in either direction fails.
+
 Usage: tools/validate_trace.py [TRACE.json] [--expect-spans]
            [--timeseries-csv TS.csv] [--timeseries-json TS.json]
+           [--bench-json BENCH.json]
 """
 
 import argparse
@@ -304,6 +313,130 @@ def validate_timeseries_json(path):
     print(f"{path}: OK — {len(doc['windows'])} windows (JSON)")
 
 
+BENCH_SCHEMA_VERSION = 1
+BENCH_BACKENDS = {"heap", "calendar"}
+
+
+def bench_fail(path, where, why):
+    sys.exit(f"{path}: {where}: {why}")
+
+
+def bench_positive(path, where, name, value):
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        bench_fail(path, where, f"{name} is not numeric: {value!r}")
+    if value <= 0:
+        bench_fail(path, where, f"{name}={value} not positive")
+    return value
+
+
+def validate_bench_json(path):
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            sys.exit(f"{path}: not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        bench_fail(path, "top level", "document is not an object")
+    if doc.get("schema_version") != BENCH_SCHEMA_VERSION:
+        bench_fail(
+            path,
+            "top level",
+            f"schema_version {doc.get('schema_version')!r}, expected "
+            f"{BENCH_SCHEMA_VERSION}",
+        )
+    if doc.get("benchmark") != "hotpath":
+        bench_fail(path, "top level", f"benchmark {doc.get('benchmark')!r}")
+
+    probe = doc.get("perf_probe")
+    if not isinstance(probe, dict) or not isinstance(
+        probe.get("results"), list
+    ):
+        bench_fail(path, "perf_probe", "missing results array")
+    if not isinstance(probe.get("command"), str):
+        bench_fail(path, "perf_probe", "missing command string")
+    seen = {}
+    events = {}
+    for index, result in enumerate(probe["results"]):
+        where = f"perf_probe.results[{index}]"
+        if not isinstance(result, dict):
+            bench_fail(path, where, "result is not an object")
+        backend = result.get("backend")
+        if backend not in BENCH_BACKENDS:
+            bench_fail(path, where, f"unknown backend {backend!r}")
+        telemetry = result.get("telemetry")
+        if not isinstance(telemetry, bool):
+            bench_fail(path, where, "telemetry is not a bool")
+        combo = (backend, telemetry)
+        if combo in seen:
+            bench_fail(path, where, f"duplicate combination {combo}")
+        seen[combo] = where
+        bench_positive(path, where, "events", result.get("events"))
+        bench_positive(
+            path,
+            where,
+            "events_per_sec_millions",
+            result.get("events_per_sec_millions"),
+        )
+        # Both backends must dispatch the identical event sequence for the
+        # same workload; a count mismatch means determinism broke.
+        events.setdefault(telemetry, {})[backend] = result["events"]
+    for backend in BENCH_BACKENDS:
+        for telemetry in (False, True):
+            if (backend, telemetry) not in seen:
+                bench_fail(
+                    path,
+                    "perf_probe.results",
+                    f"missing combination ({backend}, telemetry="
+                    f"{telemetry})",
+                )
+    for telemetry, by_backend in events.items():
+        if len(set(by_backend.values())) != 1:
+            bench_fail(
+                path,
+                "perf_probe.results",
+                f"event counts diverge across backends (telemetry="
+                f"{telemetry}): {by_backend}",
+            )
+
+    micro = doc.get("micro_core")
+    if not isinstance(micro, dict) or not isinstance(
+        micro.get("results"), list
+    ):
+        bench_fail(path, "micro_core", "missing results array")
+    if not micro["results"]:
+        bench_fail(path, "micro_core", "empty results array")
+    names = set()
+    for index, result in enumerate(micro["results"]):
+        where = f"micro_core.results[{index}]"
+        if not isinstance(result, dict):
+            bench_fail(path, where, "result is not an object")
+        name = result.get("name")
+        if not isinstance(name, str) or not name:
+            bench_fail(path, where, f"bad benchmark name {name!r}")
+        if name in names:
+            bench_fail(path, where, f"duplicate benchmark {name!r}")
+        names.add(name)
+        bench_positive(path, where, "cpu_ns_per_op", result.get("cpu_ns_per_op"))
+        if "items_per_second" in result:
+            bench_positive(
+                path, where, "items_per_second", result["items_per_second"]
+            )
+
+    pre = doc.get("pre_overhaul")
+    if not isinstance(pre, dict):
+        bench_fail(path, "pre_overhaul", "missing reference numbers")
+    for name in (
+        "heap_events_per_sec_millions",
+        "calendar_events_per_sec_millions",
+    ):
+        bench_positive(path, "pre_overhaul", name, pre.get(name))
+
+    print(
+        f"{path}: OK — {len(probe['results'])} perf_probe results, "
+        f"{len(micro['results'])} micro_core results"
+    )
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -324,14 +457,24 @@ def main():
         "--timeseries-json",
         help="validate a TimeseriesSink JSON timeline",
     )
+    parser.add_argument(
+        "--bench-json",
+        help="validate a BENCH_hotpath.json speed artifact",
+    )
     opts = parser.parse_args()
-    if not opts.trace and not opts.timeseries_csv and not opts.timeseries_json:
-        parser.error("nothing to validate: pass TRACE and/or --timeseries-*")
+    if not any(
+        (opts.trace, opts.timeseries_csv, opts.timeseries_json, opts.bench_json)
+    ):
+        parser.error(
+            "nothing to validate: pass TRACE, --timeseries-*, or --bench-json"
+        )
 
     if opts.timeseries_csv:
         validate_timeseries_csv(opts.timeseries_csv)
     if opts.timeseries_json:
         validate_timeseries_json(opts.timeseries_json)
+    if opts.bench_json:
+        validate_bench_json(opts.bench_json)
     if not opts.trace:
         return
 
