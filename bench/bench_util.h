@@ -102,10 +102,15 @@ struct TraceRequest {
 //   --watchdog PATH  enable the anomaly watchdog; log to PATH ("-"=stderr)
 //   --flight-recorder PATH  post-mortem ring buffer; dump on anomaly/crash
 //   --trace-point N which point gets the telemetry (default 0, the first)
+//   --shards N      intra-run parallelism (ExperimentConfig::shards): each
+//                   simulation point runs on N conservative-PDES shards;
+//                   results are identical for any N (benches that honor it
+//                   wire args.shards into their config)
 struct BenchArgs {
   runner::SweepOptions sweep;
   std::string csv_path;
   std::string json_path;
+  std::size_t shards = 1;
   TraceRequest trace;
   tools::Flags flags;       // bench-specific extras stay queryable
   bool machine_started = false;  // first emit truncates, later ones append
@@ -122,6 +127,8 @@ inline BenchArgs parse_args(int argc, char** argv) {
       static_cast<std::uint64_t>(args.flags.get_int("seed", 1));
   args.csv_path = args.flags.get("csv");
   args.json_path = args.flags.get("json");
+  args.shards = static_cast<std::size_t>(args.flags.get_int("shards", 1));
+  if (args.shards < 1) args.shards = 1;
   args.trace.trace = args.flags.get("trace");
   args.trace.trace_csv = args.flags.get("trace-csv");
   args.trace.timeseries = args.flags.get("timeseries");

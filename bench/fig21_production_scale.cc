@@ -1,8 +1,20 @@
-// Figure 21: large-scale run — 144 hosts, production RPC size
+// Figure 21: large-scale run — 144 hosts (paper scale), production RPC size
 // distributions, extreme overload (instantaneous burst load 25x the link
 // capacity). Expected (paper): baseline tail RNL is ~4x/2x/5x the SLO for
 // QoS_h/m/l; Aequitas restores QoS_h and QoS_m to ~SLO by downgrading
 // (admitted mix moves from 60/30/10 toward ~20/26/54).
+//
+// Scale knobs (beyond the shared bench_util flags):
+//   --hosts N      topology size (default 144, the paper's production pod;
+//                  CI smokes 576; 1024+ is the intended envelope for
+//                  sharded runs — event count grows ~linearly with hosts)
+//   --shards K     intra-run parallelism: conservative-PDES partitions of
+//                  the star (ExperimentConfig::shards). Results are
+//                  bit-identical to --shards=1 for any K; use K ~ the
+//                  machine's core count for large --hosts runs.
+//   --warmup-ms W  warmup before measurement (default 10)
+//   --run-ms R     measured interval (default 12); CI smokes use shorter
+//                  intervals to bound wall-clock time
 #include <cstdio>
 #include <memory>
 
@@ -12,10 +24,19 @@ namespace {
 
 using namespace aeq;
 
-runner::PointResult run(bool with_aequitas, std::uint64_t seed,
-                        const bench::TraceRequest& trace, int point) {
+struct Fig21Params {
+  std::size_t hosts = 144;
+  std::size_t shards = 1;
+  double warmup_ms = 10.0;
+  double run_ms = 12.0;
+};
+
+runner::PointResult run(const Fig21Params& params, bool with_aequitas,
+                        std::uint64_t seed, const bench::TraceRequest& trace,
+                        int point) {
   runner::ExperimentConfig config;
-  config.num_hosts = 144;
+  config.num_hosts = params.hosts;
+  config.shards = params.shards;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
@@ -43,7 +64,7 @@ runner::PointResult run(bool with_aequitas, std::uint64_t seed,
       experiment.own(workload::production_size_dist(rpc::Priority::kNC)),
       experiment.own(workload::production_size_dist(rpc::Priority::kBE))};
   bench::attach_all_to_all(experiment, spec);
-  experiment.run(10 * sim::kMsec, 12 * sim::kMsec);
+  experiment.run(params.warmup_ms * sim::kMsec, params.run_ms * sim::kMsec);
 
   runner::PointResult result;
   const auto& metrics = experiment.metrics();
@@ -63,16 +84,27 @@ runner::PointResult run(bool with_aequitas, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parse_args(argc, argv);
-  bench::print_header("Figure 21",
-                      "144-node, production RPC sizes, ~25x instantaneous "
-                      "per-link overload; normalized SLO 4us(h)/12us(m) "
-                      "per MTU");
+  Fig21Params params;
+  params.hosts =
+      static_cast<std::size_t>(args.flags.get_int("hosts", 144));
+  params.shards = args.shards;
+  params.warmup_ms = args.flags.get_double("warmup-ms", params.warmup_ms);
+  params.run_ms = args.flags.get_double("run-ms", params.run_ms);
+
+  char title[160];
+  std::snprintf(title, sizeof(title),
+                "%zu-node, production RPC sizes, ~25x instantaneous "
+                "per-link overload; normalized SLO 4us(h)/12us(m) per MTU"
+                "%s",
+                params.hosts,
+                params.shards > 1 ? " (sharded executive)" : "");
+  bench::print_header("Figure 21", title);
   runner::SweepRunner sweep(args.sweep);
   int trace_point = 0;
   for (bool with_aequitas : {false, true}) {
-    sweep.submit([with_aequitas, trace = args.trace,
+    sweep.submit([params, with_aequitas, trace = args.trace,
                   point = trace_point++](const runner::PointContext& ctx) {
-      return run(with_aequitas, ctx.seed, trace, point);
+      return run(params, with_aequitas, ctx.seed, trace, point);
     });
   }
   const auto points = sweep.run();

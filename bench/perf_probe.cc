@@ -26,7 +26,7 @@ constexpr char kUsage[] =
     "perf_probe [--alpha=A] [--beta=B] [--swift-target-us=T]\n"
     "           [--warmup-ms=W] [--run-ms=R] [--period-us=P]\n"
     "           [--aequitas=0|1] [--mix-h=H] [--mix-m=M]\n"
-    "           [--backend=heap|calendar|both]\n"
+    "           [--backend=heap|calendar|both] [--shards=K]\n"
     "           [--sweep-points=N] [--jobs=J] [--seed=S]\n"
     "           [--trace=PATH] [--trace-csv=PATH] [--trace-point=N]\n"
     "           [--timeseries=BASE] [--timeseries-width=USEC]\n"
@@ -42,6 +42,7 @@ struct ProbeParams {
   bool aequitas = true;
   double mix_h = 0.6;
   double mix_m = 0.3;
+  std::size_t shards = 1;  // conservative-PDES shard count (1 = serial)
 };
 
 runner::Experiment make_experiment(const ProbeParams& p,
@@ -49,6 +50,7 @@ runner::Experiment make_experiment(const ProbeParams& p,
                                    std::uint64_t seed) {
   runner::ExperimentConfig config;
   config.scheduler_backend = backend;
+  config.shards = p.shards;
   config.num_hosts = 33;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
@@ -86,13 +88,21 @@ void run_backends(const ProbeParams& p,
     experiment.run(p.warmup_ms * sim::kMsec, p.run_ms * sim::kMsec);
     const auto stop = std::chrono::steady_clock::now();
     const double wall = std::chrono::duration<double>(stop - start).count();
-    const auto events = experiment.simulator().events_processed();
+    const auto events = experiment.events_processed();
 
     const auto& m = experiment.metrics();
+    char label[32];
+    if (p.shards > 1) {
+      std::snprintf(label, sizeof(label), "%s x%zu",
+                    sim::backend_name(backend), p.shards);
+    } else {
+      std::snprintf(label, sizeof(label), "%s",
+                    sim::backend_name(backend));
+    }
     std::printf("[%-8s] QoSh p999 %.1fus share %.1f%% | QoSm p999 %.1fus "
                 "share %.1f%% | QoSl p999 %.0fus | %llu events in %.1fs = "
                 "%.2fM events/sec\n",
-                sim::backend_name(backend),
+                label,
                 m.rnl_by_run_qos(0).p999() / sim::kUsec,
                 100 * m.admitted_share(0),
                 m.rnl_by_run_qos(1).p999() / sim::kUsec,
@@ -124,8 +134,8 @@ void run_sweep_speedup(const ProbeParams& p, std::size_t points,
             experiment.metrics().rnl_by_run_qos(0).p999();
         result.metrics["share_h"] =
             experiment.metrics().admitted_share(0);
-        result.metrics["events"] = static_cast<double>(
-            experiment.simulator().events_processed());
+        result.metrics["events"] =
+            static_cast<double>(experiment.events_processed());
         return result;
       });
     }
@@ -167,6 +177,7 @@ int main(int argc, char** argv) {
   p.aequitas = args.flags.get_bool("aequitas", p.aequitas);
   p.mix_h = args.flags.get_double("mix-h", p.mix_h);
   p.mix_m = args.flags.get_double("mix-m", p.mix_m);
+  p.shards = args.shards;
   const std::string backend_arg = args.flags.get("backend", "both");
   const auto sweep_points =
       static_cast<std::size_t>(args.flags.get_int("sweep-points", 0));

@@ -17,6 +17,30 @@
 
 namespace aeq::net {
 
+// Alternative receiving end of a link for topologies whose far side lives
+// on a *different* event scheduler (sharded simulation): instead of the
+// port scheduling the delivery event itself, it hands the packet over at
+// serialization end together with the arrival timestamp (tx-complete +
+// propagation), and the receiver is responsible for landing it at that
+// time. Keeping the propagation leg on the receiver's side is what gives
+// the sharded executive its lookahead window.
+class LinkReceiver {
+ public:
+  virtual ~LinkReceiver() = default;
+  virtual void on_tx_complete(const Packet& packet, sim::Time arrival) = 0;
+};
+
+// Tie-rank for a packet-delivery event (see sim/scheduler.h): the source
+// host id, so equal-timestamp deliveries from distinct hosts order by host
+// id in every execution mode. One NIC spaces its deliveries a serialization
+// time apart, so two deliveries can never collide on the same (time, rank).
+// Packets without a source (raw unit tests) keep insertion-order semantics.
+inline std::uint16_t delivery_tie_rank(HostId src) {
+  return (src >= 0 && src < static_cast<HostId>(sim::kTieRankDefault))
+             ? static_cast<std::uint16_t>(src)
+             : sim::kTieRankDefault;
+}
+
 class Port {
  public:
   Port(sim::Simulator& simulator, sim::Rate rate_bytes_per_sec,
@@ -27,6 +51,23 @@ class Port {
 
   // Sets the receiving end of the link. Must be called before send().
   void connect(PacketSink* peer) { peer_ = peer; }
+
+  // Link-handoff mode: at serialization end the packet goes to `link`
+  // (stamped with its arrival time) instead of this port scheduling the
+  // delivery event. Exactly one of connect(PacketSink*) / connect(
+  // LinkReceiver*) may be used per port. Timing is identical to the sink
+  // mode as long as the receiver lands the packet at the given arrival
+  // time; the conservation counters treat the handoff as delivery.
+  void connect(LinkReceiver* link) { link_ = link; }
+
+  // Ranks this port's delivery events by the packet's source host
+  // (delivery_tie_rank). Topology builders set this on host-NIC uplinks —
+  // the one link class whose delivery event is scheduled at a different
+  // point in serial (tx-start) vs sharded (tx-end or barrier) execution, so
+  // plain insertion-order tie-breaking would diverge between the modes.
+  // Handoff-mode ports ignore the flag: ShardFabric ranks the arrival it
+  // lands instead.
+  void rank_deliveries_by_source() { rank_by_src_ = true; }
 
   // Attaches the telemetry recorder; `port_id` is the id this port was
   // registered under (obs::Recorder::register_port). Null detaches — the
@@ -81,9 +122,11 @@ class Port {
   sim::Time propagation_;
   std::unique_ptr<QueueDiscipline> queue_;
   PacketSink* peer_ = nullptr;
+  LinkReceiver* link_ = nullptr;
   obs::Recorder* obs_ = nullptr;
   std::uint32_t obs_port_id_ = 0;
   bool busy_ = false;
+  bool rank_by_src_ = false;
   sim::Time busy_time_ = 0.0;  // completed transmissions only
   sim::Time tx_start_ = 0.0;   // start of the in-progress transmission
   std::uint64_t delivered_packets_ = 0;

@@ -1,0 +1,122 @@
+#include "net/shard_fabric.h"
+
+#include <utility>
+
+#include "sim/assert.h"
+
+namespace aeq::net {
+
+ShardFabric::ShardFabric(std::vector<sim::Simulator*> sims,
+                         std::vector<std::uint32_t> shard_of_host,
+                         std::size_t mailbox_capacity)
+    : sims_(std::move(sims)), shard_of_host_(std::move(shard_of_host)) {
+  const std::size_t shards = sims_.size();
+  AEQ_CHECK_GE(shards, 1u);
+  for (const std::uint32_t shard : shard_of_host_) {
+    AEQ_CHECK_LT(shard, shards);
+  }
+  arrivals_.resize(shards);
+  links_.reserve(shards);
+  for (std::size_t k = 0; k < shards; ++k) {
+    arrivals_[k].sim = sims_[k];
+    links_.emplace_back(this, static_cast<std::uint32_t>(k));
+  }
+  mailboxes_.reserve(shards * shards);
+  for (std::size_t i = 0; i < shards * shards; ++i) {
+    mailboxes_.push_back(std::make_unique<Mailbox>(mailbox_capacity));
+  }
+}
+
+void ShardFabric::set_local_switch(std::size_t shard, Switch* sw) {
+  AEQ_ASSERT(sw != nullptr);
+  arrivals_.at(shard).local_switch = sw;
+}
+
+LinkReceiver* ShardFabric::nic_link(std::size_t shard) {
+  return &links_.at(shard);
+}
+
+void ShardFabric::ArrivalPool::land(sim::Time arrival, const Packet& packet) {
+  std::uint32_t slot;
+  if (!free_slots.empty()) {
+    slot = free_slots.back();
+    free_slots.pop_back();
+    slots[slot] = packet;
+  } else {
+    slot = static_cast<std::uint32_t>(slots.size());
+    slots.push_back(packet);
+  }
+  // Ranked exactly like the serial uplink's delivery event (see
+  // Port::rank_deliveries_by_source): the rank — not the landing order —
+  // decides same-timestamp ties, so tx-end/barrier insertion reproduces the
+  // serial tx-start schedule.
+  sim->schedule_at(arrival, [this, slot] { fire(slot); },
+                   delivery_tie_rank(packet.src));
+}
+
+void ShardFabric::ArrivalPool::fire(std::uint32_t slot) {
+  const Packet packet = slots[slot];
+  free_slots.push_back(slot);
+  local_switch->receive(packet);
+}
+
+void ShardFabric::ShardLink::on_tx_complete(const Packet& packet,
+                                            sim::Time arrival) {
+  const std::uint32_t dst_shard = fabric_->shard_of(packet.dst);
+  if (dst_shard == shard_) {
+    // Same shard: land directly — one arrival event, exactly like the
+    // serial link's delivery event.
+    fabric_->arrivals_[shard_].land(arrival, packet);
+    return;
+  }
+  Mailbox& box = fabric_->mailbox(shard_, dst_shard);
+  ++box.pushed;
+  if (!box.ring.try_push({arrival, packet})) {
+    // Ring full: spill to the producer-owned overflow. The consumer only
+    // touches it at the barrier, and FIFO order is preserved because once
+    // the ring is full it stays full until that same barrier.
+    box.overflow.push_back({arrival, packet});
+    ++box.overflowed;
+  }
+}
+
+void ShardFabric::drain_all() {
+  // Fixed (destination, source, FIFO) order keeps the destination shard's
+  // event-insertion order — and therefore same-timestamp tie-breaking —
+  // deterministic for a given seed and shard count.
+  const std::size_t shards = num_shards();
+  for (std::size_t dst = 0; dst < shards; ++dst) {
+    ArrivalPool& pool = arrivals_[dst];
+    for (std::size_t src = 0; src < shards; ++src) {
+      if (src == dst) continue;
+      Mailbox& box = mailbox(src, dst);
+      StampedPacket msg;
+      while (box.ring.try_pop(msg)) pool.land(msg.arrival, msg.packet);
+      for (const StampedPacket& spilled : box.overflow) {
+        pool.land(spilled.arrival, spilled.packet);
+      }
+      box.overflow.clear();
+    }
+  }
+}
+
+bool ShardFabric::idle() const {
+  for (const auto& box : mailboxes_) {
+    if (!box->ring.empty() || !box->overflow.empty()) return false;
+  }
+  return true;
+}
+
+std::uint64_t ShardFabric::cross_shard_packets() const {
+  std::uint64_t total = 0;
+  for (const auto& box : mailboxes_) total += box->pushed;
+  return total;
+}
+
+std::uint64_t ShardFabric::mailbox_overflows() const {
+  std::uint64_t total = 0;
+  for (const auto& box : mailboxes_) total += box->overflowed;
+  return total;
+}
+
+}  // namespace aeq::net

@@ -1,0 +1,137 @@
+// Cross-shard packet fabric for the conservative-PDES executive.
+//
+// When the topology is partitioned into shards — each shard owning a group
+// of hosts plus the switch egress ports that feed them — the only traffic
+// that crosses shard boundaries is a host NIC transmitting toward a switch
+// owned by another shard. The fabric models that cut:
+//
+//   * Every NIC egress port runs in LinkReceiver handoff mode (see
+//     net::Port): at serialization end it hands (packet, arrival time =
+//     tx-end + propagation) to its shard's link object.
+//   * Same-shard packets are landed immediately: a slot in the shard's
+//     arrival pool plus one event at the arrival time (the event captures
+//     {pool, slot} — 16 bytes, well inside the scheduler's 48-byte inline
+//     handler budget, which is why packets are never captured directly).
+//   * Cross-shard packets go into the (src, dst) SPSC mailbox — a
+//     util::SpscChannel plus a producer-owned overflow vector so nothing is
+//     ever dropped — and are drained at the next lookahead barrier by the
+//     coordinator, in fixed (destination, source, FIFO) order, into the
+//     destination shard's arrival pool. Arrival timestamps exceed the
+//     barrier horizon by construction (propagation >= lookahead), so the
+//     handoff never schedules into a shard's past.
+//
+// Event budget: one tx-end event on the sending shard plus one arrival
+// event on the receiving shard per packet — identical to the serial link
+// pipeline, which is what makes serial and sharded event counts comparable
+// (the "cross-shard event identity" pinned by BENCH_hotpath.json).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "net/packet.h"
+#include "net/port.h"
+#include "net/switch.h"
+#include "sim/simulator.h"
+#include "util/spsc_channel.h"
+
+namespace aeq::net {
+
+class ShardFabric {
+ public:
+  // `sims[k]` is shard k's executive; `shard_of_host[h]` maps each host id
+  // to its owning shard. `mailbox_capacity` sizes each SPSC ring (messages
+  // beyond it spill to the overflow vector — correct, just slower).
+  ShardFabric(std::vector<sim::Simulator*> sims,
+              std::vector<std::uint32_t> shard_of_host,
+              std::size_t mailbox_capacity = 4096);
+
+  ShardFabric(const ShardFabric&) = delete;
+  ShardFabric& operator=(const ShardFabric&) = delete;
+
+  std::size_t num_shards() const { return sims_.size(); }
+  std::uint32_t shard_of(HostId host) const {
+    return shard_of_host_.at(static_cast<std::size_t>(host));
+  }
+
+  // Topology wiring (called by topo::build_sharded_star): the switch whose
+  // egress ports shard `k` owns, i.e. where shard-k-bound packets land.
+  void set_local_switch(std::size_t shard, Switch* sw);
+
+  // The LinkReceiver every NIC egress port of shard `k` connects to.
+  LinkReceiver* nic_link(std::size_t shard);
+
+  // Barrier callback: drains every mailbox into its destination shard, in
+  // (destination, source, FIFO) order. Must only run while all shard
+  // workers are parked (sim::ShardedSimulator::set_barrier_callback).
+  void drain_all();
+
+  // True when no handed-over packet is waiting in a mailbox.
+  bool idle() const;
+
+  // --- diagnostics (sum per-mailbox counters; each counter is written only
+  // by its single producer thread, so read these only while the shard
+  // workers are parked — between run_until calls or at a barrier) ---
+  std::uint64_t cross_shard_packets() const;
+  // Pushes that missed the SPSC ring and took the overflow vector; a large
+  // count means mailbox_capacity is undersized for the traffic matrix.
+  std::uint64_t mailbox_overflows() const;
+
+ private:
+  struct StampedPacket {
+    sim::Time arrival = 0.0;
+    Packet packet;
+  };
+
+  // Per-shard pool of in-flight arrivals: the scheduled event captures only
+  // {pool pointer, slot index}; slots are recycled through a free list so
+  // steady state allocates nothing.
+  struct ArrivalPool {
+    sim::Simulator* sim = nullptr;
+    Switch* local_switch = nullptr;
+    std::vector<Packet> slots;
+    std::vector<std::uint32_t> free_slots;
+
+    void land(sim::Time arrival, const Packet& packet);
+    void fire(std::uint32_t slot);
+  };
+
+  // One direction of the cut: shard s -> shard d. The ring is the fast
+  // path; overflow is producer-owned until the barrier hands it over.
+  struct Mailbox {
+    explicit Mailbox(std::size_t capacity) : ring(capacity) {}
+    util::SpscChannel<StampedPacket> ring;
+    std::vector<StampedPacket> overflow;
+    std::uint64_t pushed = 0;      // written by the producer shard only
+    std::uint64_t overflowed = 0;  // ditto
+  };
+
+  // Shard-s side of the cut; one instance per shard, shared by all of the
+  // shard's NICs (packets only need the destination host to route).
+  class ShardLink final : public LinkReceiver {
+   public:
+    ShardLink(ShardFabric* fabric, std::uint32_t shard)
+        : fabric_(fabric), shard_(shard) {}
+    void on_tx_complete(const Packet& packet, sim::Time arrival) override;
+
+   private:
+    ShardFabric* fabric_;
+    std::uint32_t shard_;
+  };
+
+  Mailbox& mailbox(std::size_t src, std::size_t dst) {
+    return *mailboxes_[src * num_shards() + dst];
+  }
+  const Mailbox& mailbox(std::size_t src, std::size_t dst) const {
+    return *mailboxes_[src * num_shards() + dst];
+  }
+
+  std::vector<sim::Simulator*> sims_;
+  std::vector<std::uint32_t> shard_of_host_;
+  std::vector<ArrivalPool> arrivals_;
+  std::vector<ShardLink> links_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;  // [src * K + dst]
+};
+
+}  // namespace aeq::net

@@ -1,0 +1,89 @@
+#include "obs/shard_merge.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "sim/assert.h"
+
+namespace aeq::obs {
+namespace {
+
+// Must match ChromeTraceSink::write_prologue / flush byte for byte.
+constexpr char kPrologue[] = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+constexpr char kEpilogue[] = "\n]}\n";
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::in | std::ios::binary);
+  AEQ_ASSERT_MSG(in.is_open(), "shard merge: cannot read shard trace file");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+bool starts_with(const std::string& text, const std::string& prefix) {
+  return text.size() >= prefix.size() &&
+         text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool ends_with(const std::string& text, const std::string& suffix) {
+  return text.size() >= suffix.size() &&
+         text.compare(text.size() - suffix.size(), suffix.size(), suffix) ==
+             0;
+}
+
+}  // namespace
+
+std::string shard_trace_path(const std::string& path, std::size_t shard) {
+  return path + ".shard" + std::to_string(shard);
+}
+
+void merge_sharded_chrome_traces(const std::string& path,
+                                 std::size_t shards) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc |
+                              std::ios::binary);
+  AEQ_ASSERT_MSG(out.is_open(), "shard merge: cannot open merged trace");
+  out << kPrologue;
+  bool any_events = false;
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::string shard_path = shard_trace_path(path, k);
+    std::string text = read_file(shard_path);
+    AEQ_ASSERT_MSG(starts_with(text, kPrologue) && ends_with(text, kEpilogue),
+                   "shard merge: unexpected Chrome trace framing");
+    // Keep just the event list: "\n{...},\n{...}" (or empty). Each shard's
+    // first event carries a leading "\n" but no comma, so joining lists
+    // needs one "," between non-empty shards.
+    std::string events = text.substr(
+        sizeof(kPrologue) - 1,
+        text.size() - (sizeof(kPrologue) - 1) - (sizeof(kEpilogue) - 1));
+    if (!events.empty()) {
+      if (any_events) out << ",";
+      out << events;
+      any_events = true;
+    }
+    std::remove(shard_path.c_str());
+  }
+  out << kEpilogue;
+}
+
+void merge_sharded_csv_traces(const std::string& path, std::size_t shards) {
+  std::ofstream out(path, std::ios::out | std::ios::trunc |
+                              std::ios::binary);
+  AEQ_ASSERT_MSG(out.is_open(), "shard merge: cannot open merged CSV");
+  for (std::size_t k = 0; k < shards; ++k) {
+    const std::string shard_path = shard_trace_path(path, k);
+    std::string text = read_file(shard_path);
+    const std::size_t header_end = text.find('\n');
+    AEQ_ASSERT_MSG(header_end != std::string::npos,
+                   "shard merge: CSV shard file has no header");
+    if (k == 0) {
+      out << text;  // header + rows
+    } else {
+      out << text.substr(header_end + 1);  // rows only
+    }
+    std::remove(shard_path.c_str());
+  }
+}
+
+}  // namespace aeq::obs

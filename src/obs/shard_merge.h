@@ -1,0 +1,31 @@
+// Deterministic merge of per-shard telemetry outputs.
+//
+// A sharded run gives every shard its own Recorder and sink files (written
+// to `<path>.shard<k>`) so the hot path never synchronizes on a shared
+// stream. After the run the per-shard files are folded into the final
+// `<path>` in shard-id order — a fixed order, so the merged bytes are
+// identical for every rerun of the same seed and shard count (the same
+// stability contract the serial sinks have; the interleaving differs from
+// a serial run's, since events are grouped by shard rather than globally
+// time-ordered, which Chrome/Perfetto and the CSV schema both permit).
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace aeq::obs {
+
+// Merges `<path>.shard0` .. `<path>.shard<K-1>` Chrome trace_event JSON
+// files (ChromeTraceSink output) into `path` and removes the inputs. The
+// result is byte-compatible with a single ChromeTraceSink file: one
+// prologue, the shards' event lists joined in order, one epilogue.
+void merge_sharded_chrome_traces(const std::string& path, std::size_t shards);
+
+// Same for CsvSink per-event CSVs: one header, rows concatenated in
+// shard-id order.
+void merge_sharded_csv_traces(const std::string& path, std::size_t shards);
+
+// The per-shard temporary path for shard `k`.
+std::string shard_trace_path(const std::string& path, std::size_t shard);
+
+}  // namespace aeq::obs

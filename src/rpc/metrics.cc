@@ -134,6 +134,35 @@ std::uint64_t RpcMetrics::downgraded_on_channel(net::HostId src,
   return count == nullptr ? 0 : *count;
 }
 
+void RpcMetrics::merge(const RpcMetrics& other) {
+  AEQ_CHECK_EQ(num_qos_, other.num_qos_);
+  AEQ_CHECK_EQ(outstanding_.size(), other.outstanding_.size());
+  for (std::size_t q = 0; q < num_qos_; ++q) {
+    rnl_run_[q].merge(other.rnl_run_[q]);
+    rnl_requested_[q].merge(other.rnl_requested_[q]);
+    rnl_per_mtu_run_[q].merge(other.rnl_per_mtu_run_[q]);
+    bytes_requested_[q] += other.bytes_requested_[q];
+    bytes_admitted_[q] += other.bytes_admitted_[q];
+    bytes_completed_[q] += other.bytes_completed_[q];
+    completed_[q] += other.completed_[q];
+    downgraded_[q] += other.downgraded_[q];
+    downgraded_delivered_[q] += other.downgraded_delivered_[q];
+    terminated_[q] += other.terminated_[q];
+    slo_eligible_[q] += other.slo_eligible_[q];
+    slo_met_[q] += other.slo_met_[q];
+    slo_eligible_bytes_[q] += other.slo_eligible_bytes_[q];
+    slo_met_bytes_[q] += other.slo_met_bytes_[q];
+  }
+  other.downgraded_channel_.for_each(
+      [this](std::uint64_t key, const std::uint64_t& count) {
+        downgraded_channel_[key] += count;
+      });
+  for (std::size_t h = 0; h < outstanding_.size(); ++h) {
+    outstanding_[h][0] += other.outstanding_[h][0];
+    outstanding_[h][1] += other.outstanding_[h][1];
+  }
+}
+
 std::uint64_t RpcMetrics::total_completed() const {
   std::uint64_t total = 0;
   for (auto c : completed_) total += c;

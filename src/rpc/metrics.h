@@ -137,6 +137,14 @@ class RpcMetrics {
   std::uint64_t total_completed() const;
   const SloConfig& slo() const { return slo_; }
 
+  // Folds another sink (same num_qos / num_hosts shape) into this one. All
+  // counters sum and the percentile trackers merge sample-exactly (each
+  // shard of a sharded run records its own hosts' RPCs into a private sink;
+  // the runner merges them in shard-id order afterwards). Percentiles and
+  // counts of the merged sink equal the serial run's bit-for-bit; only
+  // mean() can differ in the last ulp, since summation order changes.
+  void merge(const RpcMetrics& other);
+
  private:
   std::size_t num_qos_;
   SloConfig slo_;

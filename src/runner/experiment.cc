@@ -7,7 +7,9 @@
 #include "audit/checks.h"
 #include "obs/chrome_trace_sink.h"
 #include "obs/csv_sink.h"
+#include "obs/shard_merge.h"
 #include "sim/assert.h"
+#include "topo/sharding.h"
 
 namespace aeq::runner {
 
@@ -44,12 +46,34 @@ Experiment::Experiment(const ExperimentConfig& config)
   AEQ_ASSERT(config_.scheduler == net::SchedulerType::kPfabric ||
              config_.wfq_weights.size() == config_.num_qos);
 
+  AEQ_CHECK_GE(config_.shards, 1u);
   if (config_.use_leaf_spine) {
+    AEQ_ASSERT_MSG(config_.shards == 1,
+                   "sharded execution supports star topologies only");
     topo::LeafSpineConfig ls = config_.leaf_spine;
     ls.host_queue = queue;
     ls.switch_queue = queue;
     network_ = topo::build_leaf_spine(sim_, ls);
     config_.num_hosts = network_.num_hosts();
+  } else if (config_.shards > 1) {
+    AEQ_CHECK_GE(config_.num_hosts, config_.shards);
+    topo::StarConfig star;
+    star.num_hosts = config_.num_hosts;
+    star.link_rate = config_.link_rate;
+    star.link_delay = config_.link_delay;
+    star.host_queue = queue;
+    star.switch_queue = queue;
+    const topo::ShardPlan plan = topo::make_shard_plan(star, config_.shards);
+    sharded_ = std::make_unique<sim::ShardedSimulator>(
+        config_.shards, config_.scheduler_backend, plan.lookahead);
+    std::vector<sim::Simulator*> sims;
+    sims.reserve(config_.shards);
+    for (std::size_t k = 0; k < config_.shards; ++k) {
+      sims.push_back(&sharded_->shard(k));
+    }
+    fabric_ = std::make_unique<net::ShardFabric>(sims, plan.shard_of_host);
+    network_ = topo::build_sharded_star(sims, star, plan, *fabric_);
+    sharded_->set_barrier_callback([this] { fabric_->drain_all(); });
   } else {
     topo::StarConfig star;
     star.num_hosts = config_.num_hosts;
@@ -75,10 +99,24 @@ Experiment::Experiment(const ExperimentConfig& config)
       }
     }
   }
-  sim_.reserve_events(config_.reserve_events);
+  if (sharded_) {
+    for (std::size_t k = 0; k < config_.shards; ++k) {
+      sharded_->shard(k).reserve_events(config_.reserve_events);
+    }
+  } else {
+    sim_.reserve_events(config_.reserve_events);
+  }
 
   metrics_ = std::make_unique<rpc::RpcMetrics>(config_.num_qos, config_.slo,
                                                network_.num_hosts());
+  if (sharded_) {
+    // Each shard records its own hosts' RPCs into a private sink; run()
+    // folds them into metrics_ in shard-id order (sample-exact merge).
+    for (std::size_t k = 0; k < config_.shards; ++k) {
+      shard_metrics_.push_back(std::make_unique<rpc::RpcMetrics>(
+          config_.num_qos, config_.slo, network_.num_hosts()));
+    }
+  }
 
   sim::Rng seeder(config_.seed);
   rpc::RpcStackConfig stack_config;
@@ -98,13 +136,13 @@ Experiment::Experiment(const ExperimentConfig& config)
       return std::make_unique<transport::SwiftCC>(config_.swift);
     };
     host_stacks_.push_back(std::make_unique<transport::HostStack>(
-        sim_, network_.host(id), network_.num_hosts(), config_.transport,
-        cc_factory));
+        host_simulator(id), network_.host(id), network_.num_hosts(),
+        config_.transport, cc_factory));
 
     if (config_.admission_factory) {
       aequitas_.push_back(nullptr);
       controllers_.push_back(
-          config_.admission_factory(sim_, id, seeder.fork()));
+          config_.admission_factory(host_simulator(id), id, seeder.fork()));
     } else if (config_.enable_aequitas) {
       core::AequitasConfig aeq;
       aeq.alpha = config_.alpha;
@@ -121,8 +159,8 @@ Experiment::Experiment(const ExperimentConfig& config)
     }
 
     stacks_.push_back(std::make_unique<rpc::RpcStack>(
-        sim_, id, *host_stacks_.back(), *controllers_.back(), *metrics_,
-        stack_config));
+        host_simulator(id), id, *host_stacks_.back(), *controllers_.back(),
+        host_metrics(id), stack_config));
   }
 
   // Fold the legacy trace aliases into the spec before wiring.
@@ -130,8 +168,12 @@ Experiment::Experiment(const ExperimentConfig& config)
   if (!config_.trace_csv.empty()) {
     config_.telemetry.trace_csv = config_.trace_csv;
   }
-  if (config_.audit) register_audit_checks();
-  if (config_.telemetry.any()) wire_telemetry();
+  if (config_.audit) {
+    sharded_ ? register_shard_audit_checks() : register_audit_checks();
+  }
+  if (config_.telemetry.any()) {
+    sharded_ ? wire_shard_telemetry() : wire_telemetry();
+  }
 }
 
 Experiment::~Experiment() {
@@ -154,12 +196,13 @@ void Experiment::trace_to(const std::string& chrome_json,
 }
 
 void Experiment::enable_telemetry(const TelemetrySpec& spec) {
-  AEQ_ASSERT_MSG(recorder_ == nullptr, "telemetry is already enabled");
+  AEQ_ASSERT_MSG(recorder_ == nullptr && shard_recorders_.empty(),
+                 "telemetry is already enabled");
   if (!spec.any()) return;
   config_.telemetry = spec;
   config_.trace = spec.trace;
   config_.trace_csv = spec.trace_csv;
-  wire_telemetry();
+  sharded_ ? wire_shard_telemetry() : wire_telemetry();
 }
 
 void Experiment::fill_watchdog_defaults(obs::WatchdogConfig& config) const {
@@ -287,6 +330,51 @@ void Experiment::wire_telemetry() {
   }
 }
 
+// Sharded variant of wire_telemetry: one Recorder per shard so emission
+// never synchronizes across workers, each writing to `<path>.shard<k>`.
+// Port names match the serial naming scheme ("host<i>-nic",
+// "<switch>-port<p>") and registration order within a shard is global host
+// order, so per-shard files are deterministic; run() merges them into the
+// final path in shard-id order (obs::merge_sharded_*), giving stable bytes
+// for any rerun of the same seed and shard count.
+void Experiment::wire_shard_telemetry() {
+  const TelemetrySpec& spec = config_.telemetry;
+  AEQ_ASSERT_MSG(!spec.windowed() && spec.flight_recorder.empty(),
+                 "windowed telemetry (timeseries/watchdog/flight recorder) "
+                 "is not yet supported with shards > 1; use --trace / "
+                 "--trace-csv");
+  shard_recorders_.resize(config_.shards);
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    shard_recorders_[k] = std::make_unique<obs::Recorder>();
+    if (!spec.trace.empty()) {
+      shard_recorders_[k]->own_sink(std::make_unique<obs::ChromeTraceSink>(
+          obs::shard_trace_path(spec.trace, k)));
+    }
+    if (!spec.trace_csv.empty()) {
+      shard_recorders_[k]->own_sink(std::make_unique<obs::CsvSink>(
+          obs::shard_trace_path(spec.trace_csv, k)));
+    }
+  }
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    const auto id = static_cast<net::HostId>(i);
+    obs::Recorder& recorder = *shard_recorders_[fabric_->shard_of(id)];
+    const std::uint32_t pid =
+        recorder.register_port("host" + std::to_string(i) + "-nic");
+    network_.host(id).egress().set_observer(&recorder, pid);
+    host_stacks_[i]->set_observer(&recorder);
+    stacks_[i]->set_observer(&recorder);
+  }
+  for (std::size_t s = 0; s < network_.num_switches(); ++s) {
+    net::Switch& sw = network_.fabric_switch(s);
+    obs::Recorder& recorder = *shard_recorders_[s];
+    for (std::size_t p = 0; p < sw.num_ports(); ++p) {
+      const std::uint32_t pid =
+          recorder.register_port(sw.name() + "-port" + std::to_string(p));
+      sw.port(p).set_observer(&recorder, pid);
+    }
+  }
+}
+
 void Experiment::register_audit_checks() {
   auditor_ = std::make_unique<audit::Auditor>();
   audit::register_simulator_checks(*auditor_, sim_);
@@ -302,11 +390,56 @@ void Experiment::register_audit_checks() {
   }
 }
 
+// Sharded variant: one auditor per shard, covering exactly that shard's
+// components (its hosts' NIC ports + transports + controllers, its switch,
+// its simulator). Mid-run checks therefore never read state another shard
+// is mutating; the periodic sweep runs inside each shard's own event
+// stream. Checks stay read-only, so results are identical with audit on.
+void Experiment::register_shard_audit_checks() {
+  shard_auditors_.resize(config_.shards);
+  for (std::size_t k = 0; k < config_.shards; ++k) {
+    shard_auditors_[k] = std::make_unique<audit::Auditor>();
+    audit::register_simulator_checks(*shard_auditors_[k],
+                                     sharded_->shard(k));
+  }
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    const auto id = static_cast<net::HostId>(i);
+    const std::size_t k = fabric_->shard_of(id);
+    audit::Auditor& auditor = *shard_auditors_[k];
+    const std::string host = "host" + std::to_string(i);
+    audit::register_port_checks(auditor, host + "-nic",
+                                network_.host(id).egress(),
+                                sharded_->shard(k), config_.num_qos);
+    audit::register_transport_checks(auditor, host + "-transport",
+                                     *host_stacks_[i]);
+    if (aequitas_[i] != nullptr) {
+      audit::register_aequitas_checks(auditor, host + "-aequitas",
+                                      *aequitas_[i], sharded_->shard(k));
+    }
+  }
+  for (std::size_t s = 0; s < network_.num_switches(); ++s) {
+    // build_sharded_star creates exactly one switch per shard, in order.
+    audit::register_switch_checks(*shard_auditors_[s],
+                                  network_.fabric_switch(s).name(),
+                                  network_.fabric_switch(s),
+                                  sharded_->shard(s), config_.num_qos);
+  }
+}
+
 void Experiment::schedule_audit(sim::Time at, sim::Time end) {
   if (at > end) return;
   sim_.schedule_at(at, [this, at, end] {
     auditor_->run_all();
     schedule_audit(at + config_.audit_interval, end);
+  });
+}
+
+void Experiment::schedule_shard_audit(std::size_t k, sim::Time at,
+                                      sim::Time end) {
+  if (at > end) return;
+  sharded_->shard(k).schedule_at(at, [this, k, at, end] {
+    shard_auditors_[k]->run_all();
+    schedule_shard_audit(k, at + config_.audit_interval, end);
   });
 }
 
@@ -336,7 +469,8 @@ workload::TrafficGenerator& Experiment::add_generator(
   }
   sim::Rng rng(config_.seed * 7919 + static_cast<std::uint64_t>(id) + 1);
   generators_.push_back(std::make_unique<workload::TrafficGenerator>(
-      sim_, stack(id), std::move(picker), generator_config, rng));
+      host_simulator(id), stack(id), std::move(picker), generator_config,
+      rng));
   return *generators_.back();
 }
 
@@ -357,6 +491,18 @@ void Experiment::schedule_sampler(std::size_t index, sim::Time at) {
 void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
   AEQ_CHECK_GT(duration, 0.0);
   metrics_->set_warmup(warmup);
+  for (auto& shard_metrics : shard_metrics_) {
+    shard_metrics->set_warmup(warmup);
+  }
+  if (sharded_) {
+    AEQ_ASSERT_MSG(samplers_.empty(),
+                   "sample_every is not supported with shards > 1 (samplers "
+                   "read cross-shard state mid-run)");
+    // Per-shard metrics merge into metrics_ below; a second run() would
+    // double-count the first run's samples.
+    AEQ_ASSERT_MSG(!ran_, "a sharded experiment supports one run() call");
+    ran_ = true;
+  }
   // The warmup transient (admission probabilities converging down from 1)
   // is expected turbulence, not an anomaly; going quiet after generation
   // ends is the drain working, not a stall.
@@ -365,20 +511,56 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
     watchdog_->set_stall_horizon(warmup + duration);
   }
   run_end_ = warmup + duration;
+  const sim::Time start = now();
   for (auto& generator : generators_) {
-    generator->run(sim_.now(), run_end_);
+    generator->run(start, run_end_);
   }
   for (std::size_t s = 0; s < samplers_.size(); ++s) {
-    schedule_sampler(s, sim_.now() + samplers_[s].interval);
+    schedule_sampler(s, start + samplers_[s].interval);
   }
-  if (auditor_) {
+  if (auditor_ || !shard_auditors_.empty()) {
     AEQ_ASSERT(config_.audit_interval > 0.0);
-    schedule_audit(sim_.now() + config_.audit_interval, run_end_ + drain);
+    if (sharded_) {
+      for (std::size_t k = 0; k < config_.shards; ++k) {
+        schedule_shard_audit(k, start + config_.audit_interval,
+                             run_end_ + drain);
+      }
+    } else {
+      schedule_audit(start + config_.audit_interval, run_end_ + drain);
+    }
   }
   if (timeseries_ != nullptr) {
     AEQ_ASSERT(config_.telemetry.timeseries_width > 0.0);
-    schedule_telemetry_tick(sim_.now() + config_.telemetry.timeseries_width,
+    schedule_telemetry_tick(start + config_.telemetry.timeseries_width,
                             run_end_ + drain);
+  }
+  if (sharded_) {
+    sharded_->run_until(run_end_);
+    // Let in-flight RPCs finish so tail percentiles include them.
+    sharded_->run_until(run_end_ + drain);
+    // Post-drain audit sweep per shard, then fold the per-shard metric
+    // sinks into the global one in shard-id order (sample-exact; see
+    // rpc::RpcMetrics::merge) and stitch the per-shard trace files.
+    for (auto& shard_auditor : shard_auditors_) shard_auditor->run_all();
+    AEQ_ASSERT_MSG(fabric_->idle(),
+                   "cross-shard mailboxes still hold packets after drain");
+    for (auto& shard_metrics : shard_metrics_) {
+      metrics_->merge(*shard_metrics);
+    }
+    for (auto& shard_recorder : shard_recorders_) {
+      shard_recorder->flush(sharded_->now());
+    }
+    if (!shard_recorders_.empty()) {
+      if (!config_.telemetry.trace.empty()) {
+        obs::merge_sharded_chrome_traces(config_.telemetry.trace,
+                                         config_.shards);
+      }
+      if (!config_.telemetry.trace_csv.empty()) {
+        obs::merge_sharded_csv_traces(config_.telemetry.trace_csv,
+                                      config_.shards);
+      }
+    }
+    return;
   }
   sim_.run_until(run_end_);
   // Let in-flight RPCs finish so tail percentiles include them.
@@ -391,7 +573,7 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
 
 double Experiment::mean_downlink_utilization() const {
   double total = 0.0;
-  const sim::Time now = sim_.now();
+  const sim::Time now = this->now();
   if (now <= 0.0) return 0.0;
   for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
     total += network_.downlink(static_cast<net::HostId>(i)).utilization(now);

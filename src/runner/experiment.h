@@ -13,12 +13,14 @@
 #include "audit/audit.h"
 #include "core/aequitas.h"
 #include "net/queue_factory.h"
+#include "net/shard_fabric.h"
 #include "obs/flight_recorder.h"
 #include "obs/recorder.h"
 #include "obs/timeseries_sink.h"
 #include "obs/watchdog.h"
 #include "rpc/metrics.h"
 #include "rpc/rpc_stack.h"
+#include "sim/sharded.h"
 #include "sim/simulator.h"
 #include "topo/builders.h"
 #include "transport/dctcp.h"
@@ -103,6 +105,16 @@ struct ExperimentConfig {
   // queue_reserve_packets. 0 = grow on demand.
   std::size_t reserve_events = 0;
 
+  // Intra-run parallelism: partition the (star) topology into this many
+  // shards, each with its own event scheduler, advanced in conservative
+  // lookahead windows on a worker pool (sim::ShardedSimulator). Same seed
+  // and workload produce metrics identical to shards=1 for any value —
+  // enforced by the shard-determinism property suite. shards=1 is the
+  // plain serial executive with zero overhead. Requires a star topology;
+  // sample_every and windowed telemetry (timeseries/watchdog/flight
+  // recorder) are not yet supported above 1.
+  std::size_t shards = 1;
+
   // Transport.
   enum class CcKind { kSwift, kDctcp, kFixedWindow };
   transport::TransportConfig transport;
@@ -150,7 +162,24 @@ class Experiment {
   explicit Experiment(const ExperimentConfig& config);
   ~Experiment();
 
+  // The serial executive; only meaningful when config().shards == 1 (a
+  // sharded experiment runs on shard simulators instead — see sharded()).
   sim::Simulator& simulator() { return sim_; }
+
+  // The parallel executive; null when config().shards == 1.
+  sim::ShardedSimulator* sharded() { return sharded_.get(); }
+
+  // The cross-shard packet fabric; null when config().shards == 1.
+  net::ShardFabric* shard_fabric() { return fabric_.get(); }
+
+  // Current simulated time / total events dispatched, valid in both modes.
+  sim::Time now() const {
+    return sharded_ ? sharded_->now() : sim_.now();
+  }
+  std::uint64_t events_processed() const {
+    return sharded_ ? sharded_->events_processed() : sim_.events_processed();
+  }
+
   topo::Network& network() { return network_; }
   rpc::RpcMetrics& metrics() { return *metrics_; }
   rpc::RpcStack& stack(net::HostId id) {
@@ -167,7 +196,15 @@ class Experiment {
   const ExperimentConfig& config() const { return config_; }
 
   // The invariant-audit registry; null when ExperimentConfig::audit is off.
+  // A sharded experiment audits per shard instead — see shard_auditor().
   audit::Auditor* auditor() { return auditor_.get(); }
+
+  // Shard k's audit registry (sharded mode with audit on; null otherwise).
+  // Each shard audits exactly its own components so mid-run checks never
+  // read another shard's in-flight state.
+  audit::Auditor* shard_auditor(std::size_t k) {
+    return k < shard_auditors_.size() ? shard_auditors_[k].get() : nullptr;
+  }
 
   // The telemetry recorder; null unless some TelemetrySpec output is set.
   // Extra sinks (e.g. obs::CounterSink) may be attached before run().
@@ -214,7 +251,17 @@ class Experiment {
  private:
   void schedule_sampler(std::size_t index, sim::Time at);
   void register_audit_checks();
+  void register_shard_audit_checks();
   void schedule_audit(sim::Time at, sim::Time end);
+  void schedule_shard_audit(std::size_t k, sim::Time at, sim::Time end);
+  void wire_shard_telemetry();
+  // The executive a given host's components schedule into.
+  sim::Simulator& host_simulator(net::HostId id) {
+    return sharded_ ? sharded_->shard(fabric_->shard_of(id)) : sim_;
+  }
+  rpc::RpcMetrics& host_metrics(net::HostId id) {
+    return sharded_ ? *shard_metrics_[fabric_->shard_of(id)] : *metrics_;
+  }
   void schedule_telemetry_tick(sim::Time at, sim::Time end);
   void wire_telemetry();
   void fill_watchdog_defaults(obs::WatchdogConfig& config) const;
@@ -225,6 +272,15 @@ class Experiment {
 
   ExperimentConfig config_;
   sim::Simulator sim_;
+  // Sharded-mode state (config_.shards > 1): the parallel executive, the
+  // cross-shard mailbox fabric, and per-shard metrics sinks merged into
+  // metrics_ after the run.
+  std::unique_ptr<sim::ShardedSimulator> sharded_;
+  std::unique_ptr<net::ShardFabric> fabric_;
+  std::vector<std::unique_ptr<rpc::RpcMetrics>> shard_metrics_;
+  std::vector<std::unique_ptr<audit::Auditor>> shard_auditors_;
+  std::vector<std::unique_ptr<obs::Recorder>> shard_recorders_;
+  bool ran_ = false;
   topo::Network network_;
   std::unique_ptr<audit::Auditor> auditor_;
   std::unique_ptr<obs::Recorder> recorder_;

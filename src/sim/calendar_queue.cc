@@ -28,7 +28,8 @@ void CalendarQueue::reserve_events(std::size_t n) {
   scratch_buckets_.reserve(max_buckets);
 }
 
-EventId CalendarQueue::schedule(Time t, Handler handler) {
+EventId CalendarQueue::schedule(Time t, Handler handler,
+                                std::uint16_t rank) {
   AEQ_ASSERT(handler != nullptr);
   AEQ_ASSERT_MSG(std::isfinite(t), "event time must be finite");
   AEQ_ASSERT_MSG(t >= floor_time_, "cannot schedule into the past");
@@ -37,7 +38,7 @@ EventId CalendarQueue::schedule(Time t, Handler handler) {
   arena_.ensure(index);
   EventArena::Node& node = arena_.at(index);
   node.t = t;
-  node.seq = next_seq_++;
+  node.seq = pack_tie_key(rank, next_seq_++);
   node.id = id;
   node.handler = std::move(handler);
   insert(index);

@@ -35,7 +35,8 @@ class CalendarQueue final : public EventScheduler {
   explicit CalendarQueue(Time initial_bucket_width = 1 * kUsec,
                          std::size_t initial_buckets = 256);
 
-  EventId schedule(Time t, Handler handler) override;
+  EventId schedule(Time t, Handler handler,
+                   std::uint16_t rank = kTieRankDefault) override;
   bool cancel(EventId id) override;
   Popped pop() override;
   bool pop_if_at_most(Time t_limit, Popped& out) override;

@@ -42,14 +42,14 @@ void EventQueue::reserve_events(std::size_t n) {
   arena_.ensure(static_cast<std::uint32_t>(n - 1));
 }
 
-EventId EventQueue::schedule(Time t, Handler handler) {
+EventId EventQueue::schedule(Time t, Handler handler, std::uint16_t rank) {
   AEQ_ASSERT(handler != nullptr);
   const EventId id = handles_.acquire();
   const std::uint32_t index = HandleTable::slot_index(id);
   arena_.ensure(index);
   EventArena::Node& node = arena_.at(index);
   node.t = t;
-  node.seq = next_seq_++;
+  node.seq = pack_tie_key(rank, next_seq_++);
   node.id = id;
   node.handler = std::move(handler);
   heap_.push_back(Entry{node.t, node.seq, id});

@@ -26,7 +26,8 @@ namespace aeq::sim {
 
 class EventQueue final : public EventScheduler {
  public:
-  EventId schedule(Time t, Handler handler) override;
+  EventId schedule(Time t, Handler handler,
+                   std::uint16_t rank = kTieRankDefault) override;
   bool cancel(EventId id) override;
   Popped pop() override;
   bool pop_if_at_most(Time t_limit, Popped& out) override;

@@ -3,9 +3,23 @@
 // Two backends implement it: the binary-heap EventQueue (robust default for
 // arbitrary horizons) and the O(1)-amortized CalendarQueue (Brown 1988,
 // faster for the dense short-horizon profile of a packet simulator). Both
-// pop events in strictly increasing (time, insertion-sequence) order, so a
-// run is bit-identical on either backend for a fixed seed; the
+// pop events in strictly increasing (time, tie-rank, insertion-sequence)
+// order, so a run is bit-identical on either backend for a fixed seed; the
 // scheduler-equivalence property test enforces this.
+//
+// The tie rank exists for the sharded (PDES) executive. Equal-timestamp
+// events are common (zero-delay chains, phase-locked ack-clocking), and
+// breaking those ties purely by insertion order would tie the schedule to
+// *when* each event was inserted — which differs between the serial
+// executive (a link's delivery event is inserted at tx-start) and the
+// sharded one (the same delivery is inserted at tx-end or at a lookahead
+// barrier). Events whose insertion point is mode-dependent therefore carry
+// an explicit rank derived from simulation identity (the packet's source
+// host; see net::Port), which both executives compute identically; rank
+// beats insertion order, so the dispatch schedule — and every metric — is
+// the same serially and sharded. Events scheduled without a rank get
+// kTieRankDefault (sorts after every ranked event at the same timestamp)
+// and keep pure insertion order among themselves.
 //
 // Cancellation is generation-stamped rather than hash-based: an EventId
 // packs a slot index and a generation counter, and a HandleTable validates
@@ -38,6 +52,21 @@ namespace aeq::sim {
 inline constexpr std::size_t kHandlerInlineBytes = 48;
 
 using EventHandler = util::InlineFunction<void(), kHandlerInlineBytes>;
+
+// Tie rank for events scheduled without an explicit one: sorts after every
+// ranked event at the same timestamp. Ranked events must use values
+// strictly below this.
+inline constexpr std::uint16_t kTieRankDefault = 0xffff;
+
+// The (rank, insertion-counter) pair packed into one comparable word: rank
+// in the top 16 bits, counter in the low 48 (2^48 schedules before
+// wrap — checked). Backends order entries by (time, this key), so the
+// comparator is exactly the old (time, seq) two-word compare.
+inline std::uint64_t pack_tie_key(std::uint16_t rank,
+                                  std::uint64_t counter) {
+  AEQ_DCHECK(counter < (1ull << 48));
+  return (static_cast<std::uint64_t>(rank) << 48) | counter;
+}
 
 // Opaque handle to a scheduled event; value 0 means "no event".
 struct EventId {
@@ -205,8 +234,11 @@ class EventScheduler {
   virtual ~EventScheduler() = default;
 
   // Schedules `handler` to run at absolute time `t`. `t` must not be in the
-  // past relative to the last popped event.
-  virtual EventId schedule(Time t, Handler handler) = 0;
+  // past relative to the last popped event. `rank` breaks equal-timestamp
+  // ties before insertion order does (see the header comment); the default
+  // preserves pure insertion-order semantics.
+  virtual EventId schedule(Time t, Handler handler,
+                           std::uint16_t rank = kTieRankDefault) = 0;
 
   // Cancels a pending event. Returns false if the event already ran, was
   // already cancelled, or the id is invalid.

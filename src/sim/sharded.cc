@@ -1,0 +1,120 @@
+#include "sim/sharded.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "sim/assert.h"
+
+namespace aeq::sim {
+
+ShardedSimulator::ShardedSimulator(std::size_t num_shards,
+                                   SchedulerBackend backend, Time lookahead)
+    : lookahead_(lookahead) {
+  AEQ_CHECK_GE(num_shards, 1u);
+  AEQ_ASSERT_MSG(lookahead_ > 0.0,
+                 "conservative sharding needs a positive lookahead (a "
+                 "zero-latency cross-shard link would serialize the run)");
+  shards_.reserve(num_shards);
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    shards_.push_back(std::make_unique<Simulator>(backend));
+  }
+  workers_.reserve(num_shards);
+  for (std::size_t k = 0; k < num_shards; ++k) {
+    workers_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ShardedSimulator::~ShardedSimulator() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ShardedSimulator::worker_loop(std::size_t k) {
+  std::uint64_t seen_epoch = 0;
+  for (;;) {
+    Time target = 0.0;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      if (shutdown_) return;
+      seen_epoch = epoch_;
+      target = target_;
+    }
+    shards_[k]->run_until(target);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --running_;
+    }
+    done_cv_.notify_one();
+  }
+}
+
+void ShardedSimulator::parallel_window(Time horizon) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    target_ = horizon;
+    running_ = shards_.size();
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  std::unique_lock<std::mutex> lock(mutex_);
+  done_cv_.wait(lock, [&] { return running_ == 0; });
+  ++windows_;
+}
+
+void ShardedSimulator::run_until(Time t_end) {
+  AEQ_CHECK_GE(t_end, now_);
+  for (;;) {
+    // Safe horizon: the earliest pending event anywhere, plus lookahead.
+    // Any cross-shard message produced inside the window lands at least
+    // `lookahead_` after its producing event, hence at or beyond the
+    // horizon — so no shard can receive a message from its own past.
+    Time earliest = std::numeric_limits<Time>::infinity();
+    for (auto& shard : shards_) {
+      earliest = std::min(earliest, shard->next_event_time());
+    }
+    if (earliest > t_end) {
+      // Nothing left on this side of t_end: just advance the clocks.
+      for (auto& shard : shards_) shard->run_until(t_end);
+      now_ = t_end;
+      return;
+    }
+    // Back the horizon off by a few ulps: arrival timestamps are computed
+    // by the producing shard as tx_start + (ser + delay) — the serial
+    // executive's exact expression, kept bit-identical on purpose — and
+    // that sum can round up to ~3 ulps below the infinitely-precise
+    // earliest + lookahead. The margin is ~1e-16 relative, ten orders of
+    // magnitude under any real lookahead, so windows still make progress.
+    Time safe = earliest + lookahead_;
+    safe -= 4.0 * std::abs(safe) * std::numeric_limits<Time>::epsilon();
+    AEQ_DCHECK(safe > earliest);
+    const Time horizon = std::min(t_end, safe);
+    parallel_window(horizon);
+    now_ = horizon;
+    // Barrier: hand cross-shard mailboxes over while every worker is
+    // parked. The callback schedules arrivals >= horizon into the
+    // destination shards, which the next window (or iteration) picks up.
+    if (barrier_callback_) barrier_callback_();
+    if (now_ >= t_end) return;
+  }
+}
+
+std::uint64_t ShardedSimulator::events_processed() const {
+  std::uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->events_processed();
+  return total;
+}
+
+std::size_t ShardedSimulator::pending_events() const {
+  std::size_t total = 0;
+  for (const auto& shard : shards_) total += shard->pending_events();
+  return total;
+}
+
+}  // namespace aeq::sim

@@ -7,9 +7,10 @@
 
 namespace aeq::sim {
 
-EventId Simulator::schedule_at(Time t, EventScheduler::Handler handler) {
+EventId Simulator::schedule_at(Time t, EventScheduler::Handler handler,
+                               std::uint16_t rank) {
   AEQ_CHECK_GE_MSG(t, now_, "cannot schedule into the past");
-  return queue_->schedule(t, std::move(handler));
+  return queue_->schedule(t, std::move(handler), rank);
 }
 
 void Simulator::dispatch(EventScheduler::Popped& popped) {

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 
 #include "sim/scheduler.h"
@@ -26,12 +27,16 @@ class Simulator {
   // Which scheduler backend this executive runs on.
   SchedulerBackend backend() const { return backend_; }
 
-  // Schedules `handler` at absolute time `t` (must be >= now()).
-  EventId schedule_at(Time t, EventScheduler::Handler handler);
+  // Schedules `handler` at absolute time `t` (must be >= now()). `rank`
+  // breaks equal-timestamp ties ahead of insertion order — see
+  // sim/scheduler.h; the default keeps plain insertion-order semantics.
+  EventId schedule_at(Time t, EventScheduler::Handler handler,
+                      std::uint16_t rank = kTieRankDefault);
 
   // Schedules `handler` `dt` seconds from now (dt >= 0).
-  EventId schedule_in(Time dt, EventScheduler::Handler handler) {
-    return schedule_at(now_ + dt, std::move(handler));
+  EventId schedule_in(Time dt, EventScheduler::Handler handler,
+                      std::uint16_t rank = kTieRankDefault) {
+    return schedule_at(now_ + dt, std::move(handler), rank);
   }
 
   // Cancels a pending event; safe to call with an already-fired id.
@@ -54,6 +59,15 @@ class Simulator {
 
   // Total events dispatched so far (for micro-benchmarks and sanity checks).
   std::uint64_t events_processed() const { return events_processed_; }
+
+  // Timestamp of the earliest pending event, +infinity when the queue is
+  // empty. The sharded executive uses this to pick the next conservative
+  // window; for the calendar backend it costs a head scan, so call it once
+  // per window, not per event.
+  Time next_event_time() {
+    return queue_->empty() ? std::numeric_limits<Time>::infinity()
+                           : queue_->next_time();
+  }
 
   std::size_t pending_events() const { return queue_->size(); }
 

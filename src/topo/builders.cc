@@ -36,6 +36,9 @@ Network build_star(sim::Simulator& simulator, const StarConfig& config) {
     auto uplink = make_port(simulator, config.link_rate, config.link_delay,
                             config.host_queue);
     uplink->connect(fabric);
+    // Host-NIC deliveries rank by source so the serial schedule is the one
+    // a sharded run of the same seed reproduces (see Port).
+    uplink->rank_deliveries_by_source();
     network.add_host(std::make_unique<net::Host>(id, std::move(uplink)));
   }
   for (std::size_t i = 0; i < config.num_hosts; ++i) {

@@ -1,0 +1,85 @@
+// Single-producer single-consumer ring channel for cross-shard handoff.
+//
+// A fixed-capacity power-of-two ring with one atomic cursor per side:
+// the producer publishes with a release store of tail_, the consumer
+// retires with a release store of head_, and each side reads the other's
+// cursor with an acquire load. That is the entire protocol — no locks, no
+// CAS — which is exactly what the conservative-PDES mailboxes need: within
+// a lookahead window one shard thread pushes while (at the barrier, under
+// the pool mutex) the coordinator pops. The cursors are monotonically
+// increasing uint64s; slot index is cursor & mask, so the full/empty
+// distinction needs no wasted slot.
+//
+// try_push never blocks and never allocates; callers that must not lose
+// messages keep a producer-side overflow vector (see net::ShardMailbox) and
+// hand it over at a synchronization point of their own.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/assert.h"
+
+namespace aeq::util {
+
+template <typename T>
+class SpscChannel {
+ public:
+  explicit SpscChannel(std::size_t min_capacity = 1024)
+      : mask_(round_up_pow2(min_capacity) - 1),
+        slots_(round_up_pow2(min_capacity)) {}
+
+  SpscChannel(const SpscChannel&) = delete;
+  SpscChannel& operator=(const SpscChannel&) = delete;
+
+  std::size_t capacity() const { return mask_ + 1; }
+
+  // Producer side. Returns false when the ring is full (the consumer has
+  // not caught up); the element is not copied in that case.
+  bool try_push(const T& value) {
+    const std::uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[static_cast<std::size_t>(tail) & mask_] = value;
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Consumer side. Returns false when the ring is empty.
+  bool try_pop(T& out) {
+    const std::uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_.load(std::memory_order_acquire)) return false;
+    out = std::move(slots_[static_cast<std::size_t>(head) & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  // Snapshot of the element count. Exact only when both sides are quiescent
+  // (e.g. at a barrier); a racing producer can make it stale by one push.
+  std::size_t approx_size() const {
+    return static_cast<std::size_t>(tail_.load(std::memory_order_acquire) -
+                                    head_.load(std::memory_order_acquire));
+  }
+
+  bool empty() const { return approx_size() == 0; }
+
+ private:
+  static std::size_t round_up_pow2(std::size_t n) {
+    AEQ_ASSERT_MSG(n >= 2, "SpscChannel capacity must be at least 2");
+    std::size_t p = 2;
+    while (p < n) p <<= 1;
+    return p;
+  }
+
+  // Producer and consumer cursors live on separate cache lines so the two
+  // threads never false-share; the slot storage is read/written by both but
+  // always on disjoint indices.
+  alignas(64) std::atomic<std::uint64_t> tail_{0};  // next slot to write
+  alignas(64) std::atomic<std::uint64_t> head_{0};  // next slot to read
+  std::size_t mask_;
+  std::vector<T> slots_;
+};
+
+}  // namespace aeq::util

@@ -1,13 +1,19 @@
 #!/usr/bin/env bash
 # Regenerates BENCH_hotpath.json: the committed speed artifact for the
-# hot-path overhaul (DESIGN.md §10). Runs perf_probe end to end on both
-# scheduler backends with telemetry off and fully on, plus the micro_core
-# scheduler/queue microbenchmarks, and emits one JSON document whose schema
-# is checked by `tools/validate_trace.py --bench-json`.
+# hot-path overhaul (DESIGN.md §10) and the sharded executive (DESIGN.md
+# §11). Runs perf_probe end to end on both scheduler backends with
+# telemetry off and fully on, sweeps the conservative-PDES shard count
+# (1/2/4, calendar backend), runs the micro_core scheduler/queue
+# microbenchmarks, and emits one JSON document whose schema is checked by
+# `tools/validate_trace.py --bench-json`.
 #
 # The absolute numbers are machine dependent; `pre_overhaul` pins what the
 # same probe measured on the reference machine before the overhaul so the
-# speedup is visible next to the current numbers.
+# speedup is visible next to the current numbers. The sharded section
+# records the machine's core count alongside the per-shard-count rates:
+# speedup_vs_serial is only meaningful (and only floor-checked by the
+# validator) when cores >= shards — on fewer cores the workers time-slice
+# and the section degrades to an overhead measurement.
 #
 # Usage: tools/bench_hotpath.sh [build-dir] [out.json]
 #        (defaults: build BENCH_hotpath.json)
@@ -42,18 +48,35 @@ for backend in heap calendar; do
     --flight-recorder "$scratch/$backend-flight.json" \
     >> "$scratch/telemetry.txt"
 done
+# Shard-count sweep: serial reference first (shards=1 is the plain serial
+# executive), then the parallel windows. Same seed and workload, so the
+# event counts must agree exactly across shard counts — the validator
+# enforces that identity.
+for shards in 1 2 4; do
+  "$probe" --warmup-ms=2 --run-ms=8 --backend=calendar --shards="$shards" \
+    >> "$scratch/sharded.txt"
+done
+cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
 "$micro" --benchmark_format=json --benchmark_out="$scratch/micro.json" \
   --benchmark_min_time=0.2 > /dev/null
 
-python3 - "$scratch" "$out" "${probe_args[*]}" <<'EOF'
+python3 - "$scratch" "$out" "${probe_args[*]}" "$cores" <<'EOF'
 import json
 import re
 import sys
 
 scratch, out, probe_args = sys.argv[1], sys.argv[2], sys.argv[3]
+cores = int(sys.argv[4])
 
 LINE = re.compile(
     r"\[(\w+)\s*\].*?(\d+) events in [\d.]+s = ([\d.]+)M events/sec"
+)
+# Sharded runs label themselves "[calendar x<K>]"; shards=1 prints the
+# plain backend label.
+SHARDED_LINE = re.compile(
+    r"\[(\w+)(?: x(\d+))?\s*\].*?(\d+) events in [\d.]+s = "
+    r"([\d.]+)M events/sec"
 )
 
 
@@ -77,6 +100,30 @@ def parse_probe(path, telemetry):
     return results
 
 
+def parse_sharded(path):
+    results = []
+    with open(path) as handle:
+        for line in handle:
+            match = SHARDED_LINE.search(line)
+            if not match:
+                continue
+            results.append(
+                {
+                    "shards": int(match.group(2) or 1),
+                    "events": int(match.group(3)),
+                    "events_per_sec_millions": float(match.group(4)),
+                }
+            )
+    if len(results) != 3 or results[0]["shards"] != 1:
+        sys.exit(f"bench_hotpath: expected shards=1/2/4 lines in {path}")
+    serial = results[0]["events_per_sec_millions"]
+    for entry in results:
+        entry["speedup_vs_serial"] = round(
+            entry["events_per_sec_millions"] / serial, 3
+        )
+    return results
+
+
 micro = json.load(open(f"{scratch}/micro.json"))
 micro_results = []
 for bench in micro["benchmarks"]:
@@ -92,12 +139,18 @@ for bench in micro["benchmarks"]:
     micro_results.append(entry)
 
 doc = {
-    "schema_version": 1,
+    "schema_version": 2,
     "benchmark": "hotpath",
     "perf_probe": {
         "command": f"perf_probe {probe_args}",
         "results": parse_probe(f"{scratch}/plain.txt", False)
         + parse_probe(f"{scratch}/telemetry.txt", True),
+    },
+    "sharded": {
+        "command": "perf_probe --warmup-ms=2 --run-ms=8 --backend=calendar"
+        " --shards=<1|2|4>",
+        "cores": cores,
+        "results": parse_sharded(f"{scratch}/sharded.txt"),
     },
     "micro_core": {
         "command": "micro_core --benchmark_min_time=0.2",

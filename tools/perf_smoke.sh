@@ -3,17 +3,25 @@
 # than AEQ_PERF_TOLERANCE percent (default 5) against the committed
 # baseline in tools/perf_baseline_ci.txt.
 #
-# Two modes, two baseline keys in the same file:
+# Three modes, three baseline keys in the same file:
 #   default               tracing disabled (events_per_sec_millions) — guards
 #                         the null-recorder branch on every emission site
 #   AEQ_PERF_TELEMETRY=1  full windowed telemetry on (timeseries + watchdog +
 #                         flight recorder; events_per_sec_millions_telemetry)
 #                         — guards the enabled-path cost of the pipeline
+#   AEQ_PERF_SHARDED=1    2-shard conservative-PDES run on the calendar
+#                         backend (events_per_sec_millions_sharded) — guards
+#                         the barrier/mailbox overhead. This is a throughput
+#                         floor, not a speedup check (it must hold even on a
+#                         single-core CI runner, where the two shard workers
+#                         time-slice); speedup is recorded and gated by
+#                         tools/bench_hotpath.sh + validate_trace.py, which
+#                         know the core count.
 #
 # The baselines are absolute events/sec numbers and therefore machine
 # dependent. Refresh on the reference machine with:
 #
-#   AEQ_PERF_UPDATE_BASELINE=1 [AEQ_PERF_TELEMETRY=1] tools/perf_smoke.sh <build-dir>
+#   AEQ_PERF_UPDATE_BASELINE=1 [AEQ_PERF_TELEMETRY=1|AEQ_PERF_SHARDED=1] tools/perf_smoke.sh <build-dir>
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -30,11 +38,15 @@ fi
 
 key=events_per_sec_millions
 telemetry=0
+sharded=0
 if [[ "${AEQ_PERF_TELEMETRY:-0}" == "1" ]]; then
   key=events_per_sec_millions_telemetry
   telemetry=1
   scratch=$(mktemp -d)
   trap 'rm -rf "$scratch"' EXIT
+elif [[ "${AEQ_PERF_SHARDED:-0}" == "1" ]]; then
+  key=events_per_sec_millions_sharded
+  sharded=1
 fi
 
 # Prints the best backend's events/sec for one probe iteration. Telemetry
@@ -57,6 +69,9 @@ measure_once() {
         'BEGIN { print (b > a) ? b : a }')
     done
     echo "$best_rate"
+  elif [[ "$sharded" == "1" ]]; then
+    "$probe" --warmup-ms=2 --run-ms=4 --backend=calendar --shards=2 |
+      sed -n "$parse"
   else
     "$probe" --warmup-ms=2 --run-ms=4 --backend=both |
       sed -n "$parse" | sort -g | tail -1

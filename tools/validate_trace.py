@@ -33,7 +33,10 @@ Finally, --bench-json checks the committed speed artifact
 (BENCH_hotpath.json, written by tools/bench_hotpath.sh): schema version,
 one perf_probe result per backend x telemetry combination with positive
 events/sec, matching event counts across backends for the same telemetry
-mode (the two schedulers must dispatch the identical event sequence), and
+mode (the two schedulers must dispatch the identical event sequence),
+a sharded section covering shard counts 1/2/4 whose event counts agree
+exactly (a sharded run must reproduce the serial event sequence) with a
+speedup floor at 4 shards when the recording machine had >= 4 cores, and
 well-formed micro_core entries. CI runs it against both the committed file
 and a freshly generated one, so a schema drift in either direction fails.
 
@@ -313,8 +316,13 @@ def validate_timeseries_json(path):
     print(f"{path}: OK — {len(doc['windows'])} windows (JSON)")
 
 
-BENCH_SCHEMA_VERSION = 1
+BENCH_SCHEMA_VERSION = 2
 BENCH_BACKENDS = {"heap", "calendar"}
+BENCH_SHARD_COUNTS = [1, 2, 4]
+# Speedup floor at 4 shards, applied only when the recording machine had at
+# least that many cores (on fewer cores shard workers time-slice and the
+# sharded section measures overhead, not speedup).
+BENCH_SPEEDUP_FLOOR_4_SHARDS = 3.0
 
 
 def bench_fail(path, where, why):
@@ -398,6 +406,63 @@ def validate_bench_json(path):
                 f"{telemetry}): {by_backend}",
             )
 
+    sharded = doc.get("sharded")
+    if not isinstance(sharded, dict) or not isinstance(
+        sharded.get("results"), list
+    ):
+        bench_fail(path, "sharded", "missing results array")
+    if not isinstance(sharded.get("command"), str):
+        bench_fail(path, "sharded", "missing command string")
+    cores = sharded.get("cores")
+    if not isinstance(cores, int) or isinstance(cores, bool) or cores < 1:
+        bench_fail(path, "sharded", f"bad core count {cores!r}")
+    shard_counts = []
+    shard_events = set()
+    for index, result in enumerate(sharded["results"]):
+        where = f"sharded.results[{index}]"
+        if not isinstance(result, dict):
+            bench_fail(path, where, "result is not an object")
+        shards = result.get("shards")
+        if not isinstance(shards, int) or isinstance(shards, bool):
+            bench_fail(path, where, f"bad shard count {shards!r}")
+        shard_counts.append(shards)
+        bench_positive(path, where, "events", result.get("events"))
+        shard_events.add(result["events"])
+        bench_positive(
+            path,
+            where,
+            "events_per_sec_millions",
+            result.get("events_per_sec_millions"),
+        )
+        speedup = bench_positive(
+            path, where, "speedup_vs_serial", result.get("speedup_vs_serial")
+        )
+        if shards == 1 and abs(speedup - 1.0) > 1e-9:
+            bench_fail(path, where, f"serial speedup {speedup} != 1.0")
+        if shards >= 4 and cores >= shards:
+            if speedup < BENCH_SPEEDUP_FLOOR_4_SHARDS:
+                bench_fail(
+                    path,
+                    where,
+                    f"speedup {speedup} below the {shards}-shard floor "
+                    f"{BENCH_SPEEDUP_FLOOR_4_SHARDS} on a {cores}-core "
+                    "machine",
+                )
+    if shard_counts != BENCH_SHARD_COUNTS:
+        bench_fail(
+            path,
+            "sharded.results",
+            f"shard counts {shard_counts}, expected {BENCH_SHARD_COUNTS}",
+        )
+    # A sharded run must dispatch the exact serial event sequence; a count
+    # mismatch means the conservative-PDES determinism guarantee broke.
+    if len(shard_events) != 1:
+        bench_fail(
+            path,
+            "sharded.results",
+            f"event counts diverge across shard counts: {shard_events}",
+        )
+
     micro = doc.get("micro_core")
     if not isinstance(micro, dict) or not isinstance(
         micro.get("results"), list
@@ -433,6 +498,7 @@ def validate_bench_json(path):
 
     print(
         f"{path}: OK — {len(probe['results'])} perf_probe results, "
+        f"{len(sharded['results'])} sharded results ({cores} cores), "
         f"{len(micro['results'])} micro_core results"
     )
 
