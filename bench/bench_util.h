@@ -106,11 +106,17 @@ struct TraceRequest {
 //                   simulation point runs on N conservative-PDES shards;
 //                   results are identical for any N (benches that honor it
 //                   wire args.shards into their config)
+//   --schedule-digest  print the canonical schedule digest (sim/digest.h)
+//                   per point — the fingerprint of the dispatched event
+//                   schedule. Identical across backends, shard counts, and
+//                   address-space layouts for a fixed seed (DESIGN.md §12);
+//                   needs an AEQ_SCHED_DIGEST=ON build (the default).
 struct BenchArgs {
   runner::SweepOptions sweep;
   std::string csv_path;
   std::string json_path;
   std::size_t shards = 1;
+  bool schedule_digest = false;
   TraceRequest trace;
   tools::Flags flags;       // bench-specific extras stay queryable
   bool machine_started = false;  // first emit truncates, later ones append
@@ -129,6 +135,7 @@ inline BenchArgs parse_args(int argc, char** argv) {
   args.json_path = args.flags.get("json");
   args.shards = static_cast<std::size_t>(args.flags.get_int("shards", 1));
   if (args.shards < 1) args.shards = 1;
+  args.schedule_digest = args.flags.get_bool("schedule-digest", false);
   args.trace.trace = args.flags.get("trace");
   args.trace.trace_csv = args.flags.get("trace-csv");
   args.trace.timeseries = args.flags.get("timeseries");
@@ -173,6 +180,23 @@ inline void emit(const stats::Table& table, BenchArgs& args) {
   detail::emit_machine(table, args.json_path, /*json=*/true,
                        args.machine_started);
   args.machine_started = true;
+}
+
+// Stable one-line rendering of a point's schedule digest, in the format
+// the CI determinism smoke greps and diffs:
+//   schedule-digest <label>: <16 hex digits> over <N> events
+// Safe to build on a worker thread; benches print the lines on the main
+// thread in submission order so output stays byte-identical for any
+// --jobs/--shards.
+inline std::string format_schedule_digest(
+    const runner::Experiment& experiment, const std::string& label) {
+  const sim::ScheduleDigest digest = experiment.schedule_digest();
+  char line[96];
+  std::snprintf(line, sizeof(line),
+                "schedule-digest %s: %s over %llu events", label.c_str(),
+                digest.hex().c_str(),
+                static_cast<unsigned long long>(digest.count));
+  return line;
 }
 
 inline const char* qos_name(net::QoSLevel qos, std::size_t num_qos) {

@@ -29,14 +29,16 @@ struct Fig21Params {
   std::size_t shards = 1;
   double warmup_ms = 10.0;
   double run_ms = 12.0;
+  bool schedule_digest = false;
 };
 
 runner::PointResult run(const Fig21Params& params, bool with_aequitas,
                         std::uint64_t seed, const bench::TraceRequest& trace,
-                        int point) {
+                        int point, std::string* digest_line) {
   runner::ExperimentConfig config;
   config.num_hosts = params.hosts;
   config.shards = params.shards;
+  config.schedule_digest = params.schedule_digest;
   config.num_qos = 3;
   config.wfq_weights = {8.0, 4.0, 1.0};
   config.enable_aequitas = with_aequitas;
@@ -77,6 +79,10 @@ runner::PointResult run(const Fig21Params& params, bool with_aequitas,
          metrics.rnl_by_run_qos(q).p999() / sim::kUsec,
          100 * metrics.admitted_share(q)});
   }
+  if (params.schedule_digest) {
+    *digest_line = bench::format_schedule_digest(
+        experiment, with_aequitas ? "with-aequitas" : "baseline");
+  }
   return result;
 }
 
@@ -88,6 +94,7 @@ int main(int argc, char** argv) {
   params.hosts =
       static_cast<std::size_t>(args.flags.get_int("hosts", 144));
   params.shards = args.shards;
+  params.schedule_digest = args.schedule_digest;
   params.warmup_ms = args.flags.get_double("warmup-ms", params.warmup_ms);
   params.run_ms = args.flags.get_double("run-ms", params.run_ms);
 
@@ -100,11 +107,17 @@ int main(int argc, char** argv) {
                 params.shards > 1 ? " (sharded executive)" : "");
   bench::print_header("Figure 21", title);
   runner::SweepRunner sweep(args.sweep);
+  // One slot per point, written only by the worker that runs that point
+  // and read after run() returns — no sharing, and the printed order is
+  // submission order, so --jobs N output stays byte-identical.
+  std::vector<std::string> digest_lines(2);
   int trace_point = 0;
   for (bool with_aequitas : {false, true}) {
     sweep.submit([params, with_aequitas, trace = args.trace,
-                  point = trace_point++](const runner::PointContext& ctx) {
-      return run(params, with_aequitas, ctx.seed, trace, point);
+                  point = trace_point++,
+                  digest_line = &digest_lines](const runner::PointContext& ctx) {
+      return run(params, with_aequitas, ctx.seed, trace, point,
+                 &(*digest_line)[static_cast<std::size_t>(point)]);
     });
   }
   const auto points = sweep.run();
@@ -118,6 +131,10 @@ int main(int argc, char** argv) {
                         {"share(%)", 12, 1}});
     table.add_rows(points[p].rows);
     bench::emit(table, args);
+  }
+  if (params.schedule_digest) {
+    std::printf("\n");
+    for (const auto& line : digest_lines) std::printf("%s\n", line.c_str());
   }
   bench::print_footer();
   return 0;

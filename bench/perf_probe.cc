@@ -27,6 +27,7 @@ constexpr char kUsage[] =
     "           [--warmup-ms=W] [--run-ms=R] [--period-us=P]\n"
     "           [--aequitas=0|1] [--mix-h=H] [--mix-m=M]\n"
     "           [--backend=heap|calendar|both] [--shards=K]\n"
+    "           [--schedule-digest]\n"
     "           [--sweep-points=N] [--jobs=J] [--seed=S]\n"
     "           [--trace=PATH] [--trace-csv=PATH] [--trace-point=N]\n"
     "           [--timeseries=BASE] [--timeseries-width=USEC]\n"
@@ -43,6 +44,7 @@ struct ProbeParams {
   double mix_h = 0.6;
   double mix_m = 0.3;
   std::size_t shards = 1;  // conservative-PDES shard count (1 = serial)
+  bool schedule_digest = false;  // print sim/digest.h fingerprints
 };
 
 runner::Experiment make_experiment(const ProbeParams& p,
@@ -61,6 +63,7 @@ runner::Experiment make_experiment(const ProbeParams& p,
   config.swift.target_delay = p.swift_target_us * sim::kUsec;
   config.slo = rpc::SloConfig::make(
       {15.0 / 8 * sim::kUsec, 25.0 / 8 * sim::kUsec, 0.0}, 99.9);
+  config.schedule_digest = p.schedule_digest;
   return runner::Experiment(config);
 }
 
@@ -110,6 +113,10 @@ void run_backends(const ProbeParams& p,
                 m.rnl_by_run_qos(2).p999() / sim::kUsec,
                 static_cast<unsigned long long>(events), wall,
                 static_cast<double>(events) / wall / 1e6);
+    if (p.schedule_digest) {
+      std::printf("%s\n",
+                  bench::format_schedule_digest(experiment, label).c_str());
+    }
   }
 }
 
@@ -178,6 +185,7 @@ int main(int argc, char** argv) {
   p.mix_h = args.flags.get_double("mix-h", p.mix_h);
   p.mix_m = args.flags.get_double("mix-m", p.mix_m);
   p.shards = args.shards;
+  p.schedule_digest = args.schedule_digest;
   const std::string backend_arg = args.flags.get("backend", "both");
   const auto sweep_points =
       static_cast<std::size_t>(args.flags.get_int("sweep-points", 0));

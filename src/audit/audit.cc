@@ -37,6 +37,16 @@ Report Auditor::report() const {
         Report::Entry{check.component, check.name, check.evaluations});
     report.total_evaluations += check.evaluations;
   }
+  // Deterministic report order by contract: sorted by (component, name),
+  // independent of registration order, so serialized reports diff cleanly
+  // across code motion that re-orders component construction. stable_sort
+  // keeps duplicate registrations in registration order.
+  std::stable_sort(report.entries.begin(), report.entries.end(),
+                   [](const Report::Entry& a, const Report::Entry& b) {
+                     if (a.component != b.component)
+                       return a.component < b.component;
+                     return a.name < b.name;
+                   });
   return report;
 }
 

@@ -38,6 +38,8 @@ inline constexpr bool kBuildEnabled = AEQ_AUDIT_ENABLED != 0;
 // End-of-run summary: which invariants were evaluated how often, per
 // component. A run that aborts never produces one, so a report with nonzero
 // evaluations is itself the "zero violations" statement for CI.
+// Entries are sorted by (component, name) — the serialized report is
+// independent of check registration order (DESIGN.md §12).
 struct Report {
   struct Entry {
     std::string component;

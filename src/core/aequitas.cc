@@ -79,6 +79,8 @@ void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,
 }
 
 void AequitasController::audit_invariants(sim::Time now) const {
+  // Per-entry assertions only; nothing observable depends on visit order.
+  // detlint:allow(unordered-iter)
   states_.for_each([&](std::uint64_t, const State& state) {
     AEQ_CHECK_GE_MSG(state.p_admit, config_.p_admit_floor,
                      "p_admit below the starvation floor");

@@ -99,6 +99,13 @@ class ShardFabric {
 
   // One direction of the cut: shard s -> shard d. The ring is the fast
   // path; overflow is producer-owned until the barrier hands it over.
+  //
+  // Thread-safety analysis (DESIGN.md §12): no lock, so no AEQ_GUARDED_BY —
+  // `overflow`, `pushed`, and `overflowed` are owned by the producing shard
+  // thread inside a window and by the coordinator at the barrier, with the
+  // ShardedSimulator pool mutex (already annotated) ordering the handover.
+  // The role discipline is enforced by the executive's epoch protocol and
+  // checked under TSan in CI.
   struct Mailbox {
     explicit Mailbox(std::size_t capacity) : ring(capacity) {}
     util::SpscChannel<StampedPacket> ring;

@@ -12,21 +12,28 @@ std::size_t Switch::add_port(std::unique_ptr<Port> port) {
 
 void Switch::set_route(HostId dst, std::size_t port_index) {
   AEQ_CHECK_LT(port_index, ports_.size());
-  routes_[dst] = {port_index};
+  AEQ_ASSERT(dst >= 0);
+  const auto d = static_cast<std::size_t>(dst);
+  if (routes_.size() <= d) routes_.resize(d + 1);
+  routes_[d] = {port_index};
 }
 
 void Switch::set_ecmp_route(HostId dst,
                             std::vector<std::size_t> port_indices) {
   AEQ_ASSERT(!port_indices.empty());
   for (std::size_t i : port_indices) AEQ_CHECK_LT(i, ports_.size());
-  routes_[dst] = std::move(port_indices);
+  AEQ_ASSERT(dst >= 0);
+  const auto d = static_cast<std::size_t>(dst);
+  if (routes_.size() <= d) routes_.resize(d + 1);
+  routes_[d] = std::move(port_indices);
 }
 
 void Switch::receive(const Packet& packet) {
   ++received_packets_;
-  auto it = routes_.find(packet.dst);
-  AEQ_ASSERT_MSG(it != routes_.end(), "switch has no route for destination");
-  const auto& choices = it->second;
+  const auto d = static_cast<std::size_t>(packet.dst);
+  AEQ_ASSERT_MSG(d < routes_.size() && !routes_[d].empty(),
+                 "switch has no route for destination");
+  const auto& choices = routes_[d];
   std::size_t index = 0;
   if (choices.size() > 1) {
     // Fibonacci-style hash keeps flows spread even for sequential ids.

@@ -6,7 +6,6 @@
 #include <cstdint>
 #include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "net/packet.h"
@@ -43,7 +42,10 @@ class Switch final : public PacketSink {
  private:
   std::string name_;
   std::vector<std::unique_ptr<Port>> ports_;
-  std::unordered_map<HostId, std::vector<std::size_t>> routes_;
+  // Dense route table indexed by destination HostId (host ids are small and
+  // contiguous). An empty entry means "no route". Deterministic by
+  // construction — no hash-map state anywhere near the forwarding path.
+  std::vector<std::vector<std::size_t>> routes_;
   std::uint64_t received_packets_ = 0;
 };
 

@@ -1,5 +1,6 @@
 #include "protocols/base_transport.h"
 
+#include <algorithm>
 #include <utility>
 
 #include "sim/assert.h"
@@ -170,10 +171,15 @@ void BaseTransport::on_message_rto(OutMessage& message) {
 void BaseTransport::on_rto() {
   std::vector<std::uint64_t> ids;
   ids.reserve(outgoing_.size());
+  // Key collection is a commutative fill; the sort below fixes the
+  // retransmission order. detlint:allow(unordered-iter)
   for (const auto& [id, message] : outgoing_) {
     (void)message;
     ids.push_back(id);
   }
+  // Retransmit in ascending rpc-id order: map iteration order is
+  // unspecified and must not decide which packet hits the NIC first.
+  std::sort(ids.begin(), ids.end());
   for (std::uint64_t id : ids) {
     auto it = outgoing_.find(id);
     if (it == outgoing_.end()) continue;

@@ -56,6 +56,8 @@ void DeadlineFabric::request_reallocate(net::HostId dst) {
 
 void DeadlineFabric::reallocate_dst(net::HostId dst) {
   std::vector<FlowState*> flows;
+  // Collection order is irrelevant: allocate_d3/allocate_pdq re-sort by
+  // the unique per-flow `order` key. detlint:allow(unordered-iter)
   for (auto& [id, flow] : flows_) {
     (void)id;
     if (flow.dst == dst) flows.push_back(&flow);
@@ -81,6 +83,8 @@ void DeadlineFabric::arm_epoch() {
 void DeadlineFabric::reallocate() {
   // Group flows per destination downlink (the bottleneck we emulate).
   std::map<net::HostId, std::vector<FlowState*>> per_dst;
+  // Grouping into an ordered map; allocate_d3/allocate_pdq re-sort each
+  // group by the unique per-flow `order` key. detlint:allow(unordered-iter)
   for (auto& [id, flow] : flows_) {
     (void)id;
     per_dst[flow.dst].push_back(&flow);

@@ -87,6 +87,9 @@ void HomaTransport::on_receiver_data(const net::Packet& data,
   std::uint64_t best_id = 0;
   std::uint64_t best_remaining = std::numeric_limits<std::uint64_t>::max();
   std::size_t grantable = 0;
+  // Min-reduction with a total order on (remaining, rpc_id): ties on
+  // remaining bytes break by id, so the winner is independent of map
+  // iteration order. detlint:allow(unordered-iter)
   for (const auto& [id, candidate] : rx_) {
     if (candidate.granted >= candidate.msg_bytes) continue;
     ++grantable;
@@ -94,7 +97,8 @@ void HomaTransport::on_receiver_data(const net::Packet& data,
         candidate.msg_bytes - static_cast<std::uint64_t>(
                                   candidate.received_pkts) *
                                   config_.base.mtu_bytes;
-    if (remaining < best_remaining) {
+    if (remaining < best_remaining ||
+        (remaining == best_remaining && id < best_id)) {
       best_remaining = remaining;
       best_id = id;
     }

@@ -153,6 +153,8 @@ void RpcMetrics::merge(const RpcMetrics& other) {
     slo_eligible_bytes_[q] += other.slo_eligible_bytes_[q];
     slo_met_bytes_[q] += other.slo_met_bytes_[q];
   }
+  // Commutative merge (+= per key); visit order cannot reach any output.
+  // detlint:allow(unordered-iter)
   other.downgraded_channel_.for_each(
       [this](std::uint64_t key, const std::uint64_t& count) {
         downgraded_channel_[key] += count;

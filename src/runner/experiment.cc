@@ -84,6 +84,14 @@ Experiment::Experiment(const ExperimentConfig& config)
     network_ = topo::build_star(sim_, star);
   }
 
+  if (config_.schedule_digest) {
+    if (sharded_) {
+      sharded_->enable_schedule_digest();
+    } else {
+      sim_.enable_schedule_digest();
+    }
+  }
+
   if (config_.queue_reserve_packets != 0) {
     // make_queue already pre-sized each discipline's rings; extend the hint
     // to every port's in-flight ring so links never grow storage either.

@@ -154,6 +154,13 @@ struct ExperimentConfig {
   std::string trace;
   std::string trace_csv;
 
+  // Schedule digest (sim/digest.h): when true, every dispatched event's
+  // (time, tie-rank) is folded into a digest exposed by
+  // Experiment::schedule_digest(). Read-only with respect to the run —
+  // results are bit-identical either way. Requires an AEQ_SCHED_DIGEST=ON
+  // build (the default).
+  bool schedule_digest = false;
+
   std::uint64_t seed = 1;
 };
 
@@ -178,6 +185,14 @@ class Experiment {
   }
   std::uint64_t events_processed() const {
     return sharded_ ? sharded_->events_processed() : sim_.events_processed();
+  }
+
+  // Merged schedule digest, valid in both modes; all-zero counts unless
+  // config().schedule_digest was set. Its canonical() form is invariant
+  // across backends, shard counts, and address-space layouts for a fixed
+  // seed (DESIGN.md §12).
+  sim::ScheduleDigest schedule_digest() const {
+    return sharded_ ? sharded_->schedule_digest() : sim_.schedule_digest();
   }
 
   topo::Network& network() { return network_; }

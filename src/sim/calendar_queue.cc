@@ -140,8 +140,9 @@ bool CalendarQueue::pop_if_at_most(Time t_limit, Popped& out) {
     cursor_ = saved_cursor;
     return false;
   }
-  [[maybe_unused]] const std::uint64_t seq = node.seq;
+  const std::uint64_t seq = node.seq;
   out.time = t;
+  out.tie_key = seq;
   out.handler = std::move(node.handler);
   handles_.release(node.id);
   --live_;

@@ -97,6 +97,7 @@ bool EventQueue::pop_if_at_most(Time t_limit, Popped& out) {
   const Entry entry = take_head();
   EventArena::Node& node = arena_.at(HandleTable::slot_index(entry.id));
   out.time = entry.t;
+  out.tie_key = entry.seq;
   out.handler = std::move(node.handler);
   handles_.release(entry.id);
   --live_;

@@ -68,6 +68,11 @@ inline std::uint64_t pack_tie_key(std::uint16_t rank,
   return (static_cast<std::uint64_t>(rank) << 48) | counter;
 }
 
+// The rank half of a packed tie key.
+inline std::uint16_t tie_rank_of(std::uint64_t tie_key) {
+  return static_cast<std::uint16_t>(tie_key >> 48);
+}
+
 // Opaque handle to a scheduled event; value 0 means "no event".
 struct EventId {
   std::uint64_t value = 0;
@@ -228,6 +233,10 @@ class EventScheduler {
 
   struct Popped {
     Time time;
+    // The event's packed (rank, insertion-seq) ordering key — what broke
+    // ties at this timestamp. Consumed by the schedule digest
+    // (sim/digest.h); rank lives in the top 16 bits (tie_rank_of).
+    std::uint64_t tie_key;
     Handler handler;
   };
 

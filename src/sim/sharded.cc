@@ -27,7 +27,7 @@ ShardedSimulator::ShardedSimulator(std::size_t num_shards,
 
 ShardedSimulator::~ShardedSimulator() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -39,16 +39,15 @@ void ShardedSimulator::worker_loop(std::size_t k) {
   for (;;) {
     Time target = 0.0;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || epoch_ != seen_epoch; });
+      const util::MutexLock lock(mutex_);
+      while (!shutdown_ && epoch_ == seen_epoch) work_cv_.wait(mutex_);
       if (shutdown_) return;
       seen_epoch = epoch_;
       target = target_;
     }
     shards_[k]->run_until(target);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      const util::MutexLock lock(mutex_);
       --running_;
     }
     done_cv_.notify_one();
@@ -57,14 +56,16 @@ void ShardedSimulator::worker_loop(std::size_t k) {
 
 void ShardedSimulator::parallel_window(Time horizon) {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    const util::MutexLock lock(mutex_);
     target_ = horizon;
     running_ = shards_.size();
     ++epoch_;
   }
   work_cv_.notify_all();
-  std::unique_lock<std::mutex> lock(mutex_);
-  done_cv_.wait(lock, [&] { return running_ == 0; });
+  {
+    const util::MutexLock lock(mutex_);
+    while (running_ != 0) done_cv_.wait(mutex_);
+  }
   ++windows_;
 }
 

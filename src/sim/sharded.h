@@ -34,15 +34,15 @@
 // tests/sharded_test.cc).
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "sim/simulator.h"
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
 
 namespace aeq::sim {
 
@@ -89,6 +89,19 @@ class ShardedSimulator {
   // grain the cut achieved.
   std::uint64_t windows_executed() const { return windows_; }
 
+  // Schedule digest across all shards (sim/digest.h). Shards dispatch
+  // concurrently, so the merged digest folds the per-shard commutative
+  // accumulators; its canonical() equals the serial run's for the same
+  // seed. Call only between run_until calls (workers parked).
+  void enable_schedule_digest() {
+    for (auto& shard : shards_) shard->enable_schedule_digest();
+  }
+  ScheduleDigest schedule_digest() const {
+    ScheduleDigest merged;
+    for (const auto& shard : shards_) merged.merge(shard->schedule_digest());
+    return merged;
+  }
+
  private:
   // Runs every shard to `horizon` on the worker pool and waits for all.
   void parallel_window(Time horizon);
@@ -101,14 +114,16 @@ class ShardedSimulator {
   std::function<void()> barrier_callback_;
 
   // Worker pool: epoch_ increments publish a new window target; running_
-  // counts workers still inside it.
-  std::mutex mutex_;
-  std::condition_variable work_cv_;
-  std::condition_variable done_cv_;
-  std::uint64_t epoch_ = 0;
-  Time target_ = 0.0;
-  std::size_t running_ = 0;
-  bool shutdown_ = false;
+  // counts workers still inside it. The lock protocol is machine-checked:
+  // every guarded member is only touched under mutex_ (clang
+  // -Wthread-safety via the AEQ_THREAD_SAFETY build, DESIGN.md §12).
+  util::Mutex mutex_;
+  util::CondVar work_cv_;
+  util::CondVar done_cv_;
+  std::uint64_t epoch_ AEQ_GUARDED_BY(mutex_) = 0;
+  Time target_ AEQ_GUARDED_BY(mutex_) = 0.0;
+  std::size_t running_ AEQ_GUARDED_BY(mutex_) = 0;
+  bool shutdown_ AEQ_GUARDED_BY(mutex_) = false;
   std::vector<std::thread> workers_;
 };
 

@@ -11,6 +11,7 @@
 #include <limits>
 #include <memory>
 
+#include "sim/digest.h"
 #include "sim/scheduler.h"
 #include "sim/units.h"
 
@@ -60,6 +61,14 @@ class Simulator {
   // Total events dispatched so far (for micro-benchmarks and sanity checks).
   std::uint64_t events_processed() const { return events_processed_; }
 
+  // Schedule digest (sim/digest.h): when enabled, dispatch() folds every
+  // popped (time, tie-rank) into the digest. Requires the AEQ_SCHED_DIGEST
+  // build (default ON); enabling in a build without it is a fatal error
+  // rather than a silently empty digest.
+  void enable_schedule_digest();
+  bool schedule_digest_enabled() const { return digest_enabled_; }
+  const ScheduleDigest& schedule_digest() const { return digest_; }
+
   // Timestamp of the earliest pending event, +infinity when the queue is
   // empty. The sharded executive uses this to pick the next conservative
   // window; for the calendar backend it costs a head scan, so call it once
@@ -79,6 +88,8 @@ class Simulator {
   Time now_ = 0.0;
   bool stopped_ = false;
   std::uint64_t events_processed_ = 0;
+  bool digest_enabled_ = false;
+  ScheduleDigest digest_;
 };
 
 }  // namespace aeq::sim

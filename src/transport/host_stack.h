@@ -68,6 +68,8 @@ class HostStack final : public MessageTransport {
   // this stack (CwndUpdate emission). Null detaches.
   void set_observer(obs::Recorder* recorder) {
     obs_ = recorder;
+    // Same pointer stored into every flow; order-insensitive.
+    // detlint:allow(unordered-iter)
     flows_.for_each([recorder](std::uint64_t, std::unique_ptr<Flow>& flow) {
       flow->set_observer(recorder);
     });
@@ -84,6 +86,8 @@ class HostStack final : public MessageTransport {
   // Visits every sender-side flow (iteration order is unspecified — the
   // audit layer only aggregates or asserts per-flow, never emits events).
   void for_each_flow(const std::function<void(const Flow&)>& fn) const {
+    // Callers aggregate or assert per flow, never emit ordered output.
+    // detlint:allow(unordered-iter)
     flows_.for_each([&fn](std::uint64_t, const std::unique_ptr<Flow>& flow) {
       fn(*flow);
     });

@@ -1,0 +1,87 @@
+// Annotated lock types for the concurrency layer (DESIGN.md §12).
+//
+// libstdc++'s std::mutex is not a thread-safety-analysis capability, so
+// code that wants `-Wthread-safety` coverage locks through these thin
+// wrappers instead. Zero overhead: every member forwards to the wrapped
+// std primitive, and CondVar::wait adopts/releases the caller's lock around
+// a native std::condition_variable wait (no condition_variable_any, no
+// extra state).
+//
+// Usage pattern (the only one the analysis can fully check):
+//
+//   util::Mutex mutex_;
+//   util::CondVar cv_;
+//   bool ready_ AEQ_GUARDED_BY(mutex_) = false;
+//
+//   util::MutexLock lock(mutex_);
+//   while (!ready_) cv_.wait(mutex_);   // predicate loop in the caller
+//
+// Keep predicates as explicit while-loops rather than wait(lock, lambda):
+// lambda bodies are analyzed as separate functions that do not inherit the
+// caller's capability set, so a predicate lambda reading guarded state
+// would (rightly) trip the analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#include "util/thread_annotations.h"
+
+namespace aeq::util {
+
+class AEQ_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() AEQ_ACQUIRE() { mu_.lock(); }
+  void unlock() AEQ_RELEASE() { mu_.unlock(); }
+  bool try_lock() AEQ_TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+ private:
+  friend class CondVar;
+  std::mutex mu_;
+};
+
+// RAII lock; the scoped-capability annotation lets the analysis track the
+// critical section's extent.
+class AEQ_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) AEQ_ACQUIRE(mu) : mu_(mu) { mu_.lock(); }
+  ~MutexLock() AEQ_RELEASE() { mu_.unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex& mu_;
+};
+
+// Condition variable bound to util::Mutex. wait() requires the mutex held
+// (it unlocks for the duration of the block and relocks before returning,
+// exactly like std::condition_variable::wait).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  void wait(Mutex& mu) AEQ_REQUIRES(mu) {
+    // Adopt the already-held mutex for the native wait, then release
+    // ownership again so the unique_lock destructor leaves it locked —
+    // from the caller's (and the analysis') view the capability is held
+    // across the call.
+    std::unique_lock<std::mutex> native(mu.mu_, std::adopt_lock);
+    cv_.wait(native);
+    native.release();
+  }
+
+  void notify_one() { cv_.notify_one(); }
+  void notify_all() { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace aeq::util

@@ -13,6 +13,15 @@
 // try_push never blocks and never allocates; callers that must not lose
 // messages keep a producer-side overflow vector (see net::ShardMailbox) and
 // hand it over at a synchronization point of their own.
+//
+// Thread-safety analysis (DESIGN.md §12): this type is deliberately free of
+// AEQ_GUARDED_BY/REQUIRES annotations — there is no capability to hold. Its
+// contract is role-based (one producer thread calls try_push, one consumer
+// thread calls try_pop, ownership of a slot transfers through the
+// release/acquire cursor pair), which clang's lock-based analysis cannot
+// express. The protocol is instead checked dynamically: the TSan CI job
+// runs the full test suite plus a 4-shard end-to-end run over this ring,
+// and the schedule-digest tests pin the delivered order.
 #pragma once
 
 #include <atomic>

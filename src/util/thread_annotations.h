@@ -1,0 +1,57 @@
+// Clang thread-safety-analysis attribute macros (DESIGN.md §12).
+//
+// The concurrency layer (sim::ShardedSimulator's worker pool, the sweep
+// runner's error slot) declares its lock protocol with these annotations so
+// `-Wthread-safety` can prove every access to guarded state happens under
+// the right mutex at compile time. The macros expand to nothing on
+// compilers without the attributes (gcc), so annotated code builds
+// everywhere; the AEQ_THREAD_SAFETY CMake option turns the analysis into a
+// hard error on clang builds (CI job `thread-safety`).
+//
+// Naming follows the capability-based spelling from the clang docs
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html), AEQ_-prefixed to
+// stay inside the repo's macro namespace.
+#pragma once
+
+#if defined(__clang__)
+#define AEQ_THREAD_ANNOTATION_(x) __attribute__((x))
+#else
+#define AEQ_THREAD_ANNOTATION_(x)
+#endif
+
+// On types: this class is a lockable capability (e.g. util::Mutex).
+#define AEQ_CAPABILITY(x) AEQ_THREAD_ANNOTATION_(capability(x))
+
+// On types: RAII object that acquires in its constructor and releases in
+// its destructor (e.g. util::MutexLock).
+#define AEQ_SCOPED_CAPABILITY AEQ_THREAD_ANNOTATION_(scoped_lockable)
+
+// On data members: may only be read/written while holding `x`.
+#define AEQ_GUARDED_BY(x) AEQ_THREAD_ANNOTATION_(guarded_by(x))
+
+// On pointer/reference members: the pointee is protected by `x`.
+#define AEQ_PT_GUARDED_BY(x) AEQ_THREAD_ANNOTATION_(pt_guarded_by(x))
+
+// On functions: caller must hold the listed capabilities.
+#define AEQ_REQUIRES(...) \
+  AEQ_THREAD_ANNOTATION_(requires_capability(__VA_ARGS__))
+
+// On functions: acquires / releases the listed capabilities.
+#define AEQ_ACQUIRE(...) \
+  AEQ_THREAD_ANNOTATION_(acquire_capability(__VA_ARGS__))
+#define AEQ_RELEASE(...) \
+  AEQ_THREAD_ANNOTATION_(release_capability(__VA_ARGS__))
+#define AEQ_TRY_ACQUIRE(...) \
+  AEQ_THREAD_ANNOTATION_(try_acquire_capability(__VA_ARGS__))
+
+// On functions: caller must NOT hold the listed capabilities (deadlock
+// guard for functions that acquire them internally).
+#define AEQ_EXCLUDES(...) AEQ_THREAD_ANNOTATION_(locks_excluded(__VA_ARGS__))
+
+// On functions: returns a reference to the capability guarding the class.
+#define AEQ_RETURN_CAPABILITY(x) AEQ_THREAD_ANNOTATION_(lock_returned(x))
+
+// Escape hatch: disables the analysis for one function. Every use needs a
+// comment explaining why the protocol is correct anyway.
+#define AEQ_NO_THREAD_SAFETY_ANALYSIS \
+  AEQ_THREAD_ANNOTATION_(no_thread_safety_analysis)

@@ -105,6 +105,32 @@ TEST(Auditor, ReportCountsEvaluationsPerCheck) {
   EXPECT_NE(os.str().find("0 violations"), std::string::npos);
 }
 
+TEST(Auditor, ReportOrderIsSortedIndependentOfRegistration) {
+  // Registration order is construction order and shifts under refactors;
+  // the report contract (DESIGN.md §12) is explicit (component, name)
+  // ordering so serialized reports stay diffable.
+  audit::Auditor auditor;
+  auditor.add_check("zeta", "late", [] {});
+  auditor.add_check("alpha", "second", [] {});
+  auditor.add_check("queue", "conservation", [] {});
+  auditor.add_check("alpha", "first", [] {});
+  auditor.run_all();
+  const audit::Report report = auditor.report();
+  ASSERT_EQ(report.entries.size(), 4u);
+  EXPECT_EQ(report.entries[0].component, "alpha");
+  EXPECT_EQ(report.entries[0].name, "first");
+  EXPECT_EQ(report.entries[1].component, "alpha");
+  EXPECT_EQ(report.entries[1].name, "second");
+  EXPECT_EQ(report.entries[2].component, "queue");
+  EXPECT_EQ(report.entries[3].component, "zeta");
+  std::ostringstream os;
+  report.write(os);
+  const std::string text = os.str();
+  EXPECT_LT(text.find("alpha/first"), text.find("alpha/second"));
+  EXPECT_LT(text.find("alpha/second"), text.find("queue/conservation"));
+  EXPECT_LT(text.find("queue/conservation"), text.find("zeta/late"));
+}
+
 TEST(AuditorDeathTest, FailureNamesTheViolatedCheck) {
   audit::Auditor auditor;
   auditor.add_check("wfq", "tag-order", [] { AEQ_CHECK_LT(9, 1); });

@@ -1,0 +1,20 @@
+// detlint fixture: the env-read rule must flag std::getenv in simulation
+// code and be silenced by a detlint:allow on the site. Never compiled;
+// consumed by `tools/detlint.py --self-test`.
+#include <cstdlib>
+
+namespace aeq::runner {
+
+int bad_jobs() {
+  const char* env = std::getenv("AEQ_JOBS");  // detlint:expect(env-read)
+  return env ? 1 : 0;
+}
+
+int allowed_jobs() {
+  // Worker-pool sizing only; results are identical for any value.
+  // detlint:allow(env-read)
+  const char* env = std::getenv("AEQ_JOBS");
+  return env ? 1 : 0;
+}
+
+}  // namespace aeq::runner

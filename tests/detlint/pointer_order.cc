@@ -1,0 +1,30 @@
+// detlint fixture: the pointer-order rule must flag hashing/ordering by
+// pointer value and pointer-to-integer casts, and be silenced by a
+// detlint:allow on the site. Never compiled; consumed by
+// `tools/detlint.py --self-test`.
+#include <cstdint>
+#include <functional>
+
+namespace aeq::core {
+
+struct Flow;
+
+std::size_t bad_hash(const Flow* flow) {
+  return std::hash<const Flow*>{}(flow);  // detlint:expect(pointer-order)
+}
+
+bool bad_less(const Flow* a, const Flow* b) {
+  return std::less<const Flow*>{}(a, b);  // detlint:expect(pointer-order)
+}
+
+std::uint64_t bad_key(const Flow* flow) {
+  return reinterpret_cast<std::uintptr_t>(flow);  // detlint:expect(pointer-order)
+}
+
+std::uint64_t allowed_key(const Flow* flow) {
+  // Debug print only; the value is never ordered, hashed, or stored.
+  // detlint:allow(pointer-order)
+  return reinterpret_cast<std::uintptr_t>(flow);
+}
+
+}  // namespace aeq::core

@@ -1,0 +1,28 @@
+// detlint fixture: the raw-rand rule must flag ambient randomness sources
+// and be silenced by a detlint:allow on the site. Never compiled; consumed
+// by `tools/detlint.py --self-test`.
+#include <cstdlib>
+#include <random>
+
+namespace aeq::sim {
+
+int bad_rand() {
+  return rand();  // detlint:expect(raw-rand)
+}
+
+void bad_srand(unsigned seed) {
+  srand(seed);  // detlint:expect(raw-rand)
+}
+
+unsigned bad_entropy() {
+  std::random_device rd;  // detlint:expect(raw-rand)
+  return rd();
+}
+
+int allowed_rand() {
+  // Fixture-only suppression example (real code uses sim::Rng).
+  // detlint:allow(raw-rand)
+  return rand();
+}
+
+}  // namespace aeq::sim

@@ -1,0 +1,32 @@
+// detlint fixture: the static-local rule must flag mutable function-local
+// statics in simulation code, stay silent on constants, and be silenced by
+// a detlint:allow on the site. Never compiled; consumed by
+// `tools/detlint.py --self-test`.
+
+namespace aeq::sim {
+
+int bad_counter() {
+  static int calls = 0;  // detlint:expect(static-local)
+  return ++calls;
+}
+
+const char* bad_cache() {
+  static char buffer[64];  // detlint:expect(static-local)
+  return buffer;
+}
+
+int fine_constant() {
+  static const int kTableSize = 64;
+  return kTableSize;
+}
+
+constexpr int kNamespaceScope = 3;  // namespace-scope: rule does not apply
+
+int allowed_counter() {
+  // Fixture-only suppression example.
+  // detlint:allow(static-local)
+  static int calls = 0;
+  return ++calls;
+}
+
+}  // namespace aeq::sim

@@ -1,0 +1,50 @@
+// detlint fixture: the unordered-iter rule must flag range-for, .begin(),
+// and FlatMap64::for_each over unordered containers (including through a
+// `using` alias), and be silenced by a detlint:allow on the site. Never
+// compiled; consumed by `tools/detlint.py --self-test`.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace aeq::net {
+
+using RouteMap = std::unordered_map<std::uint64_t, std::vector<std::size_t>>;
+
+class RouteTable {
+ public:
+  std::uint64_t sum_bad() const {
+    std::uint64_t total = 0;
+    for (const auto& [host, ports] : routes_) {  // detlint:expect(unordered-iter)
+      total += host + ports.size();
+    }
+    return total;
+  }
+
+  auto begin_bad() const {
+    return routes_.begin();  // detlint:expect(unordered-iter)
+  }
+
+  std::uint64_t visit_bad() const {
+    std::uint64_t total = 0;
+    flows_.for_each([&](std::uint64_t, int v) {  // detlint:expect(unordered-iter)
+      total += static_cast<std::uint64_t>(v);
+    });
+    return total;
+  }
+
+  std::uint64_t sum_allowed() const {
+    std::uint64_t total = 0;
+    // Commutative fold; iteration order cannot escape.
+    // detlint:allow(unordered-iter)
+    for (const auto& [host, ports] : routes_) {
+      total += host + ports.size();
+    }
+    return total;
+  }
+
+ private:
+  RouteMap routes_;
+  util::FlatMap64<int> flows_;
+};
+
+}  // namespace aeq::net

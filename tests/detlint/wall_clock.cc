@@ -1,0 +1,29 @@
+// detlint fixture: the wall-clock rule must flag host clock reads and be
+// silenced by a detlint:allow on the site. Never compiled; consumed by
+// `tools/detlint.py --self-test`.
+#include <chrono>
+#include <ctime>
+
+namespace aeq::sim {
+
+double bad_now_steady() {
+  auto t = std::chrono::steady_clock::now();  // detlint:expect(wall-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double bad_now_system() {
+  auto t = std::chrono::system_clock::now();  // detlint:expect(wall-clock)
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+long bad_now_time() {
+  return std::time(nullptr);  // detlint:expect(wall-clock)
+}
+
+long allowed_now_time() {
+  // Startup banner timestamp only; never feeds the schedule.
+  // detlint:allow(wall-clock)
+  return std::time(nullptr);
+}
+
+}  // namespace aeq::sim

@@ -1,0 +1,35 @@
+// Negative fixture for the thread-safety annotations (DESIGN.md §12): this
+// translation unit reads and writes a guarded member without holding its
+// mutex, so compiling it with clang -Wthread-safety -Werror=thread-safety
+// MUST fail. It is registered as a WILL_FAIL syntax-only ctest entry when
+// AEQ_THREAD_SAFETY is on under clang — if it ever starts compiling, the
+// annotation macros have gone inert and the analysis is no longer guarding
+// the lock protocol.
+//
+// It is also a valid C++ program (gcc compiles it, annotations expand to
+// nothing), so the fixture itself cannot rot into a syntax error.
+#include "util/mutex.h"
+#include "util/thread_annotations.h"
+
+namespace {
+
+struct Pool {
+  aeq::util::Mutex mutex;
+  int pending AEQ_GUARDED_BY(mutex) = 0;
+};
+
+int read_unlocked(Pool& pool) {
+  return pool.pending;  // BAD: guarded read without the capability
+}
+
+void write_unlocked(Pool& pool) {
+  pool.pending = 7;  // BAD: guarded write without the capability
+}
+
+}  // namespace
+
+int main() {
+  Pool pool;
+  write_unlocked(pool);
+  return read_unlocked(pool);
+}

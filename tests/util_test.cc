@@ -161,6 +161,8 @@ TEST(FlatMapTest, ReservePreventsGrowthMidUse) {
   EXPECT_EQ(map.size(), 64u);
   std::uint64_t visited = 0;
   std::uint64_t key_sum = 0;
+  // Unit test of for_each itself; commutative count/sum assertions.
+  // detlint:allow(unordered-iter)
   map.for_each([&](std::uint64_t key, int value) {
     ++visited;
     key_sum += key;
@@ -199,6 +201,8 @@ TEST(FlatMapTest, MatchesUnorderedMapUnderRandomOps) {
   }
   // Full sweep at the end: for_each sees exactly the reference contents.
   std::size_t visited = 0;
+  // Model-based containment check; visit order is irrelevant.
+  // detlint:allow(unordered-iter)
   map.for_each([&](std::uint64_t key, std::uint64_t value) {
     ++visited;
     const auto it = reference.find(key);

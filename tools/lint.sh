@@ -1,30 +1,51 @@
 #!/usr/bin/env bash
-# Runs clang-tidy (config: .clang-tidy) over the library sources using the
+# Static-analysis entry point: detlint (determinism lint, always — it is
+# pure stdlib Python) plus clang-tidy over the library sources using the
 # compile database exported by CMake (CMAKE_EXPORT_COMPILE_COMMANDS, on by
-# default).
+# default). clang-tidy runs twice: once with the repo config (.clang-tidy)
+# and once with only the clang static analyzer checks (clang-analyzer-*),
+# which path-sensitively models null derefs, use-after-move, and leaks the
+# style checks do not.
 #
-# Usage: tools/lint.sh [build-dir]
+# Usage: tools/lint.sh [build-dir] [--all]
 #   build-dir  directory holding compile_commands.json (default: build)
+#   --all      also detlint bench/ and tests/ (rules that guard the
+#              simulation core are relaxed there only via whitelist, not by
+#              skipping the files)
 #
-# Exits 0 when clang-tidy finds nothing, non-zero on findings. When
-# clang-tidy is not installed the script reports that and exits 0 so local
+# Exits 0 when everything is clean, non-zero on findings. When clang-tidy
+# is not installed the tidy passes report that and are skipped so local
 # workflows without the tool keep working; CI installs it and runs this for
-# real (.github/workflows/ci.yml, job `lint`).
+# real (.github/workflows/ci.yml, jobs `lint` and `detlint`).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
-build_dir="${1:-build}"
-
-tidy="$(command -v clang-tidy || true)"
-if [[ -z "${tidy}" ]]; then
-  echo "lint.sh: clang-tidy not found on PATH; skipping (install clang-tidy to lint locally)" >&2
-  exit 0
-fi
+build_dir="build"
+detlint_mode="src"
+for arg in "$@"; do
+  case "${arg}" in
+    --all) detlint_mode="all" ;;
+    *) build_dir="${arg}" ;;
+  esac
+done
 
 db="${build_dir}/compile_commands.json"
 if [[ ! -f "${db}" ]]; then
   echo "lint.sh: ${db} not found — configure first: cmake -B ${build_dir} -S ." >&2
   exit 1
+fi
+
+# --- determinism lint -------------------------------------------------------
+echo "lint.sh: detlint --self-test"
+python3 tools/detlint.py --self-test
+echo "lint.sh: detlint --mode ${detlint_mode}"
+python3 tools/detlint.py --build "${build_dir}" --mode "${detlint_mode}"
+
+# --- clang-tidy -------------------------------------------------------------
+tidy="$(command -v clang-tidy || true)"
+if [[ -z "${tidy}" ]]; then
+  echo "lint.sh: clang-tidy not found on PATH; skipping tidy passes (install clang-tidy to lint locally)" >&2
+  exit 0
 fi
 
 # Library sources only: tests/bench link GTest/benchmark headers that trip
@@ -33,4 +54,9 @@ mapfile -t sources < <(find src -name '*.cc' | sort)
 
 echo "lint.sh: ${tidy} over ${#sources[@]} files (database: ${db})"
 "${tidy}" -p "${build_dir}" --quiet "${sources[@]}"
+
+echo "lint.sh: ${tidy} clang-analyzer pass"
+"${tidy}" -p "${build_dir}" --quiet \
+  --checks='-*,clang-analyzer-*' "${sources[@]}"
+
 echo "lint.sh: clean"
