@@ -4,47 +4,29 @@
 // RPCs are *downgraded* to the scavenger class instead of dropped (§5,
 // Phase 2). This ablation runs the same overloaded 3-node workload with
 // (a) Aequitas (downgrade) and (b) an identical AIMD controller whose
-// rejections are hard drops. Expected: equivalent QoS_h protection, but
-// the drop variant destroys the rejected goodput while downgrading
-// eventually delivers nearly everything.
+// rejections are hard drops — AdmissionSpec::drop_rejects, which wraps the
+// policy in policy::RejectionAdapter. Expected: equivalent QoS_h
+// protection, but the drop variant destroys the rejected goodput while
+// downgrading eventually delivers nearly everything.
+//
+// `--controller=ticket-pool,bandit` (or `all`) extends the ablation to any
+// registered admission policy: each kind runs both as-designed (downgrade /
+// pace) and with drop_rejects=true, so the downgrade-vs-drop comparison is
+// policy-agnostic rather than Aequitas-specific.
 #include <cstdio>
-#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "bench/bench_util.h"
-#include "core/aequitas.h"
+#include "policy/registry.h"
 
 namespace {
 
 using namespace aeq;
 
-// Same AIMD coin flip as Aequitas, but rejections are drops.
-class DropController final : public rpc::AdmissionController {
- public:
-  DropController(const core::AequitasConfig& config, sim::Rng rng)
-      : inner_(config, rng) {}
-
-  rpc::AdmissionDecision admit(sim::Time now, net::HostId src,
-                               net::HostId dst, net::QoSLevel qos_requested,
-                               std::uint64_t bytes) override {
-    auto decision = inner_.admit(now, src, dst, qos_requested, bytes);
-    if (decision.downgraded) {
-      decision.downgraded = false;
-      decision.dropped = true;
-      decision.qos_run = qos_requested;
-    }
-    return decision;
-  }
-  void on_completion(sim::Time now, net::HostId src, net::HostId dst,
-                     net::QoSLevel qos_run, sim::Time rnl,
-                     std::uint64_t size_mtus) override {
-    inner_.on_completion(now, src, dst, qos_run, rnl, size_mtus);
-  }
-
- private:
-  core::AequitasController inner_;
-};
-
-runner::PointResult run(bool drop, std::uint64_t seed,
+runner::PointResult run(const std::string& kind, bool drop,
+                        const std::string& label, std::uint64_t seed,
                         const bench::TraceRequest& trace, int point) {
   runner::ExperimentConfig config;
   config.num_hosts = 3;
@@ -54,16 +36,8 @@ runner::PointResult run(bool drop, std::uint64_t seed,
   const double size_mtus = 8.0;
   config.slo =
       rpc::SloConfig::make({15 * sim::kUsec / size_mtus, 0.0}, 99.9);
-  if (drop) {
-    core::AequitasConfig aeq;
-    aeq.slo = config.slo;
-    config.admission_factory = [aeq](sim::Simulator&, net::HostId,
-                                     sim::Rng rng) {
-      return std::make_unique<DropController>(aeq, rng);
-    };
-  } else {
-    config.enable_aequitas = true;
-  }
+  config.admission.kind = kind;
+  config.admission.drop_rejects = drop;
   runner::Experiment experiment(config);
   trace.apply(experiment, point);
 
@@ -92,25 +66,66 @@ runner::PointResult run(bool drop, std::uint64_t seed,
                       static_cast<double>(pc_issued)
                 : 0.0;
   return runner::PointResult::single(
-      {drop ? "drop" : "downgrade (Aequitas)",
-       metrics.rnl_by_run_qos(0).p999() / sim::kUsec,
+      {label, metrics.rnl_by_run_qos(0).p999() / sim::kUsec,
        offered > 0 ? 100 * delivered / offered : 0.0, 100 * rejected});
+}
+
+std::vector<std::string> parse_kinds(const std::string& controller) {
+  if (controller == "all") return policy::names();
+  std::vector<std::string> kinds;
+  std::string_view remaining = controller;
+  while (!remaining.empty()) {
+    const auto comma = remaining.find(',');
+    kinds.emplace_back(remaining.substr(0, comma));
+    if (comma == std::string_view::npos) break;
+    remaining.remove_prefix(comma + 1);
+  }
+  return kinds;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parse_args(argc, argv);
+  const std::string controller = args.flags.get("controller");
+  std::vector<std::string> kinds = parse_kinds(controller);
+  for (const std::string& kind : kinds) {
+    if (policy::is_registered(kind)) continue;
+    std::fprintf(stderr, "unknown --controller kind \"%s\"; registered:",
+                 kind.c_str());
+    for (const std::string& name : policy::names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
   bench::print_header("Ablation",
                       "Downgrade (Aequitas) vs drop-based admission under "
                       "2x offered load (3-node, SLO 15us)");
   runner::SweepRunner sweep(args.sweep);
   int trace_point = 0;
-  for (bool drop : {false, true}) {
-    sweep.submit([drop, trace = args.trace,
-                  point = trace_point++](const runner::PointContext& ctx) {
-      return run(drop, ctx.seed, trace, point);
-    });
+  if (kinds.empty()) {
+    // Default: the paper's pairing — Aequitas as shipped vs the same AIMD
+    // controller with hard-dropped rejections.
+    for (bool drop : {false, true}) {
+      sweep.submit([drop, trace = args.trace,
+                    point = trace_point++](const runner::PointContext& ctx) {
+        return run(policy::kAequitas, drop,
+                   drop ? "drop" : "downgrade (Aequitas)", ctx.seed, trace,
+                   point);
+      });
+    }
+  } else {
+    for (const std::string& kind : kinds) {
+      for (bool drop : {false, true}) {
+        sweep.submit([kind, drop, trace = args.trace,
+                      point = trace_point++](const runner::PointContext& ctx) {
+          return run(kind, drop, kind + (drop ? " (drop)" : " (downgrade)"),
+                     ctx.seed, trace, point);
+        });
+      }
+    }
   }
   stats::Table table({{"policy", 22},
                       {"QoSh p999(us)", 18, 1},

@@ -65,9 +65,10 @@ Result run(bool with_quota, std::uint64_t seed,
           return inner->admit(now, src, dst, qos, bytes);
         }
         void on_completion(sim::Time now, net::HostId src, net::HostId dst,
-                           net::QoSLevel qos, sim::Time rnl,
-                           std::uint64_t mtus) override {
-          inner->on_completion(now, src, dst, qos, rnl, mtus);
+                           net::QoSLevel qos_requested, net::QoSLevel qos_run,
+                           sim::Time rnl, std::uint64_t mtus) override {
+          inner->on_completion(now, src, dst, qos_requested, qos_run, rnl,
+                               mtus);
         }
       };
       auto holder = std::make_unique<Holder>();

@@ -31,9 +31,10 @@ class GlobalStateController final : public rpc::AdmissionController {
     return inner_.admit(now, src, /*dst=*/0, qos_requested, bytes);
   }
   void on_completion(sim::Time now, net::HostId src, net::HostId /*dst*/,
-                     net::QoSLevel qos_run, sim::Time rnl,
-                     std::uint64_t size_mtus) override {
-    inner_.on_completion(now, src, /*dst=*/0, qos_run, rnl, size_mtus);
+                     net::QoSLevel qos_requested, net::QoSLevel qos_run,
+                     sim::Time rnl, std::uint64_t size_mtus) override {
+    inner_.on_completion(now, src, /*dst=*/0, qos_requested, qos_run, rnl,
+                         size_mtus);
   }
 
  private:

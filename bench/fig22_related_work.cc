@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "policy/registry.h"
 #include "runner/protocol_experiment.h"
 
 namespace {
@@ -58,8 +59,10 @@ struct Row {
 };
 
 template <typename Experiment>
-void attach_workload(Experiment& experiment, bool with_deadlines) {
+void attach_workload(Experiment& experiment, bool with_deadlines,
+                     double offered_load = kOfferedLoad) {
   bench::AllToAllSpec spec;
+  spec.load = offered_load;
   spec.mix = {0.5, 0.3, 0.2};
   spec.sizes = {
       experiment.own(workload::production_size_dist(rpc::Priority::kPC)),
@@ -178,10 +181,151 @@ Row run_baseline(runner::BaselineProtocol protocol, std::uint64_t seed) {
   return row;
 }
 
+// --controller= shoot-out: one registered admission policy on the Aequitas
+// stack (same 33-node topology, workload, and SLOs as the related-work
+// comparison). Returns the standard row plus a compact rendering of the
+// policy's introspection gauges (rpc::Gauge), read from host 0.
+struct PolicyRow {
+  Row row;
+  double rejected = 0.0;  // % of QoS_h issues downgraded or dropped
+  std::string gauges;
+};
+
+std::string summarize_gauges(const rpc::AdmissionController& controller) {
+  std::string out;
+  for (const rpc::Gauge& gauge : controller.gauges()) {
+    char buffer[64];
+    std::snprintf(buffer, sizeof(buffer), "%s%s=%.3g",
+                  out.empty() ? "" : " ", gauge.name, gauge.value);
+    out += buffer;
+  }
+  return out.empty() ? "-" : out;
+}
+
+PolicyRow run_policy(const std::string& kind, sim::SchedulerBackend backend,
+                     double load, std::uint64_t seed,
+                     const bench::TraceRequest& trace, int point) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 33;
+  config.num_qos = 3;
+  config.wfq_weights = {8.0, 4.0, 1.0};
+  config.admission.kind = kind;
+  config.slo = make_slo();
+  config.seed = seed;
+  config.scheduler_backend = backend;
+  runner::Experiment experiment(config);
+  trace.apply(experiment, point);
+  attach_workload(experiment, false, load);
+  experiment.run(12 * sim::kMsec, 15 * sim::kMsec);
+  PolicyRow result;
+  result.row = collect(kind.c_str(), experiment,
+                       std::min(1.0, experiment.mean_downlink_utilization() /
+                                         load));
+  const auto& metrics = experiment.metrics();
+  const auto issued = metrics.downgraded(0) + metrics.terminated(0) +
+                      metrics.completed(0);
+  result.rejected =
+      issued ? 100.0 *
+                   static_cast<double>(metrics.downgraded(0) +
+                                       metrics.terminated(0)) /
+                   static_cast<double>(issued)
+             : 0.0;
+  result.gauges = summarize_gauges(experiment.admission(0));
+  return result;
+}
+
+// Runs the shoot-out and renders its table; returns the process exit code.
+int run_shootout(bench::BenchArgs& args, const std::string& controller) {
+  std::vector<std::string> kinds;
+  if (controller == "all") {
+    kinds = policy::names();
+  } else {
+    std::string_view remaining = controller;
+    while (!remaining.empty()) {
+      const auto comma = remaining.find(',');
+      kinds.emplace_back(remaining.substr(0, comma));
+      if (comma == std::string_view::npos) break;
+      remaining.remove_prefix(comma + 1);
+    }
+  }
+  for (const std::string& kind : kinds) {
+    if (policy::is_registered(kind)) continue;
+    std::fprintf(stderr, "unknown --controller kind \"%s\"; registered:",
+                 kind.c_str());
+    for (const std::string& name : policy::names()) {
+      std::fprintf(stderr, " %s", name.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  std::vector<double> loads;
+  const std::string loads_flag = args.flags.get("loads");
+  if (loads_flag.empty()) {
+    loads.push_back(kOfferedLoad);
+  } else {
+    std::string_view remaining = loads_flag;
+    while (!remaining.empty()) {
+      const auto comma = remaining.find(',');
+      loads.push_back(std::stod(std::string(remaining.substr(0, comma))));
+      if (comma == std::string_view::npos) break;
+      remaining.remove_prefix(comma + 1);
+    }
+  }
+
+  const std::string backend_flag = args.flags.get("backend");
+  sim::SchedulerBackend backend = sim::SchedulerBackend::kCalendar;
+  if (backend_flag == "heap") {
+    backend = sim::SchedulerBackend::kHeap;
+  } else if (!backend_flag.empty() && backend_flag != "calendar") {
+    std::fprintf(stderr, "unknown --backend \"%s\" (heap|calendar)\n",
+                 backend_flag.c_str());
+    return 1;
+  }
+
+  bench::print_header("Admission-policy shoot-out",
+                      "33-node, production sizes, input mix 50/30/20, "
+                      "normalized SLO 3/6us per MTU; every policy runs the "
+                      "same stack and workload");
+  runner::SweepRunner sweep(args.sweep);
+  int point = 0;
+  for (const double load : loads) {
+    for (const std::string& kind : kinds) {
+      sweep.submit([kind, backend, load, trace = args.trace,
+                    p = point++](const runner::PointContext& ctx) {
+        const PolicyRow result =
+            run_policy(kind, backend, load, ctx.seed, trace, p);
+        return runner::PointResult::single(
+            {result.row.name, load, result.row.met_h, result.row.met_m,
+             result.row.util, stats::Cell(result.row.p999[0], 0),
+             result.rejected, result.gauges});
+      });
+    }
+  }
+  stats::Table table({{"policy", 14},
+                      {"load", 6, 2},
+                      {"h meet SLO%", 12, 1},
+                      {"m meet SLO%", 12, 1},
+                      {"util%", 8, 1},
+                      {"h p999(us)", 12, 0},
+                      {"rejected%", 10, 1},
+                      {"gauges (host 0)", 20}});
+  for (const auto& result : sweep.run()) table.add_rows(result.rows);
+  bench::emit(table, args);
+  bench::print_footer();
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bench::BenchArgs args = bench::parse_args(argc, argv);
+  // `--controller=aequitas,ticket-pool,...` (or `all`) switches from the
+  // related-work comparison to the admission-policy shoot-out: every named
+  // registered policy on the identical stack, optionally swept across
+  // `--loads=0.6,0.8,1.0` and pinned to a `--backend=heap|calendar`.
+  const std::string controller = args.flags.get("controller");
+  if (!controller.empty()) return run_shootout(args, controller);
   bench::print_header("Figure 22",
                       "Related-work comparison, 33-node, production sizes, "
                       "input mix 50/30/20 (normalized SLO 3/6us per MTU; "

@@ -206,7 +206,7 @@ void BM_AequitasAdmitDecision(benchmark::State& state) {
     now += 1e-6;
     const auto dst = static_cast<net::HostId>(rng.index(32));
     benchmark::DoNotOptimize(controller.admit(now, 0, dst, 0, 4096));
-    controller.on_completion(now, 0, dst, 0,
+    controller.on_completion(now, 0, dst, 0, 0,
                              rng.uniform(5e-6, 30e-6), 8);
   }
 }

@@ -50,9 +50,10 @@ int main() {
         return inner->admit(now, src, dst, qos, bytes);
       }
       void on_completion(sim::Time now, net::HostId src, net::HostId dst,
-                         net::QoSLevel qos, sim::Time rnl,
-                         std::uint64_t mtus) override {
-        inner->on_completion(now, src, dst, qos, rnl, mtus);
+                         net::QoSLevel qos_requested, net::QoSLevel qos_run,
+                         sim::Time rnl, std::uint64_t mtus) override {
+        inner->on_completion(now, src, dst, qos_requested, qos_run, rnl,
+                             mtus);
       }
     };
     auto controller = std::make_unique<Tenant>();

@@ -10,6 +10,7 @@
 #include "net/shared_buffer.h"
 #include "net/switch.h"
 #include "net/wfq.h"
+#include "rpc/admission.h"
 #include "sim/simulator.h"
 #include "topo/network.h"
 #include "transport/flow.h"
@@ -158,13 +159,29 @@ void register_simulator_checks(Auditor& auditor, const sim::Simulator& sim) {
                     });
 }
 
+void register_admission_checks(Auditor& auditor, std::string component,
+                               const rpc::AdmissionController& controller,
+                               const sim::Simulator& sim) {
+  auditor.add_check(component, "invariants", [&controller, &sim] {
+    controller.audit_invariants(sim.now());
+  });
+  auditor.add_check(std::move(component), "gauge-bounds", [&controller] {
+    for (const rpc::Gauge& gauge : controller.gauges()) {
+      // NaN fails both comparisons, so a poisoned gauge aborts here too.
+      AEQ_CHECK_GE_MSG(gauge.value, gauge.lo,
+                       "admission gauge below its documented lower bound");
+      AEQ_CHECK_LE_MSG(gauge.value, gauge.hi,
+                       "admission gauge above its documented upper bound");
+    }
+  });
+}
+
 void register_aequitas_checks(Auditor& auditor, std::string component,
                               const core::AequitasController& controller,
                               const sim::Simulator& sim) {
-  auditor.add_check(std::move(component), "p-admit-bounds",
-                    [&controller, &sim] {
-                      controller.audit_invariants(sim.now());
-                    });
+  register_admission_checks(
+      auditor, std::move(component),
+      static_cast<const rpc::AdmissionController&>(controller), sim);
 }
 
 void register_quota_checks(Auditor& auditor, std::string component,

@@ -36,10 +36,22 @@
 //                                        backwards (scheduler contract,
 //                                        identical for heap and calendar
 //                                        backends).
-//   aequitas/p-admit-bounds              every channel's p_admit stays in
+//   admission/invariants                 the controller's own invariant
+//                                        sweep (for Aequitas: every
+//                                        channel's p_admit in
 //                                        [p_admit_floor, 1] — the §5.1
-//                                        starvation guard and the AIMD clamp
-//                                        of Algorithm 1.
+//                                        starvation guard and the AIMD
+//                                        clamp of Algorithm 1; for the
+//                                        ticket pool: non-negative
+//                                        in-flight and a clamped limit;
+//                                        for the bandit: Q-values inside
+//                                        the reward hull; for SWP: pacing
+//                                        rate and token bounds).
+//   admission/gauge-bounds               every introspection gauge
+//                                        (rpc::Gauge) sits inside its
+//                                        documented [lo, hi] and is finite
+//                                        unless a bound is explicitly
+//                                        unbounded.
 //   quota/allocation-bounds              per-QoS allocations are non-negative
 //                                        and sum to at most the operator
 //                                        budget (§5.2: quota cannot
@@ -70,6 +82,9 @@ class SharedBufferPool;
 class Switch;
 class WfqQueue;
 }  // namespace aeq::net
+namespace aeq::rpc {
+class AdmissionController;
+}  // namespace aeq::rpc
 namespace aeq::sim {
 class Simulator;
 }  // namespace aeq::sim
@@ -113,7 +128,17 @@ void register_switch_checks(Auditor& auditor, std::string component,
 // Clock monotonicity of the simulation executive.
 void register_simulator_checks(Auditor& auditor, const sim::Simulator& sim);
 
-// AIMD state bounds for one admission controller.
+// Policy-agnostic admission-controller checks (any rpc::AdmissionController):
+//   * invariants    — the controller's own audit_invariants() sweep
+//   * gauge-bounds  — every gauge's value sits inside its documented
+//                     [lo, hi] (rpc::Gauge), and is finite unless a bound
+//                     is explicitly kGaugeUnbounded
+void register_admission_checks(Auditor& auditor, std::string component,
+                               const rpc::AdmissionController& controller,
+                               const sim::Simulator& sim);
+
+// Legacy alias: AIMD state bounds for one Aequitas controller. Forwards to
+// register_admission_checks (the concrete type adds nothing anymore).
 void register_aequitas_checks(Auditor& auditor, std::string component,
                               const core::AequitasController& controller,
                               const sim::Simulator& sim);

@@ -47,6 +47,7 @@ rpc::AdmissionDecision AequitasController::admit(
 
 void AequitasController::on_completion(sim::Time now, net::HostId /*src*/,
                                        net::HostId dst,
+                                       net::QoSLevel /*qos_requested*/,
                                        net::QoSLevel qos_run, sim::Time rnl,
                                        std::uint64_t size_mtus) {
   if (!config_.slo.has_slo(qos_run)) return;  // no SLO on the lowest QoS
@@ -93,6 +94,27 @@ void AequitasController::audit_invariants(sim::Time now) const {
 double AequitasController::p_admit(net::HostId dst, net::QoSLevel qos) const {
   const State* state = states_.find(key(dst, qos));
   return state == nullptr ? 1.0 : state->p_admit;
+}
+
+std::vector<rpc::Gauge> AequitasController::gauges() const {
+  double min = 1.0;
+  double sum = 0.0;
+  std::size_t n = 0;
+  // min is order-independent; the sum folds in the map's slot order, which
+  // is a pure function of the (deterministic) insertion history, so the
+  // mean is reproducible across runs, backends, and shard counts.
+  // detlint:allow(unordered-iter)
+  states_.for_each([&](std::uint64_t, const State& state) {
+    min = std::min(min, state.p_admit);
+    sum += state.p_admit;
+    ++n;
+  });
+  const double mean = n == 0 ? 1.0 : sum / static_cast<double>(n);
+  return {
+      {"p_admit_min", min, config_.p_admit_floor, 1.0},
+      {"p_admit_mean", mean, config_.p_admit_floor, 1.0},
+      {"channels", static_cast<double>(n), 0.0, rpc::kGaugeUnbounded},
+  };
 }
 
 }  // namespace aeq::core

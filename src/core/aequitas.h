@@ -45,12 +45,20 @@ class AequitasController final : public rpc::AdmissionController {
                                net::QoSLevel qos_requested,
                                std::uint64_t bytes) override;
 
+  // AIMD feedback keys on the QoS the RPC *ran* at (Algorithm 1): a
+  // downgraded RPC's scavenger completion carries no SLO signal, so
+  // `qos_requested` is deliberately unused here.
   void on_completion(sim::Time now, net::HostId src, net::HostId dst,
-                     net::QoSLevel qos_run, sim::Time rnl,
-                     std::uint64_t size_mtus) override;
+                     net::QoSLevel qos_requested, net::QoSLevel qos_run,
+                     sim::Time rnl, std::uint64_t size_mtus) override;
 
   // Current admit probability toward (dst, qos); 1.0 if no state yet.
   double p_admit(net::HostId dst, net::QoSLevel qos) const;
+
+  // Policy-agnostic introspection (rpc::AdmissionController): the channel
+  // count plus min/mean p_admit across channels, all bounded by the AIMD
+  // clamp [p_admit_floor, 1].
+  std::vector<rpc::Gauge> gauges() const override;
 
   const AequitasConfig& config() const { return config_; }
 
@@ -62,7 +70,7 @@ class AequitasController final : public rpc::AdmissionController {
   // starvation guard (§5.1) and Bernoulli gating depend on — and that no
   // additive-increase timestamp lies in the future of `now`. Aborts via
   // AEQ_CHECK_* on violation.
-  void audit_invariants(sim::Time now) const;
+  void audit_invariants(sim::Time now) const override;
 
  private:
   struct State {

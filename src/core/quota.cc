@@ -171,9 +171,19 @@ rpc::AdmissionDecision QuotaController::admit(sim::Time now,
 }
 
 void QuotaController::on_completion(sim::Time now, net::HostId src,
-                                    net::HostId dst, net::QoSLevel qos_run,
-                                    sim::Time rnl, std::uint64_t size_mtus) {
-  aequitas_->on_completion(now, src, dst, qos_run, rnl, size_mtus);
+                                    net::HostId dst,
+                                    net::QoSLevel qos_requested,
+                                    net::QoSLevel qos_run, sim::Time rnl,
+                                    std::uint64_t size_mtus) {
+  aequitas_->on_completion(now, src, dst, qos_requested, qos_run, rnl,
+                           size_mtus);
+}
+
+std::vector<rpc::Gauge> QuotaController::gauges() const {
+  std::vector<rpc::Gauge> gauges = aequitas_->gauges();
+  gauges.push_back({"over_quota", static_cast<double>(over_quota_), 0.0,
+                    rpc::kGaugeUnbounded});
+  return gauges;
 }
 
 }  // namespace aeq::core

@@ -97,8 +97,14 @@ class QuotaController final : public rpc::AdmissionController {
                                std::uint64_t bytes) override;
 
   void on_completion(sim::Time now, net::HostId src, net::HostId dst,
-                     net::QoSLevel qos_run, sim::Time rnl,
-                     std::uint64_t size_mtus) override;
+                     net::QoSLevel qos_requested, net::QoSLevel qos_run,
+                     sim::Time rnl, std::uint64_t size_mtus) override;
+
+  // Inner AIMD gauges plus the quota plane's over-quota rejection count.
+  std::vector<rpc::Gauge> gauges() const override;
+  void audit_invariants(sim::Time now) const override {
+    aequitas_->audit_invariants(now);
+  }
 
   AequitasController& aequitas() { return *aequitas_; }
   std::uint64_t over_quota_count() const { return over_quota_; }

@@ -1,0 +1,123 @@
+// AdmissionSpec: the structured description of which admission policy an
+// experiment runs and how it is parameterized — the admission-plane
+// counterpart of ExperimentConfig::cc_kind + per-CC config blocks.
+//
+// A spec names a policy `kind` (a key in the policy registry,
+// policy/registry.h) plus one parameter block per built-in policy; only the
+// block matching `kind` is read. The legacy ExperimentConfig knobs
+// (enable_aequitas, alpha, beta_per_mtu, p_admit_floor, admission_factory)
+// are aliases folded into the spec at Experiment construction, and conflict
+// with explicit spec settings hard-error there (the use_fixed_window /
+// cc_kind precedent).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/packet.h"
+#include "rpc/admission.h"
+#include "sim/rng.h"
+#include "sim/units.h"
+
+namespace aeq::sim {
+class Simulator;
+}  // namespace aeq::sim
+
+namespace aeq::policy {
+
+// Registry keys of the built-in policies.
+inline constexpr const char* kAequitas = "aequitas";
+inline constexpr const char* kAlwaysAdmit = "always-admit";
+inline constexpr const char* kTicketPool = "ticket-pool";
+inline constexpr const char* kBandit = "bandit";
+inline constexpr const char* kSwpPacing = "swp-pacing";
+
+// Width of the self-clocked observation windows every feedback-driven
+// policy rolls (policy/windowed.h). Matches the telemetry default.
+inline constexpr sim::Time kDefaultPolicyWindow = 100 * sim::kUsec;
+
+// Aequitas AIMD knobs (core/aequitas.h, Algorithm 1). The SLO comes from
+// ExperimentConfig::slo, not the spec.
+struct AequitasParams {
+  double alpha = 0.01;          // additive increment
+  double beta_per_mtu = 0.01;   // multiplicative decrement per MTU of size
+  double p_admit_floor = 0.01;  // starvation guard (§5.1)
+};
+
+// MongoDB-style throughput-probing ticket pool (SNIPPETS.md §3): a dynamic
+// concurrency limit on in-flight SLO-class RPCs, probed up/down against a
+// moving average of windowed ticketed goodput.
+struct TicketPoolConfig {
+  double initial_concurrency = 32.0;
+  double min_concurrency = 4.0;
+  double max_concurrency = 4096.0;
+  double probe_step = 0.125;  // relative probe size per window
+  double ema_weight = 0.3;    // goodput moving-average weight (newest obs)
+  // Relative goodput improvement a probe must show to be adopted.
+  double adopt_margin = 0.02;
+  sim::Time window = kDefaultPolicyWindow;
+};
+
+// Tabular epsilon-greedy bandit over (window RNL band, qos-mix band) state
+// per Raeis et al. (PAPERS.md): each window closes an observation, scores
+// the last action by SLO compliance minus a rejection penalty, and picks
+// the next admit-probability level.
+struct BanditConfig {
+  // Discrete admit-probability actions, lowest to highest.
+  std::vector<double> actions = {0.25, 0.5, 0.75, 1.0};
+  double epsilon0 = 0.2;        // initial exploration rate
+  double epsilon_decay = 0.99;  // per closed window
+  double epsilon_min = 0.02;
+  double learning_rate = 0.2;
+  double reject_penalty = 0.5;  // reward -= penalty * rejected share
+  // Optimistic initial action value: explore every (state, action) once.
+  double q_init = 1.0;
+  sim::Time window = kDefaultPolicyWindow;
+};
+
+// SWP-style workload-aware pacing without priorities (Zhao et al.,
+// PAPERS.md): every RPC is collapsed onto one class and admission is a
+// token bucket over payload bytes whose rate fraction adapts per window —
+// multiplicative decrease when the window's normalized tail RNL violates
+// the tightest SLO, additive increase otherwise.
+struct SwpPacingConfig {
+  double initial_rate_fraction = 0.9;  // of the host link rate
+  double min_rate_fraction = 0.05;
+  double max_rate_fraction = 1.0;
+  double increase_per_window = 0.01;   // additive
+  double decrease_factor = 0.8;        // multiplicative on violation
+  double burst_windows = 2.0;          // bucket depth, in windows at rate
+  // The single class all admitted traffic runs on. Everything shares one
+  // queue — SWP's "no priorities" premise expressed inside a QoS fabric.
+  net::QoSLevel run_qos = net::kQoSHigh;
+  sim::Time window = kDefaultPolicyWindow;
+};
+
+struct AdmissionSpec {
+  // Registry key of the policy every host runs. Built-ins: "aequitas"
+  // (default, Algorithm 1), "always-admit", "ticket-pool", "bandit",
+  // "swp-pacing". User policies register via policy::register_policy.
+  std::string kind = kAequitas;
+
+  // Per-policy parameter blocks; only the block matching `kind` is read.
+  AequitasParams aequitas;
+  TicketPoolConfig ticket_pool;
+  BanditConfig bandit;
+  SwpPacingConfig swp;
+
+  // Rejections become hard drops instead of scavenger downgrades (the
+  // downgrade-vs-drop ablation): policies that natively downgrade are
+  // wrapped in policy::RejectionAdapter; swp-pacing already drops.
+  bool drop_rejects = false;
+
+  // Escape hatch: when set, overrides `kind` and installs a caller-built
+  // controller per host (ablations, quota policies, misalignment models).
+  std::function<std::unique_ptr<rpc::AdmissionController>(
+      sim::Simulator&, net::HostId, sim::Rng)>
+      factory;
+};
+
+}  // namespace aeq::policy

@@ -73,7 +73,10 @@ std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
   if (decision.dropped) {
     // Rejected at admission: never enters the network. Accounted like a
     // terminated RPC (an SLO miss with zero goodput), and its bytes are
-    // never credited as admitted traffic.
+    // never credited as admitted traffic. Per the AdmissionController
+    // contract (rpc/admission.h), a dropped RPC generates NO
+    // on_completion feedback — there is no transport completion to
+    // measure an RNL from.
     record.terminated = true;
     record.completed = record.issued;
     metrics_.on_issue(dst, qos_requested, decision.qos_run, bytes,
@@ -102,8 +105,8 @@ std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
         finished.rnl = done.rnl();
         finished.terminated = done.terminated;
         admission_.on_completion(sim_.now(), finished.src, finished.dst,
-                                 finished.qos_run, finished.rnl,
-                                 finished.size_mtus);
+                                 finished.qos_requested, finished.qos_run,
+                                 finished.rnl, finished.size_mtus);
         metrics_.record(finished);
         emit_finished(finished);
         if (listener_) listener_(finished);

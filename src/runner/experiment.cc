@@ -8,16 +8,70 @@
 #include "obs/chrome_trace_sink.h"
 #include "obs/csv_sink.h"
 #include "obs/shard_merge.h"
+#include "policy/registry.h"
 #include "sim/assert.h"
 #include "topo/sharding.h"
 
 namespace aeq::runner {
+
+// Folds the legacy admission knobs (enable_aequitas, alpha, beta_per_mtu,
+// p_admit_floor, admission_factory) into config_.admission. Each alias may
+// only RESTATE what the spec already says; a conflicting combination used
+// to be silently resolved (factory > enable_aequitas > scalars) and is now
+// a configuration error, like use_fixed_window vs cc_kind.
+void Experiment::resolve_admission_spec() {
+  policy::AdmissionSpec& spec = config_.admission;
+  const policy::AequitasParams defaults;
+
+  if (config_.admission_factory) {
+    AEQ_ASSERT_MSG(spec.factory == nullptr,
+                   "ExperimentConfig::admission_factory conflicts with "
+                   "admission.factory; set only one");
+    AEQ_ASSERT_MSG(spec.kind == policy::kAequitas,
+                   "ExperimentConfig::admission_factory conflicts with the "
+                   "configured admission.kind; use admission.factory (or "
+                   "drop the kind override)");
+    spec.factory = config_.admission_factory;
+  }
+  if (!config_.enable_aequitas && spec.factory == nullptr) {
+    AEQ_ASSERT_MSG(spec.kind == policy::kAequitas ||
+                       spec.kind == policy::kAlwaysAdmit,
+                   "ExperimentConfig::enable_aequitas = false conflicts "
+                   "with the configured admission.kind; set admission.kind "
+                   "= \"always-admit\" instead of the legacy flag");
+    spec.kind = policy::kAlwaysAdmit;
+  }
+  const bool aequitas_knobs_apply =
+      spec.factory == nullptr && spec.kind == policy::kAequitas;
+  auto fold_scalar = [&](double legacy, double& target, double fallback,
+                         const char* name) {
+    if (legacy == fallback) return;  // alias left at its default: nothing set
+    AEQ_ASSERT_MSG(aequitas_knobs_apply,
+                   "a legacy Aequitas knob (alpha/beta_per_mtu/"
+                   "p_admit_floor) is set but the resolved admission policy "
+                   "is not \"aequitas\"");
+    AEQ_ASSERT_MSG(target == fallback || target == legacy, name);
+    target = legacy;
+  };
+  fold_scalar(config_.alpha, spec.aequitas.alpha, defaults.alpha,
+              "ExperimentConfig::alpha conflicts with "
+              "admission.aequitas.alpha");
+  fold_scalar(config_.beta_per_mtu, spec.aequitas.beta_per_mtu,
+              defaults.beta_per_mtu,
+              "ExperimentConfig::beta_per_mtu conflicts with "
+              "admission.aequitas.beta_per_mtu");
+  fold_scalar(config_.p_admit_floor, spec.aequitas.p_admit_floor,
+              defaults.p_admit_floor,
+              "ExperimentConfig::p_admit_floor conflicts with "
+              "admission.aequitas.p_admit_floor");
+}
 
 Experiment::Experiment(const ExperimentConfig& config)
     : config_(config), sim_(config.scheduler_backend) {
   AEQ_CHECK_GE(config_.num_qos, 2u);
   AEQ_ASSERT_MSG(config_.slo.num_qos() == config_.num_qos,
                  "SLO config must cover every QoS level");
+  resolve_admission_spec();
   // The legacy use_fixed_window alias may only restate the fixed-window
   // choice; combined with a conflicting cc_kind it is a configuration error
   // (it used to silently override the requested transport).
@@ -147,23 +201,19 @@ Experiment::Experiment(const ExperimentConfig& config)
         host_simulator(id), network_.host(id), network_.num_hosts(),
         config_.transport, cc_factory));
 
-    if (config_.admission_factory) {
-      aequitas_.push_back(nullptr);
+    if (config_.admission.factory) {
       controllers_.push_back(
-          config_.admission_factory(host_simulator(id), id, seeder.fork()));
-    } else if (config_.enable_aequitas) {
-      core::AequitasConfig aeq;
-      aeq.alpha = config_.alpha;
-      aeq.beta_per_mtu = config_.beta_per_mtu;
-      aeq.p_admit_floor = config_.p_admit_floor;
-      aeq.slo = config_.slo;
-      auto controller =
-          std::make_unique<core::AequitasController>(aeq, seeder.fork());
-      aequitas_.push_back(controller.get());
-      controllers_.push_back(std::move(controller));
+          config_.admission.factory(host_simulator(id), id, seeder.fork()));
     } else {
-      aequitas_.push_back(nullptr);
-      controllers_.push_back(std::make_unique<rpc::AlwaysAdmit>());
+      policy::PolicyContext context;
+      context.host = id;
+      context.num_qos = config_.num_qos;
+      context.slo = config_.slo;
+      context.link_rate = config_.link_rate;
+      context.mtu_bytes = config_.transport.mtu_bytes;
+      context.rng = seeder.fork();
+      controllers_.push_back(
+          policy::make_controller(config_.admission, std::move(context)));
     }
 
     stacks_.push_back(std::make_unique<rpc::RpcStack>(
@@ -233,8 +283,9 @@ void Experiment::fill_watchdog_defaults(obs::WatchdogConfig& config) const {
   }
   // "Pinned at the controller's own floor" — separates pathological
   // collapse from ordinary heavy throttling of misbehaving channels.
+  // (Resolved spec: resolve_admission_spec folded any legacy knob here.)
   if (config.p_admit_floor < 0.0) {
-    config.p_admit_floor = 1.5 * config_.p_admit_floor;
+    config.p_admit_floor = 1.5 * config_.admission.aequitas.p_admit_floor;
   }
 }
 
@@ -391,10 +442,8 @@ void Experiment::register_audit_checks() {
     const std::string host = "host" + std::to_string(i);
     audit::register_transport_checks(*auditor_, host + "-transport",
                                      *host_stacks_[i]);
-    if (aequitas_[i] != nullptr) {
-      audit::register_aequitas_checks(*auditor_, host + "-aequitas",
-                                      *aequitas_[i], sim_);
-    }
+    audit::register_admission_checks(*auditor_, host + "-admission",
+                                     *controllers_[i], sim_);
   }
 }
 
@@ -420,10 +469,8 @@ void Experiment::register_shard_audit_checks() {
                                 sharded_->shard(k), config_.num_qos);
     audit::register_transport_checks(auditor, host + "-transport",
                                      *host_stacks_[i]);
-    if (aequitas_[i] != nullptr) {
-      audit::register_aequitas_checks(auditor, host + "-aequitas",
-                                      *aequitas_[i], sharded_->shard(k));
-    }
+    audit::register_admission_checks(auditor, host + "-admission",
+                                     *controllers_[i], sharded_->shard(k));
   }
   for (std::size_t s = 0; s < network_.num_switches(); ++s) {
     // build_sharded_star creates exactly one switch per shard, in order.

@@ -18,6 +18,7 @@
 #include "obs/recorder.h"
 #include "obs/timeseries_sink.h"
 #include "obs/watchdog.h"
+#include "policy/spec.h"
 #include "rpc/metrics.h"
 #include "rpc/rpc_stack.h"
 #include "sim/sharded.h"
@@ -126,9 +127,20 @@ struct ExperimentConfig {
   bool use_fixed_window = false;  // legacy alias for CcKind::kFixedWindow
   double fixed_window_packets = 64.0;
 
-  // Admission control: Aequitas when true, pass-through otherwise.
-  // `admission_factory`, when set, overrides both and installs a custom
-  // controller per host (ablations, quota policies, misalignment models).
+  // Admission control: which policy every host runs, resolved through the
+  // policy registry (src/policy/). The default spec is Aequitas with the
+  // paper's AIMD knobs; set admission.kind to sweep competing policies
+  // ("always-admit", "ticket-pool", "bandit", "swp-pacing", or anything
+  // registered via policy::register_policy).
+  policy::AdmissionSpec admission;
+
+  // Legacy aliases, folded into `admission` at construction (the
+  // use_fixed_window/cc_kind precedent): each may only RESTATE what the
+  // spec already says — a conflicting combination is a configuration
+  // error that aborts.
+  //   admission_factory   -> admission.factory
+  //   enable_aequitas     -> admission.kind ("aequitas"/"always-admit")
+  //   alpha, beta_per_mtu, p_admit_floor -> admission.aequitas.*
   std::function<std::unique_ptr<rpc::AdmissionController>(
       sim::Simulator&, net::HostId, sim::Rng)>
       admission_factory;
@@ -203,9 +215,21 @@ class Experiment {
   transport::HostStack& host_stack(net::HostId id) {
     return *host_stacks_.at(static_cast<std::size_t>(id));
   }
-  // Null when Aequitas is disabled.
+  // Host `id`'s admission controller, whatever policy it runs. The base
+  // interface (gauges(), audit_invariants(), on_window()) is the
+  // policy-agnostic surface benches and checks should prefer.
+  rpc::AdmissionController& admission(net::HostId id) {
+    return *controllers_.at(static_cast<std::size_t>(id));
+  }
+  const rpc::AdmissionController& admission(net::HostId id) const {
+    return *controllers_.at(static_cast<std::size_t>(id));
+  }
+
+  // Typed shim for Aequitas-specific introspection (per-channel p_admit,
+  // increment_window): null when host `id` runs any other policy.
   core::AequitasController* aequitas(net::HostId id) {
-    return aequitas_.at(static_cast<std::size_t>(id));
+    return dynamic_cast<core::AequitasController*>(
+        controllers_.at(static_cast<std::size_t>(id)).get());
   }
 
   const ExperimentConfig& config() const { return config_; }
@@ -264,6 +288,7 @@ class Experiment {
   double mean_downlink_utilization() const;
 
  private:
+  void resolve_admission_spec();
   void schedule_sampler(std::size_t index, sim::Time at);
   void register_audit_checks();
   void register_shard_audit_checks();
@@ -308,7 +333,6 @@ class Experiment {
   std::unique_ptr<rpc::RpcMetrics> metrics_;
   std::vector<std::unique_ptr<transport::HostStack>> host_stacks_;
   std::vector<std::unique_ptr<rpc::AdmissionController>> controllers_;
-  std::vector<core::AequitasController*> aequitas_;
   std::vector<std::unique_ptr<rpc::RpcStack>> stacks_;
   std::vector<std::unique_ptr<workload::TrafficGenerator>> generators_;
   std::vector<std::unique_ptr<workload::SizeDistribution>> owned_dists_;

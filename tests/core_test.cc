@@ -30,7 +30,7 @@ TEST(AequitasTest, LowestQosNeverGated) {
   AequitasController c(make_config(), sim::Rng(1));
   // Hammer the controller with misses on the lowest QoS: nothing changes.
   for (int i = 0; i < 100; ++i) {
-    c.on_completion(i * 1e-3, 0, 1, net::kQoSLow, 1.0, 1);
+    c.on_completion(i * 1e-3, 0, 1, net::kQoSLow, net::kQoSLow, 1.0, 1);
     const auto decision = c.admit(i * 1e-3, 0, 1, net::kQoSLow, 4096);
     EXPECT_EQ(decision.qos_run, net::kQoSLow);
     EXPECT_FALSE(decision.downgraded);
@@ -48,9 +48,9 @@ TEST(AequitasTest, IncrementWindowFollowsPercentile) {
 TEST(AequitasTest, MultiplicativeDecreaseProportionalToSize) {
   AequitasController c(make_config(), sim::Rng(1));
   const sim::Time miss = 1.0;  // way over any target
-  c.on_completion(0.0, 0, 1, net::kQoSHigh, miss, 10);
+  c.on_completion(0.0, 0, 1, net::kQoSHigh, net::kQoSHigh, miss, 10);
   EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 1.0 - 0.01 * 10, 1e-12);
-  c.on_completion(0.0, 0, 1, net::kQoSHigh, miss, 1);
+  c.on_completion(0.0, 0, 1, net::kQoSHigh, net::kQoSHigh, miss, 1);
   EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 1.0 - 0.01 * 11, 1e-12);
 }
 
@@ -59,7 +59,7 @@ TEST(AequitasTest, DecreaseFloorsAtConfiguredMinimum) {
   config.p_admit_floor = 0.05;
   AequitasController c(config, sim::Rng(1));
   for (int i = 0; i < 500; ++i) {
-    c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 8);
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, net::kQoSHigh, 1.0, 8);
   }
   EXPECT_DOUBLE_EQ(c.p_admit(1, net::kQoSHigh), 0.05);
 }
@@ -67,17 +67,18 @@ TEST(AequitasTest, DecreaseFloorsAtConfiguredMinimum) {
 TEST(AequitasTest, AdditiveIncreaseAtMostOncePerWindow) {
   AequitasController c(make_config(), sim::Rng(1));
   // Knock p_admit down, then feed many fast completions within one window.
-  c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 50);  // p = 0.5
+  c.on_completion(0.0, 0, 1, net::kQoSHigh, net::kQoSHigh, 1.0, 50);  // 0.5
   const double after_md = c.p_admit(1, net::kQoSHigh);
   const sim::Time window = c.increment_window(net::kQoSHigh);
   for (int i = 1; i <= 100; ++i) {
-    c.on_completion(window + i * 1e-9, 0, 1, net::kQoSHigh, 1 * sim::kUsec,
-                    1);
+    c.on_completion(window + i * 1e-9, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                    1 * sim::kUsec, 1);
   }
   // Exactly one increment despite 100 under-target completions.
   EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), after_md + 0.01, 1e-12);
   // The next window allows one more.
-  c.on_completion(2.5 * window, 0, 1, net::kQoSHigh, 1 * sim::kUsec, 1);
+  c.on_completion(2.5 * window, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                  1 * sim::kUsec, 1);
   EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), after_md + 0.02, 1e-12);
 }
 
@@ -85,10 +86,12 @@ TEST(AequitasTest, SizeNormalizedComparison) {
   // A 10-MTU RPC with rnl just under 10*target is on time; just over misses.
   AequitasController c(make_config(15.0), sim::Rng(1));
   const sim::Time target = 15 * sim::kUsec;
-  c.on_completion(1.0, 0, 1, net::kQoSHigh, 10 * target * 1.01, 10);
+  c.on_completion(1.0, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                  10 * target * 1.01, 10);
   EXPECT_LT(c.p_admit(1, net::kQoSHigh), 1.0);
   AequitasController c2(make_config(15.0), sim::Rng(1));
-  c2.on_completion(1.0, 0, 1, net::kQoSHigh, 10 * target * 0.99, 10);
+  c2.on_completion(1.0, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                   10 * target * 0.99, 10);
   EXPECT_DOUBLE_EQ(c2.p_admit(1, net::kQoSHigh), 1.0);
 }
 
@@ -96,7 +99,8 @@ TEST(AequitasTest, PAdmitClampedToOne) {
   AequitasController c(make_config(), sim::Rng(1));
   const sim::Time window = c.increment_window(net::kQoSHigh);
   for (int i = 1; i <= 10; ++i) {
-    c.on_completion(i * 2 * window, 0, 1, net::kQoSHigh, 1 * sim::kUsec, 1);
+    c.on_completion(i * 2 * window, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                    1 * sim::kUsec, 1);
   }
   EXPECT_DOUBLE_EQ(c.p_admit(1, net::kQoSHigh), 1.0);
 }
@@ -106,7 +110,7 @@ TEST(AequitasTest, DowngradeGoesToLowestQos) {
   config.p_admit_floor = 0.0;
   AequitasController c(config, sim::Rng(7));
   for (int i = 0; i < 200; ++i) {
-    c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 8);  // drive p to 0
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, net::kQoSHigh, 1.0, 8);
   }
   int downgrades = 0;
   for (int i = 0; i < 100; ++i) {
@@ -130,7 +134,8 @@ TEST(AequitasTest, ZeroAdmitProbabilityAlwaysDowngrades) {
   config.beta_per_mtu = 1.0;
   for (const std::uint64_t seed : {1ull, 42ull, 1234567ull}) {
     AequitasController c(config, sim::Rng(seed));
-    c.on_completion(0.0, 0, 1, net::kQoSHigh, /*rnl=*/1.0, 1);  // hard miss
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                    /*rnl=*/1.0, 1);  // hard miss
     ASSERT_DOUBLE_EQ(c.p_admit(1, net::kQoSHigh), 0.0);
     for (int i = 0; i < 20000; ++i) {
       const auto decision = c.admit(0.0, 0, 1, net::kQoSHigh, 4096);
@@ -145,7 +150,7 @@ TEST(AequitasTest, AdmitFractionTracksPAdmit) {
   AequitasController c(config, sim::Rng(11));
   // Force p to ~0.3 via MD: 70 misses of 1 MTU.
   for (int i = 0; i < 70; ++i) {
-    c.on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 1);
+    c.on_completion(0.0, 0, 1, net::kQoSHigh, net::kQoSHigh, 1.0, 1);
   }
   EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 0.3, 1e-9);
   int admitted = 0;
@@ -158,8 +163,8 @@ TEST(AequitasTest, AdmitFractionTracksPAdmit) {
 
 TEST(AequitasTest, StatePerDestinationAndQos) {
   AequitasController c(make_config(), sim::Rng(1));
-  c.on_completion(0.0, 0, /*dst=*/1, net::kQoSHigh, 1.0, 10);
-  c.on_completion(0.0, 0, /*dst=*/2, net::kQoSMid, 1.0, 5);
+  c.on_completion(0.0, 0, /*dst=*/1, net::kQoSHigh, net::kQoSHigh, 1.0, 10);
+  c.on_completion(0.0, 0, /*dst=*/2, net::kQoSMid, net::kQoSMid, 1.0, 5);
   EXPECT_NEAR(c.p_admit(1, net::kQoSHigh), 0.9, 1e-12);
   EXPECT_DOUBLE_EQ(c.p_admit(2, net::kQoSHigh), 1.0);
   EXPECT_NEAR(c.p_admit(2, net::kQoSMid), 0.95, 1e-12);
@@ -175,7 +180,7 @@ TEST(AequitasTest, TwoQosConfiguration) {
   const auto low = c.admit(0.0, 0, 1, 1, 4096);
   EXPECT_EQ(low.qos_run, 1);
   // QoS_h downgrades to level 1.
-  for (int i = 0; i < 200; ++i) c.on_completion(0.0, 0, 1, 0, 1.0, 8);
+  for (int i = 0; i < 200; ++i) c.on_completion(0.0, 0, 1, 0, 0, 1.0, 8);
   int seen_downgrade = 0;
   for (int i = 0; i < 50; ++i) {
     if (c.admit(0.0, 0, 1, 0, 4096).downgraded) ++seen_downgrade;

@@ -1,0 +1,641 @@
+// Admission-policy framework tests (src/policy/, DESIGN.md §13).
+//
+// Covers, in order:
+//   * the registry (builtin names, custom registration, unknown-kind abort),
+//   * the legacy-alias folding in ExperimentConfig (hard errors on
+//     conflicts, silent folding otherwise),
+//   * the AdmissionDecision drop contract (dropped => no completion
+//     feedback, at the stack level and through QuotaController),
+//   * per-policy unit behavior (windowed base mechanics, ticket pool,
+//     bandit, SWP pacing, rejection adapter),
+//   * the determinism property: every registered policy produces identical
+//     metrics and schedule digests for a fixed seed across repeated runs,
+//     both scheduler backends, and shard counts 1/2/4, and
+//   * gauge-bounds: every policy's gauges sit inside their documented
+//     [lo, hi] after a real workload.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/quota.h"
+#include "policy/adapters.h"
+#include "policy/bandit.h"
+#include "policy/registry.h"
+#include "policy/swp_pacing.h"
+#include "policy/ticket_pool.h"
+#include "policy/windowed.h"
+#include "runner/experiment.h"
+#include "sim/digest.h"
+#include "workload/size_dist.h"
+
+namespace aeq {
+namespace {
+
+rpc::SloConfig make_slo(std::size_t num_qos = 3) {
+  if (num_qos == 2) {
+    return rpc::SloConfig::make({2.0 * sim::kUsec, 0.0}, 99.0);
+  }
+  return rpc::SloConfig::make(
+      {2.0 * sim::kUsec, 10.0 * sim::kUsec, 0.0}, 99.0);
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+TEST(PolicyRegistry, BuiltinsRegisteredAndSorted) {
+  const std::vector<std::string> names = policy::names();
+  for (const char* kind :
+       {policy::kAequitas, policy::kAlwaysAdmit, policy::kBandit,
+        policy::kSwpPacing, policy::kTicketPool}) {
+    EXPECT_TRUE(policy::is_registered(kind)) << kind;
+    EXPECT_NE(std::find(names.begin(), names.end(), kind), names.end())
+        << kind;
+  }
+  EXPECT_GE(names.size(), 5u);
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+  EXPECT_FALSE(policy::is_registered("no-such-policy"));
+}
+
+TEST(PolicyRegistryDeathTest, UnknownKindAbortsWithNameList) {
+  policy::AdmissionSpec spec;
+  spec.kind = "no-such-policy";
+  policy::PolicyContext context;
+  context.slo = make_slo();
+  EXPECT_DEATH(policy::make_controller(spec, std::move(context)),
+               "no-such-policy");
+}
+
+TEST(PolicyRegistry, CustomRegistrationReachesTheExperiment) {
+  policy::register_policy(
+      "test-always-admit",
+      [](const policy::AdmissionSpec&, const policy::PolicyContext&) {
+        return std::make_unique<rpc::AlwaysAdmit>();
+      });
+  ASSERT_TRUE(policy::is_registered("test-always-admit"));
+
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  config.admission.kind = "test-always-admit";
+  runner::Experiment experiment(config);
+  const auto decision =
+      experiment.admission(0).admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  EXPECT_FALSE(decision.downgraded);
+  EXPECT_FALSE(decision.dropped);
+}
+
+// ---------------------------------------------------------------------------
+// Legacy-alias folding
+// ---------------------------------------------------------------------------
+
+TEST(AdmissionSpecAlias, LegacyKnobsFoldIntoTheSpec) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  config.alpha = 0.05;         // legacy spelling of admission.aequitas.alpha
+  config.p_admit_floor = 0.2;  // and of ...p_admit_floor
+  runner::Experiment experiment(config);
+  ASSERT_NE(experiment.aequitas(0), nullptr);
+  // The floor folds through: MD can never push p_admit below 0.2.
+  for (int i = 0; i < 500; ++i) {
+    experiment.admission(0).on_completion(0.0, 0, 1, net::kQoSHigh,
+                                          net::kQoSHigh, 1.0, 8);
+  }
+  EXPECT_DOUBLE_EQ(experiment.aequitas(0)->p_admit(1, net::kQoSHigh), 0.2);
+}
+
+TEST(AdmissionSpecAlias, DisabledAequitasBecomesAlwaysAdmit) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  config.enable_aequitas = false;
+  runner::Experiment experiment(config);
+  EXPECT_EQ(experiment.aequitas(0), nullptr);
+  EXPECT_EQ(experiment.config().admission.kind, policy::kAlwaysAdmit);
+}
+
+TEST(AdmissionSpecAliasDeathTest, DisabledFlagConflictsWithExplicitKind) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  config.enable_aequitas = false;
+  config.admission.kind = policy::kTicketPool;
+  EXPECT_DEATH(runner::Experiment experiment(config), "enable_aequitas");
+}
+
+TEST(AdmissionSpecAliasDeathTest, LegacyAlphaConflictsWithSpecAlpha) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  config.alpha = 0.05;
+  config.admission.aequitas.alpha = 0.07;
+  EXPECT_DEATH(runner::Experiment experiment(config), "alpha");
+}
+
+TEST(AdmissionSpecAliasDeathTest, LegacyKnobRequiresAequitasKind) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  config.alpha = 0.05;
+  config.admission.kind = policy::kTicketPool;
+  EXPECT_DEATH(runner::Experiment experiment(config), "legacy Aequitas knob");
+}
+
+TEST(AdmissionSpecAliasDeathTest, LegacyFactoryConflictsWithExplicitKind) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  config.admission_factory = [](sim::Simulator&, net::HostId, sim::Rng) {
+    return std::make_unique<rpc::AlwaysAdmit>();
+  };
+  config.admission.kind = policy::kBandit;
+  EXPECT_DEATH(runner::Experiment experiment(config), "admission_factory");
+}
+
+// ---------------------------------------------------------------------------
+// The drop contract: dropped => no completion feedback
+// ---------------------------------------------------------------------------
+
+// Counts feedback per requested QoS; drops every SLO-class issue.
+class DropAllSloClasses final : public rpc::AdmissionController {
+ public:
+  explicit DropAllSloClasses(rpc::SloConfig slo) : slo_(std::move(slo)) {}
+
+  rpc::AdmissionDecision admit(sim::Time, net::HostId, net::HostId,
+                               net::QoSLevel qos_requested,
+                               std::uint64_t) override {
+    if (slo_.has_slo(qos_requested)) {
+      ++drops_;
+      return {qos_requested, false, true, 0.0};
+    }
+    return {qos_requested, false, false, 1.0};
+  }
+  void on_completion(sim::Time, net::HostId, net::HostId,
+                     net::QoSLevel qos_requested, net::QoSLevel, sim::Time,
+                     std::uint64_t) override {
+    ++feedback_[qos_requested];
+  }
+
+  std::uint64_t drops() const { return drops_; }
+  std::uint64_t feedback(net::QoSLevel qos) const {
+    const auto found = feedback_.find(qos);
+    return found == feedback_.end() ? 0 : found->second;
+  }
+
+ private:
+  rpc::SloConfig slo_;
+  std::uint64_t drops_ = 0;
+  std::map<net::QoSLevel, std::uint64_t> feedback_;
+};
+
+TEST(DropContract, DroppedRpcsGenerateNoCompletionFeedback) {
+  runner::ExperimentConfig config;
+  config.num_hosts = 2;
+  config.num_qos = 3;
+  config.slo = make_slo();
+  DropAllSloClasses* probe = nullptr;
+  config.admission_factory = [&probe, slo = config.slo](
+                                 sim::Simulator&, net::HostId host,
+                                 sim::Rng) {
+    auto controller = std::make_unique<DropAllSloClasses>(slo);
+    if (host == 0) probe = controller.get();
+    return controller;
+  };
+  runner::Experiment experiment(config);
+  ASSERT_NE(probe, nullptr);
+
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(16 * sim::kKiB));
+  workload::GeneratorConfig gen;
+  gen.classes = {{rpc::Priority::kPC, 0.2 * sim::gbps(100), sizes, 0.0},
+                 {rpc::Priority::kBE, 0.2 * sim::gbps(100), sizes, 0.0}};
+  experiment.add_generator(0, gen, workload::fixed_destination(1));
+  experiment.run(0.0, 0.5 * sim::kMsec, 0.2 * sim::kMsec);
+
+  // Every SLO-class issue was dropped; none of them may feed back. The
+  // scavenger class was admitted and completes normally.
+  EXPECT_GT(probe->drops(), 0u);
+  EXPECT_EQ(probe->feedback(net::kQoSHigh), 0u);
+  EXPECT_EQ(probe->feedback(net::kQoSMid), 0u);
+  EXPECT_GT(probe->feedback(net::kQoSLow), 0u);
+  EXPECT_EQ(experiment.metrics().completed(net::kQoSHigh), 0u);
+}
+
+TEST(DropContract, QuotaDropLeavesInnerAimdStateUntouched) {
+  // QuotaController with drop_over_quota: an over-quota drop must not feed
+  // the inner Aequitas AIMD (the RPC never ran, so there is nothing to
+  // learn from) — and per the contract the stack never calls on_completion
+  // for it either. Verify the decision shape and that inner p_admit stays
+  // at its initial value after drops.
+  sim::Simulator simulator;
+  core::QuotaServerConfig server_config;
+  server_config.qos_budget_bytes_per_sec = {1.0, sim::gbps(100), 0.0};
+  core::QuotaServer server(simulator, server_config);
+  const auto tenant = server.register_tenant(1.0);
+  core::AequitasConfig aequitas_config;
+  aequitas_config.slo = make_slo();
+  core::QuotaControllerConfig quota_config;
+  quota_config.drop_over_quota = true;
+  core::QuotaController controller(
+      simulator, server, tenant,
+      std::make_unique<core::AequitasController>(aequitas_config,
+                                                 sim::Rng(1)),
+      quota_config);
+  // The ~zero QoS_h budget forces over-quota drops immediately.
+  int drops = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto decision = controller.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+    if (decision.dropped) ++drops;
+  }
+  EXPECT_GT(drops, 0);
+  EXPECT_DOUBLE_EQ(controller.aequitas().p_admit(1, net::kQoSHigh), 1.0);
+}
+
+TEST(DropContract, RejectionAdapterConvertsDowngradesOnly) {
+  auto inner = std::make_unique<DropAllSloClasses>(make_slo());
+  // Wrap a policy that *downgrades* nothing: drops pass through untouched.
+  policy::RejectionAdapter adapter(std::move(inner));
+  const auto dropped = adapter.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  EXPECT_TRUE(dropped.dropped);
+  EXPECT_FALSE(dropped.downgraded);
+  EXPECT_EQ(dropped.qos_run, net::kQoSHigh);
+
+  // And a downgrading policy: the adapter rewrites the decision to a drop
+  // that keeps the requested QoS and the inner p_admit.
+  policy::TicketPoolConfig config;
+  config.initial_concurrency = 1;
+  config.min_concurrency = 1;
+  auto pool = std::make_unique<policy::TicketPoolController>(
+      config, 3, make_slo());
+  policy::RejectionAdapter drop_pool(std::move(pool));
+  EXPECT_FALSE(drop_pool.admit(0.0, 0, 1, net::kQoSHigh, 4096).dropped);
+  const auto rejected = drop_pool.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  EXPECT_TRUE(rejected.dropped);
+  EXPECT_FALSE(rejected.downgraded);
+  EXPECT_EQ(rejected.qos_run, net::kQoSHigh);
+  EXPECT_DOUBLE_EQ(rejected.p_admit, 0.0);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed base mechanics
+// ---------------------------------------------------------------------------
+
+class WindowProbe final : public policy::WindowedController {
+ public:
+  WindowProbe(std::size_t num_qos, rpc::SloConfig slo, sim::Time width)
+      : WindowedController(num_qos, std::move(slo), width) {}
+
+  void on_window(const obs::WindowStats& window) override {
+    windows.push_back(window);
+  }
+
+  std::vector<obs::WindowStats> windows;
+
+ protected:
+  rpc::AdmissionDecision decide(sim::Time, net::HostId, net::HostId,
+                                net::QoSLevel qos_requested,
+                                std::uint64_t) override {
+    return {qos_requested, false, false, 1.0};
+  }
+};
+
+TEST(WindowedController, ClosesEmptyWindowsAcrossIdleGaps) {
+  WindowProbe probe(3, make_slo(), 100 * sim::kUsec);
+  probe.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  // A long idle gap: the next call first closes every window in between,
+  // so window-indexed adaptation sees simulated time, not call counts.
+  probe.admit(1050 * sim::kUsec, 0, 1, net::kQoSHigh, 4096);
+  ASSERT_EQ(probe.windows.size(), 10u);
+  EXPECT_EQ(probe.windows[0].index, 0u);
+  EXPECT_EQ(probe.windows[0].admits, 1u);
+  for (std::size_t w = 1; w < 10; ++w) {
+    EXPECT_EQ(probe.windows[w].index, w);
+    EXPECT_EQ(probe.windows[w].admits, 0u);
+  }
+  EXPECT_EQ(probe.windows_closed(), 10u);
+}
+
+TEST(WindowedController, WindowStatsAttributeRequestedQosAndSloVerdict) {
+  const sim::Time width = 100 * sim::kUsec;
+  WindowProbe probe(3, make_slo(), width);
+  probe.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  probe.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  // One on-time completion (target 2us/MTU => 8 MTUs budget 16us) and one
+  // late, both requested on QoS_h but one run on the scavenger class.
+  probe.on_completion(10 * sim::kUsec, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                      10 * sim::kUsec, 8);
+  probe.on_completion(20 * sim::kUsec, 0, 1, net::kQoSHigh, net::kQoSLow,
+                      100 * sim::kUsec, 8);
+  probe.admit(width, 0, 1, net::kQoSLow, 4096);  // closes window 0
+  ASSERT_EQ(probe.windows.size(), 1u);
+  const obs::WindowStats& window = probe.windows[0];
+  EXPECT_EQ(window.qos[net::kQoSHigh].completed, 2u);
+  EXPECT_EQ(window.qos[net::kQoSHigh].slo_met, 1u);
+  EXPECT_DOUBLE_EQ(window.qos[net::kQoSHigh].slo_compliance, 0.5);
+  EXPECT_EQ(window.qos[net::kQoSLow].completed, 0u);
+  EXPECT_EQ(window.admits, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Ticket pool
+// ---------------------------------------------------------------------------
+
+TEST(TicketPool, RejectsWhenThePoolIsEmptyAndReleasesOnCompletion) {
+  policy::TicketPoolConfig config;
+  config.initial_concurrency = 2;
+  config.min_concurrency = 1;
+  policy::TicketPoolController pool(config, 3, make_slo());
+  EXPECT_FALSE(pool.admit(0.0, 0, 1, net::kQoSHigh, 4096).downgraded);
+  EXPECT_FALSE(pool.admit(0.0, 0, 1, net::kQoSMid, 4096).downgraded);
+  // Pool exhausted: the third SLO-class issue is rejected to the scavenger.
+  const auto rejected = pool.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  EXPECT_TRUE(rejected.downgraded);
+  EXPECT_EQ(rejected.qos_run, net::kQoSLow);
+  EXPECT_DOUBLE_EQ(rejected.p_admit, 0.0);
+  EXPECT_EQ(pool.tickets_in_flight(), 2);
+
+  // Scavenger-requested traffic bypasses the pool.
+  EXPECT_FALSE(pool.admit(0.0, 0, 1, net::kQoSLow, 4096).downgraded);
+  EXPECT_EQ(pool.tickets_in_flight(), 2);
+
+  // A ticketed completion frees a slot; the rejected RPC (which ran as
+  // scavenger) and native scavenger completions release nothing.
+  pool.on_completion(1 * sim::kUsec, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                     1 * sim::kUsec, 8);
+  EXPECT_EQ(pool.tickets_in_flight(), 1);
+  pool.on_completion(1 * sim::kUsec, 0, 1, net::kQoSHigh, net::kQoSLow,
+                     1 * sim::kUsec, 8);
+  EXPECT_EQ(pool.tickets_in_flight(), 1);
+  EXPECT_FALSE(pool.admit(2 * sim::kUsec, 0, 1, net::kQoSHigh, 4096)
+                   .downgraded);
+}
+
+TEST(TicketPool, ProbesUpWhenGoodputKeepsImproving) {
+  policy::TicketPoolConfig config;
+  config.initial_concurrency = 8;
+  config.window = 100 * sim::kUsec;
+  policy::TicketPoolController pool(config, 3, make_slo());
+  const double initial = pool.concurrency_limit();
+  // Feed windows of ever-increasing ticketed goodput: each probe-up is
+  // adopted and the limit climbs monotonically.
+  sim::Time now = 0.0;
+  int per_window = 4;
+  for (int w = 0; w < 20; ++w) {
+    for (int i = 0; i < per_window; ++i) {
+      pool.admit(now, 0, 1, net::kQoSHigh, 4096);
+      pool.on_completion(now, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                         1 * sim::kUsec, 1);
+    }
+    per_window += 2;
+    now += config.window;
+  }
+  pool.admit(now, 0, 1, net::kQoSHigh, 4096);  // close the last window
+  EXPECT_GT(pool.concurrency_limit(), initial);
+  pool.audit_invariants(now);
+}
+
+// ---------------------------------------------------------------------------
+// Bandit
+// ---------------------------------------------------------------------------
+
+TEST(Bandit, EpsilonDecaysToItsFloorAndActionStaysInRange) {
+  policy::BanditConfig config;
+  config.window = 100 * sim::kUsec;
+  policy::BanditController bandit(config, 3, make_slo(), sim::Rng(7));
+  EXPECT_DOUBLE_EQ(bandit.epsilon(), config.epsilon0);
+  sim::Time now = 0.0;
+  for (int w = 0; w < 400; ++w) {
+    bandit.admit(now, 0, 1, net::kQoSHigh, 4096);
+    bandit.on_completion(now, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                         1 * sim::kUsec, 1);
+    now += config.window;
+  }
+  EXPECT_DOUBLE_EQ(bandit.epsilon(), config.epsilon_min);
+  bool found = false;
+  for (const double action : config.actions) {
+    if (action == bandit.current_p_admit()) found = true;
+  }
+  EXPECT_TRUE(found);
+  bandit.audit_invariants(now);
+}
+
+TEST(Bandit, AppliesItsActionAsTheAdmitProbability) {
+  policy::BanditConfig config;
+  config.actions = {0.0};  // a single all-reject action
+  config.epsilon0 = 0.0;
+  config.epsilon_min = 0.0;
+  policy::BanditController bandit(config, 3, make_slo(), sim::Rng(7));
+  for (int i = 0; i < 200; ++i) {
+    const auto decision = bandit.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+    ASSERT_TRUE(decision.downgraded);
+    ASSERT_EQ(decision.qos_run, net::kQoSLow);
+  }
+  // The scavenger class is never gated, whatever the action.
+  EXPECT_FALSE(bandit.admit(0.0, 0, 1, net::kQoSLow, 4096).downgraded);
+}
+
+TEST(BanditDeathTest, RejectsMalformedActionSets) {
+  policy::BanditConfig config;
+  config.actions = {};
+  EXPECT_DEATH(policy::BanditController(config, 3, make_slo(), sim::Rng(1)),
+               "action");
+}
+
+// ---------------------------------------------------------------------------
+// SWP pacing
+// ---------------------------------------------------------------------------
+
+TEST(SwpPacing, CollapsesAdmittedTrafficToOneClassAndSpillsOverBudget) {
+  policy::SwpPacingConfig config;
+  config.initial_rate_fraction = 0.5;
+  config.window = 100 * sim::kUsec;
+  policy::SwpPacingController swp(config, 3, make_slo(), sim::gbps(100),
+                                  /*drop_rejects=*/false);
+  // In budget: every class runs on the single paced class (QoS_h), even a
+  // scavenger request — SWP has no priorities.
+  const auto high = swp.admit(0.0, 0, 1, net::kQoSHigh, 4096);
+  EXPECT_EQ(high.qos_run, net::kQoSHigh);
+  EXPECT_FALSE(high.downgraded);
+  const auto low = swp.admit(0.0, 0, 1, net::kQoSLow, 4096);
+  EXPECT_EQ(low.qos_run, net::kQoSHigh);
+
+  // Exhaust the token bucket at t=0 (capacity = burst_windows * rate *
+  // width): over-budget issues spill to the scavenger class as downgrades.
+  bool spilled = false;
+  for (int i = 0; i < 100000 && !spilled; ++i) {
+    const auto decision = swp.admit(0.0, 0, 1, net::kQoSHigh, 64 * 1024);
+    if (decision.downgraded) {
+      EXPECT_EQ(decision.qos_run, net::kQoSLow);
+      spilled = true;
+    }
+  }
+  EXPECT_TRUE(spilled);
+  swp.audit_invariants(0.0);
+}
+
+TEST(SwpPacing, DropVariantDropsInsteadOfSpilling) {
+  policy::SwpPacingConfig config;
+  config.initial_rate_fraction = 0.1;
+  policy::SwpPacingController swp(config, 3, make_slo(), sim::gbps(100),
+                                  /*drop_rejects=*/true);
+  bool dropped = false;
+  for (int i = 0; i < 100000 && !dropped; ++i) {
+    const auto decision = swp.admit(0.0, 0, 1, net::kQoSHigh, 64 * 1024);
+    EXPECT_FALSE(decision.downgraded);
+    dropped = decision.dropped;
+  }
+  EXPECT_TRUE(dropped);
+}
+
+TEST(SwpPacing, SlowsDownUnderSustainedSloViolations) {
+  policy::SwpPacingConfig config;
+  config.initial_rate_fraction = 0.9;
+  config.window = 100 * sim::kUsec;
+  policy::SwpPacingController swp(config, 3, make_slo(), sim::gbps(100),
+                                  false);
+  sim::Time now = 0.0;
+  for (int w = 0; w < 10; ++w) {
+    for (int i = 0; i < 8; ++i) {
+      swp.admit(now, 0, 1, net::kQoSHigh, 4096);
+      // Way over the 2us/MTU target: every window is violating.
+      swp.on_completion(now, 0, 1, net::kQoSHigh, net::kQoSHigh,
+                        1 * sim::kMsec, 1);
+    }
+    now += config.window;
+  }
+  swp.admit(now, 0, 1, net::kQoSHigh, 4096);
+  EXPECT_LT(swp.rate_fraction(), config.initial_rate_fraction);
+  EXPECT_GE(swp.rate_fraction(), config.min_rate_fraction);
+  swp.audit_invariants(now);
+}
+
+// ---------------------------------------------------------------------------
+// Determinism and gauge-bounds properties over a real workload
+// ---------------------------------------------------------------------------
+
+struct PolicyRun {
+  std::uint64_t digest = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t downgraded = 0;
+  std::uint64_t bytes = 0;
+};
+
+PolicyRun run_policy_workload(const std::string& kind, std::size_t shards,
+                              sim::SchedulerBackend backend,
+                              std::uint64_t seed) {
+  runner::ExperimentConfig config;
+  config.scheduler_backend = backend;
+  config.num_hosts = 8;
+  config.num_qos = 3;
+  config.admission.kind = kind;
+  config.slo = make_slo();
+  config.shards = shards;
+  // Audit ticks are per-executive events (see digest_test.cc): pin the
+  // audit off so the schedule digest is comparable across shard counts.
+  config.audit = false;
+  config.schedule_digest = sim::kDigestBuildEnabled;
+  config.seed = seed;
+
+  runner::Experiment experiment(config);
+  const auto* sizes = experiment.own(
+      std::make_unique<workload::FixedSize>(16 * sim::kKiB));
+  for (std::size_t h = 0; h < config.num_hosts; ++h) {
+    workload::GeneratorConfig gen;
+    gen.classes = {
+        {rpc::Priority::kPC, 0.5 * sim::gbps(100), sizes, 0.0},
+        {rpc::Priority::kNC, 0.4 * sim::gbps(100), sizes, 0.0},
+        {rpc::Priority::kBE, 0.3 * sim::gbps(100), sizes, 0.0}};
+    experiment.add_generator(static_cast<net::HostId>(h), gen);
+  }
+  experiment.run(0.2 * sim::kMsec, 0.8 * sim::kMsec, 0.5 * sim::kMsec);
+
+  // While the run is hot, assert every host's gauges respect their
+  // documented bounds (the audit's gauge-bounds check, run unconditionally
+  // here so it also covers AEQ_AUDIT=OFF builds).
+  for (std::size_t h = 0; h < config.num_hosts; ++h) {
+    for (const rpc::Gauge& gauge :
+         experiment.admission(static_cast<net::HostId>(h)).gauges()) {
+      EXPECT_GE(gauge.value, gauge.lo) << kind << " gauge " << gauge.name;
+      EXPECT_LE(gauge.value, gauge.hi) << kind << " gauge " << gauge.name;
+    }
+  }
+
+  PolicyRun result;
+  if (sim::kDigestBuildEnabled) {
+    result.digest = experiment.schedule_digest().canonical();
+  }
+  const auto& metrics = experiment.metrics();
+  result.completed = metrics.total_completed();
+  for (net::QoSLevel q = 0; q < 3; ++q) {
+    result.downgraded += metrics.downgraded(q);
+    result.bytes += metrics.bytes_completed(q);
+  }
+  return result;
+}
+
+class PolicyDeterminismTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PolicyDeterminismTest, SameSeedSameMetricsAndDigest) {
+  const PolicyRun a = run_policy_workload(
+      GetParam(), 1, sim::SchedulerBackend::kCalendar, 42);
+  const PolicyRun b = run_policy_workload(
+      GetParam(), 1, sim::SchedulerBackend::kCalendar, 42);
+  ASSERT_GT(a.completed, 100u) << "workload too light to mean anything";
+  EXPECT_EQ(a.digest, b.digest);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.downgraded, b.downgraded);
+  EXPECT_EQ(a.bytes, b.bytes);
+}
+
+TEST_P(PolicyDeterminismTest, BackendsAgree) {
+  const PolicyRun heap =
+      run_policy_workload(GetParam(), 1, sim::SchedulerBackend::kHeap, 42);
+  const PolicyRun cal = run_policy_workload(
+      GetParam(), 1, sim::SchedulerBackend::kCalendar, 42);
+  EXPECT_EQ(heap.digest, cal.digest);
+  EXPECT_EQ(heap.completed, cal.completed);
+  EXPECT_EQ(heap.downgraded, cal.downgraded);
+  EXPECT_EQ(heap.bytes, cal.bytes);
+}
+
+TEST_P(PolicyDeterminismTest, ShardCountsOneTwoFourAgree) {
+  const PolicyRun serial = run_policy_workload(
+      GetParam(), 1, sim::SchedulerBackend::kCalendar, 42);
+  for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+    const PolicyRun sharded = run_policy_workload(
+        GetParam(), shards, sim::SchedulerBackend::kCalendar, 42);
+    EXPECT_EQ(serial.digest, sharded.digest) << shards << " shards";
+    EXPECT_EQ(serial.completed, sharded.completed) << shards << " shards";
+    EXPECT_EQ(serial.downgraded, sharded.downgraded) << shards << " shards";
+    EXPECT_EQ(serial.bytes, sharded.bytes) << shards << " shards";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPolicies, PolicyDeterminismTest,
+    ::testing::Values(policy::kAequitas, policy::kAlwaysAdmit,
+                      policy::kBandit, policy::kSwpPacing,
+                      policy::kTicketPool),
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      std::string name = param_info.param;
+      for (char& c : name) {
+        if (c == '-') c = '_';
+      }
+      return name;
+    });
+
+}  // namespace
+}  // namespace aeq

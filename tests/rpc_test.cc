@@ -171,7 +171,8 @@ TEST(RpcStackTest, DowngradeVisibleToApplication) {
 
   // Force the controller's p_admit to 0 toward host 1 on QoS_h.
   for (int i = 0; i < 300; ++i) {
-    experiment.aequitas(0)->on_completion(0.0, 0, 1, net::kQoSHigh, 1.0, 8);
+    experiment.admission(0).on_completion(0.0, 0, 1, net::kQoSHigh,
+                                          net::kQoSHigh, 1.0, 8);
   }
   int downgrades = 0;
   experiment.stack(0).set_completion_listener([&](const RpcRecord& r) {

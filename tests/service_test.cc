@@ -117,8 +117,8 @@ TEST(ServiceTest, WorksUnderAequitasDowngrades) {
   // Crush the admit probability so requests get downgraded; operations must
   // still complete (downgrade is not drop).
   for (int i = 0; i < 300; ++i) {
-    h.experiment.aequitas(0)->on_completion(0.0, 0, 2, net::kQoSHigh, 1.0,
-                                            8);
+    h.experiment.admission(0).on_completion(0.0, 0, 2, net::kQoSHigh,
+                                            net::kQoSHigh, 1.0, 8);
   }
   int completed = 0;
   h.nodes[0]->set_op_listener(

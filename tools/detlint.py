@@ -69,7 +69,7 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 # Directories holding simulation logic that must be free of hidden mutable
 # state and ad-hoc threading (rules static-local / thread-primitive).
 DETERMINISTIC_DIRS = (
-    "src/sim/", "src/net/", "src/core/", "src/rpc/",
+    "src/sim/", "src/net/", "src/core/", "src/policy/", "src/rpc/",
     "src/transport/", "src/protocols/", "src/runner/",
 )
 
