@@ -31,8 +31,8 @@ runner::PointResult run(bool with_aequitas, std::uint64_t seed,
   config.seed = seed;
   // Per-channel QoS_h rates are tiny (traffic spreads over 24 remote
   // hosts), so favor SLO-compliance in the AIMD balance (§6.6).
-  config.alpha = 0.002;
-  config.beta_per_mtu = 0.04;
+  config.admission.aequitas.alpha = 0.002;
+  config.admission.aequitas.beta_per_mtu = 0.04;
   const double size_mtus = 8.0;
   config.slo = rpc::SloConfig::make({60 * sim::kUsec / size_mtus,
                                      120 * sim::kUsec / size_mtus, 0.0},

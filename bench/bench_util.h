@@ -57,11 +57,17 @@ struct TraceRequest {
   // --flight-recorder PATH: ring-buffer post-mortem; dump lands at PATH on
   // the first anomaly or on an assert/audit failure.
   std::string flight_recorder;
+  // --prof PATH: execution profile (obs/prof, DESIGN.md §14) for the
+  // requested point — JSON report at PATH (`.point<N>`-suffixed when N>0,
+  // so repeated --trace-point invocations never clobber each other), flame
+  // rows at `<report>.trace.json`, text summary on stderr. Observe-only:
+  // the profiled point's stdout stays byte-identical.
+  std::string prof;
   int point = 0;  // --trace-point N: which apply() site fires
 
   bool enabled() const {
     return !trace.empty() || !trace_csv.empty() || !timeseries.empty() ||
-           watchdog || !flight_recorder.empty();
+           watchdog || !flight_recorder.empty() || !prof.empty();
   }
 
   runner::TelemetrySpec spec() const {
@@ -84,7 +90,12 @@ struct TraceRequest {
   // order they are submitted/constructed.
   void apply(runner::Experiment& experiment, int point_index = 0) const {
     if (!enabled() || point_index != point) return;
-    experiment.enable_telemetry(spec());
+    const runner::TelemetrySpec telemetry = spec();
+    if (telemetry.any()) experiment.enable_telemetry(telemetry);
+    if (!prof.empty()) {
+      experiment.enable_profiling(
+          point == 0 ? prof : prof + ".point" + std::to_string(point));
+    }
   }
 };
 
@@ -101,6 +112,9 @@ struct TraceRequest {
 //   --timeseries-width U  window width in simulated microseconds (100)
 //   --watchdog PATH  enable the anomaly watchdog; log to PATH ("-"=stderr)
 //   --flight-recorder PATH  post-mortem ring buffer; dump on anomaly/crash
+//   --prof PATH     execution profile for one point: per-component JSON
+//                   report at PATH (+ `.trace.json` flame rows, stderr
+//                   summary); observe-only, stdout stays byte-identical
 //   --trace-point N which point gets the telemetry (default 0, the first)
 //   --shards N      intra-run parallelism (ExperimentConfig::shards): each
 //                   simulation point runs on N conservative-PDES shards;
@@ -147,6 +161,7 @@ inline BenchArgs parse_args(int argc, char** argv) {
   args.trace.watchdog = args.flags.has("watchdog");
   args.trace.watchdog_log = watchdog_arg == "true" ? "" : watchdog_arg;
   args.trace.flight_recorder = args.flags.get("flight-recorder");
+  args.trace.prof = args.flags.get("prof");
   args.trace.point = static_cast<int>(args.flags.get_int("trace-point", 0));
   return args;
 }

@@ -25,8 +25,8 @@ runner::PointResult run_variant(bool with_aequitas, std::uint64_t seed,
   // Favor SLO-compliance over stability (§6.6): per-channel RPC rates are
   // low with 32 destinations, which weakens MD pressure at the default
   // balance.
-  config.alpha = 0.003;
-  config.beta_per_mtu = 0.03;
+  config.admission.aequitas.alpha = 0.003;
+  config.admission.aequitas.beta_per_mtu = 0.03;
   const double size_mtus = 8.0;  // 32KB
   config.slo = rpc::SloConfig::make({25 * sim::kUsec / size_mtus,
                                      50 * sim::kUsec / size_mtus, 0.0},

@@ -30,8 +30,8 @@ runner::Experiment make_experiment(bool with_aequitas,
   config.slo = slo;
   config.seed = seed;
   // Favor SLO-compliance over work-conservation (§6.6 / Appendix C).
-  config.alpha = 0.003;
-  config.beta_per_mtu = 0.03;
+  config.admission.aequitas.alpha = 0.003;
+  config.admission.aequitas.beta_per_mtu = 0.03;
   return runner::Experiment(config);
 }
 

@@ -34,8 +34,8 @@ GroupStats run(bool with_aequitas, std::uint64_t seed,
   // tail of the latency distribution, so the default alpha/beta balance
   // (which equalizes the average miss rate) would settle above the p99.9
   // target.
-  config.alpha = 0.002;
-  config.beta_per_mtu = 0.05;
+  config.admission.aequitas.alpha = 0.002;
+  config.admission.aequitas.beta_per_mtu = 0.05;
   runner::Experiment experiment(config);
   trace.apply(experiment, point);
   const auto* small = experiment.own(

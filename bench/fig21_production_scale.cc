@@ -48,8 +48,8 @@ runner::PointResult run(const Fig21Params& params, bool with_aequitas,
   config.slo = rpc::SloConfig::make(
       {4.0 * sim::kUsec, 12.0 * sim::kUsec, 0.0}, 99.9);
   // Favor SLO-compliance over stability at this scale (§6.6).
-  config.alpha = 0.002;
-  config.beta_per_mtu = 0.05;
+  config.admission.aequitas.alpha = 0.002;
+  config.admission.aequitas.beta_per_mtu = 0.05;
   runner::Experiment experiment(config);
   trace.apply(experiment, point);
 

@@ -31,7 +31,8 @@ constexpr char kUsage[] =
     "           [--sweep-points=N] [--jobs=J] [--seed=S]\n"
     "           [--trace=PATH] [--trace-csv=PATH] [--trace-point=N]\n"
     "           [--timeseries=BASE] [--timeseries-width=USEC]\n"
-    "           [--watchdog[=PATH]] [--flight-recorder=PATH]";
+    "           [--watchdog[=PATH]] [--flight-recorder=PATH]\n"
+    "           [--prof=PATH]";
 
 struct ProbeParams {
   double alpha = 0.01;

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "obs/prof/profiler.h"
+
 namespace aeq::audit {
 
 void Auditor::add_check(std::string component, std::string name,
@@ -17,6 +19,7 @@ void Auditor::add_check(std::string component, std::string name,
 }
 
 void Auditor::run_all() {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kAudit);
   for (Check& check : checks_) {
     // Expose the check's name to AEQ_CHECK_* failure reports; the string
     // outlives the call (owned by checks_, stable across push_backs because

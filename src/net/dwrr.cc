@@ -1,5 +1,6 @@
 #include "net/dwrr.h"
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::net {
@@ -17,6 +18,7 @@ DwrrQueue::DwrrQueue(std::vector<double> weights,
 }
 
 bool DwrrQueue::enqueue(const Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueDwrr);
   AEQ_CHECK_LT(packet.qos, classes_.size());
   count_offered(packet);
   ClassState& cls = classes_[packet.qos];
@@ -33,6 +35,7 @@ bool DwrrQueue::enqueue(const Packet& packet) {
 }
 
 std::optional<Packet> DwrrQueue::dequeue() {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueDwrr);
   if (backlog_packets_ == 0) return std::nullopt;
   // Walk classes round-robin; a class with backlog whose deficit covers the
   // head packet sends. A visited empty class forfeits its deficit.

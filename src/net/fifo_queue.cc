@@ -1,8 +1,11 @@
 #include "net/fifo_queue.h"
 
+#include "obs/prof/profiler.h"
+
 namespace aeq::net {
 
 bool FifoQueue::enqueue(const Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueFifo);
   count_offered(packet);
   if (capacity_bytes_ != 0 &&
       backlog_bytes_ + packet.size_bytes > capacity_bytes_) {
@@ -16,6 +19,7 @@ bool FifoQueue::enqueue(const Packet& packet) {
 }
 
 std::optional<Packet> FifoQueue::dequeue() {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueFifo);
   if (queue_.empty()) return std::nullopt;
   Packet p = queue_.front();
   queue_.pop_front();

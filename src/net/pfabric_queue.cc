@@ -1,5 +1,6 @@
 #include "net/pfabric_queue.h"
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::net {
@@ -40,6 +41,7 @@ std::size_t PfabricQueue::max_priority_index() const {
 }
 
 bool PfabricQueue::enqueue(const Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueuePfabric);
   count_offered(packet);
   Entry incoming{packet, packet.cold.priority, next_arrival_seq_++};
   // Evict lowest-urgency packets until the newcomer fits; if the newcomer is
@@ -69,6 +71,7 @@ bool PfabricQueue::enqueue(const Packet& packet) {
 }
 
 std::optional<Packet> PfabricQueue::dequeue() {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueuePfabric);
   if (queue_.empty()) return std::nullopt;
   const std::size_t best = min_priority_index();
   Packet p = queue_[best].packet;

@@ -1,5 +1,6 @@
 #include "net/port.h"
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::net {
@@ -49,6 +50,7 @@ void Port::deliver_head() {
 
 void Port::try_transmit() {
   if (busy_) return;
+  const obs::prof::ProfRegion prof(obs::prof::Region::kPortTx);
   auto next = queue_->dequeue();
   if (!next) return;
   if (obs_ != nullptr) {

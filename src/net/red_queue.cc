@@ -1,5 +1,6 @@
 #include "net/red_queue.h"
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::net {
@@ -30,6 +31,7 @@ double RedQueue::drop_probability() const {
 }
 
 bool RedQueue::enqueue(const Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueRed);
   avg_backlog_ = (1.0 - config_.ewma_weight) * avg_backlog_ +
                  config_.ewma_weight * static_cast<double>(backlog_bytes_);
   count_offered(packet);
@@ -46,6 +48,7 @@ bool RedQueue::enqueue(const Packet& packet) {
 }
 
 std::optional<Packet> RedQueue::dequeue() {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueRed);
   if (queue_.empty()) return std::nullopt;
   Packet p = queue_.front();
   queue_.pop_front();

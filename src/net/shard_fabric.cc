@@ -78,6 +78,10 @@ void ShardFabric::ShardLink::on_tx_complete(const Packet& packet,
     box.overflow.push_back({arrival, packet});
     ++box.overflowed;
   }
+  // Producer-side depth sample: within a window nothing is consumed, so
+  // push time sees the true (monotone within the window) depth.
+  const std::uint64_t depth = box.ring.approx_size() + box.overflow.size();
+  if (depth > box.depth_hwm) box.depth_hwm = depth;
 }
 
 void ShardFabric::drain_all() {
@@ -117,6 +121,14 @@ std::uint64_t ShardFabric::mailbox_overflows() const {
   std::uint64_t total = 0;
   for (const auto& box : mailboxes_) total += box->overflowed;
   return total;
+}
+
+std::uint64_t ShardFabric::mailbox_depth_hwm() const {
+  std::uint64_t hwm = 0;
+  for (const auto& box : mailboxes_) {
+    if (box->depth_hwm > hwm) hwm = box->depth_hwm;
+  }
+  return hwm;
 }
 
 }  // namespace aeq::net

@@ -77,6 +77,10 @@ class ShardFabric {
   // Pushes that missed the SPSC ring and took the overflow vector; a large
   // count means mailbox_capacity is undersized for the traffic matrix.
   std::uint64_t mailbox_overflows() const;
+  // Deepest any single (src, dst) mailbox got between barriers (ring +
+  // overflow, sampled at push time): the executive's peak cross-shard
+  // backlog, reported in the --prof executive section.
+  std::uint64_t mailbox_depth_hwm() const;
 
  private:
   struct StampedPacket {
@@ -112,6 +116,7 @@ class ShardFabric {
     std::vector<StampedPacket> overflow;
     std::uint64_t pushed = 0;      // written by the producer shard only
     std::uint64_t overflowed = 0;  // ditto
+    std::uint64_t depth_hwm = 0;   // ditto (peak ring + overflow depth)
   };
 
   // Shard-s side of the cut; one instance per shard, shared by all of the

@@ -1,5 +1,6 @@
 #include "net/spq.h"
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::net {
@@ -12,6 +13,7 @@ SpqQueue::SpqQueue(std::size_t num_classes, std::uint64_t capacity_bytes)
 }
 
 bool SpqQueue::enqueue(const Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueSpq);
   AEQ_CHECK_LT(packet.qos, classes_.size());
   count_offered(packet);
   if (capacity_bytes_ != 0 &&
@@ -27,6 +29,7 @@ bool SpqQueue::enqueue(const Packet& packet) {
 }
 
 std::optional<Packet> SpqQueue::dequeue() {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueSpq);
   for (auto& fifo : classes_) {
     if (fifo.empty()) continue;
     Packet p = fifo.front();

@@ -1,5 +1,6 @@
 #include "net/switch.h"
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::net {
@@ -29,6 +30,7 @@ void Switch::set_ecmp_route(HostId dst,
 }
 
 void Switch::receive(const Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kSwitchRoute);
   ++received_packets_;
   const auto d = static_cast<std::size_t>(packet.dst);
   AEQ_ASSERT_MSG(d < routes_.size() && !routes_[d].empty(),

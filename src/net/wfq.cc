@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::net {
@@ -21,6 +22,7 @@ WfqQueue::WfqQueue(std::vector<double> weights, std::uint64_t capacity_bytes,
 }
 
 bool WfqQueue::enqueue(const Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueWfq);
   AEQ_CHECK_LT_MSG(packet.qos, classes_.size(), "packet QoS out of range");
   count_offered(packet);
   ClassState& cls = classes_[packet.qos];
@@ -50,6 +52,7 @@ bool WfqQueue::enqueue(const Packet& packet) {
 }
 
 std::optional<Packet> WfqQueue::dequeue() {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kQueueWfq);
   if (backlog_packets_ == 0) return std::nullopt;
   std::size_t best = classes_.size();
   double best_finish = std::numeric_limits<double>::infinity();

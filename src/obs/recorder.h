@@ -14,6 +14,11 @@
 // Ports are registered up front (register_port) so packet events carry a
 // dense uint32 id instead of a string; registration order is the experiment
 // wiring order, which is deterministic for a fixed config.
+//
+// Sharded runs build one Recorder per shard; each gets a distinct
+// first_port_id base so the global port-id space stays collision-free and
+// obs::shard_merge can interleave the per-shard Chrome-trace tracks without
+// two shards' ports landing on one pid (tests/shard_merge_test.cc).
 #pragma once
 
 #include <memory>
@@ -21,6 +26,7 @@
 #include <vector>
 
 #include "obs/events.h"
+#include "obs/prof/profiler.h"
 
 namespace aeq::obs {
 
@@ -44,14 +50,20 @@ class Sink {
 
 class Recorder {
  public:
+  // `first_port_id` offsets every id this recorder assigns; per-shard
+  // recorders pass disjoint bases so ids are globally unique across shards.
+  Recorder() = default;
+  explicit Recorder(std::uint32_t first_port_id)
+      : first_port_id_(first_port_id) {}
+
   // Registers a sink the caller keeps alive for the recorder's lifetime.
   // Ports registered before the sink arrived are replayed immediately, so a
   // sink attached mid-run (e.g. a flight recorder armed on anomaly) still
   // learns every port's name.
   void add_sink(Sink* sink) {
     for (std::size_t id = 0; id < port_names_.size(); ++id) {
-      sink->on_port_registered(static_cast<std::uint32_t>(id),
-                               port_names_[id]);
+      sink->on_port_registered(
+          first_port_id_ + static_cast<std::uint32_t>(id), port_names_[id]);
     }
     sinks_.push_back(sink);
   }
@@ -66,31 +78,39 @@ class Recorder {
 
   std::size_t sink_count() const { return sinks_.size(); }
 
-  // Assigns the next dense port id and announces it to the sinks.
+  // Assigns the next port id (first_port_id + dense local index) and
+  // announces it to the sinks.
   std::uint32_t register_port(const std::string& name) {
-    const auto id = static_cast<std::uint32_t>(port_names_.size());
+    const auto id =
+        first_port_id_ + static_cast<std::uint32_t>(port_names_.size());
     port_names_.push_back(name);
     for (Sink* sink : sinks_) sink->on_port_registered(id, name);
     return id;
   }
   const std::string& port_name(std::uint32_t port) const {
-    return port_names_.at(port);
+    return port_names_.at(port - first_port_id_);
   }
   std::size_t port_count() const { return port_names_.size(); }
+  std::uint32_t first_port_id() const { return first_port_id_; }
 
   void rpc_generated(const RpcGenerated& event) {
+    const prof::ProfRegion region(prof::Region::kTelemetry);
     for (Sink* sink : sinks_) sink->on_rpc_generated(event);
   }
   void admission(const AdmissionDecision& event) {
+    const prof::ProfRegion region(prof::Region::kTelemetry);
     for (Sink* sink : sinks_) sink->on_admission(event);
   }
   void packet(const PacketEvent& event) {
+    const prof::ProfRegion region(prof::Region::kTelemetry);
     for (Sink* sink : sinks_) sink->on_packet(event);
   }
   void cwnd(const CwndUpdate& event) {
+    const prof::ProfRegion region(prof::Region::kTelemetry);
     for (Sink* sink : sinks_) sink->on_cwnd(event);
   }
   void rpc_complete(const RpcComplete& event) {
+    const prof::ProfRegion region(prof::Region::kTelemetry);
     for (Sink* sink : sinks_) sink->on_rpc_complete(event);
   }
 
@@ -102,6 +122,7 @@ class Recorder {
   std::vector<Sink*> sinks_;
   std::vector<std::unique_ptr<Sink>> owned_;
   std::vector<std::string> port_names_;
+  std::uint32_t first_port_id_ = 0;
 };
 
 }  // namespace aeq::obs

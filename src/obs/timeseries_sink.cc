@@ -84,6 +84,12 @@ void TimeseriesSink::add_window_listener(
   listeners_.push_back(std::move(fn));
 }
 
+void TimeseriesSink::set_gauge_provider(GaugeProvider provider) {
+  AEQ_ASSERT_MSG(gauge_provider_ == nullptr,
+                 "TimeseriesSink: gauge provider already set");
+  gauge_provider_ = std::move(provider);
+}
+
 void TimeseriesSink::on_port_registered(std::uint32_t port,
                                         const std::string& name) {
   if (port >= port_names_.size()) {
@@ -248,6 +254,7 @@ WindowStats TimeseriesSink::harvest(sim::Time end) {
   window.events = events_;
   window.cum_generated = cum_generated_;
   window.cum_finished = cum_finished_;
+  if (gauge_provider_) window.gauges = gauge_provider_();
   return window;
 }
 
@@ -280,6 +287,12 @@ void TimeseriesSink::write_csv_rows(const WindowStats& window,
     out << start << ',' << end << ",port:" << name << ",,,,,,,,,,,,,,,"
         << port.drops << ',' << port.enqueued << ',' << port.dequeued << ','
         << port.qlen_max_bytes << ',' << num(port.qlen_mean_bytes) << '\n';
+  }
+  // Gauge rows reuse the admission-plane mean/min columns — a gauge is the
+  // same shape of signal (cluster mean + worst host), so no header churn.
+  for (const WindowStats::GaugeStat& gauge : window.gauges) {
+    out << start << ',' << end << ",gauge:" << gauge.name << ",,,,,,,,,,"
+        << num(gauge.mean) << ',' << num(gauge.min) << ",,,,,,,,\n";
   }
 }
 
@@ -328,7 +341,18 @@ void TimeseriesSink::write_json_window(const WindowStats& window) {
         << ",\"qlen_mean_bytes\":" << num(port.qlen_mean_bytes) << "}";
     first_port = false;
   }
-  out << "]}";
+  out << "]";
+  if (!window.gauges.empty()) {
+    out << ",\"gauges\":[";
+    for (std::size_t g = 0; g < window.gauges.size(); ++g) {
+      const WindowStats::GaugeStat& gauge = window.gauges[g];
+      out << (g == 0 ? "" : ",") << "{\"name\":\"" << gauge.name
+          << "\",\"mean\":" << num(gauge.mean)
+          << ",\"min\":" << num(gauge.min) << "}";
+    }
+    out << "]";
+  }
+  out << "}";
 }
 
 void TimeseriesSink::reset_accumulators() {

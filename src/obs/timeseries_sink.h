@@ -107,6 +107,16 @@ struct WindowStats {
   // difference is the outstanding-RPC backlog the stall rule inspects.
   std::uint64_t cum_generated = 0;
   std::uint64_t cum_finished = 0;
+
+  // Controller gauges sampled at window close (set_gauge_provider):
+  // cluster mean and worst host per named gauge. Empty unless a provider
+  // is attached, which keeps the default CSV/JSON bytes unchanged.
+  struct GaugeStat {
+    std::string name;
+    double mean = 0.0;
+    double min = 0.0;
+  };
+  std::vector<GaugeStat> gauges;
 };
 
 class TimeseriesSink : public Sink {
@@ -134,6 +144,14 @@ class TimeseriesSink : public Sink {
 
   // Invoked with each window as it closes, in registration order.
   void add_window_listener(std::function<void(const WindowStats&)> fn);
+
+  // Attaches a gauge sampler invoked at every window close (must be
+  // read-only and deterministic, like the audit sweep — the runner wires
+  // the admission controllers' gauges() here). Each closed window then
+  // carries the samples as `gauge:<name>` CSV rows (mean/min in the
+  // p_admit_mean/p_admit_min columns) and a JSON "gauges" array.
+  using GaugeProvider = std::function<std::vector<WindowStats::GaugeStat>()>;
+  void set_gauge_provider(GaugeProvider provider);
 
   std::uint64_t windows_closed() const { return windows_closed_; }
   const std::deque<WindowStats>& recent() const { return recent_; }
@@ -165,6 +183,7 @@ class TimeseriesSink : public Sink {
 
   std::vector<std::string> port_names_;
   std::vector<std::function<void(const WindowStats&)>> listeners_;
+  GaugeProvider gauge_provider_;
 
   // --- accumulators of the currently open window ---
   std::uint64_t window_index_ = 0;

@@ -1,5 +1,6 @@
 #include "rpc/rpc_stack.h"
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::rpc {
@@ -41,8 +42,10 @@ std::uint64_t RpcStack::issue(net::HostId dst, Priority priority,
     obs_->rpc_generated(generated);
   }
 
-  const AdmissionDecision decision =
-      admission_.admit(sim_.now(), host_id_, dst, qos_requested, bytes);
+  const AdmissionDecision decision = [&] {
+    const obs::prof::ProfRegion prof(obs::prof::Region::kAdmission);
+    return admission_.admit(sim_.now(), host_id_, dst, qos_requested, bytes);
+  }();
 
   if (obs_ != nullptr) {
     obs::AdmissionDecision admitted;

@@ -1,8 +1,10 @@
 #include "runner/experiment.h"
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "audit/checks.h"
 #include "obs/chrome_trace_sink.h"
@@ -263,6 +265,159 @@ void Experiment::enable_telemetry(const TelemetrySpec& spec) {
   sharded_ ? wire_shard_telemetry() : wire_telemetry();
 }
 
+void Experiment::enable_profiling(const std::string& path) {
+  if (path.empty()) return;
+  AEQ_ASSERT_MSG(config_.prof.empty() || config_.prof == path,
+                 "profiling is already enabled with a different path");
+  AEQ_ASSERT_MSG(prof_run_ == nullptr, "enable_profiling must precede run()");
+  config_.prof = path;
+}
+
+// --- Execution profiling (DESIGN.md §14) ----------------------------------
+//
+// start_profiling() installs the collectors before the first event
+// dispatches; finish_profiling() uninstalls them after the drain, assembles
+// the Report and writes all three outputs (JSON, Chrome tracks, stderr
+// summary). Both run strictly outside the simulation, so a profiled run
+// executes the exact schedule an unprofiled run does (tests/prof_test.cc
+// pins byte- and digest-identity).
+
+void Experiment::start_profiling() {
+  AEQ_ASSERT(prof_run_ == nullptr);
+  prof_run_ = std::make_unique<ProfRun>();
+  prof_run_->events_at_start = sharded_ ? 0 : sim_.events_processed();
+  if (sharded_) {
+    std::vector<obs::prof::Collector*> collectors;
+    collectors.reserve(config_.shards);
+    for (std::size_t k = 0; k < config_.shards; ++k) {
+      prof_run_->shard_collectors.push_back(
+          std::make_unique<obs::prof::Collector>());
+      collectors.push_back(prof_run_->shard_collectors.back().get());
+    }
+    sharded_->set_profiling(std::move(collectors));
+  }
+  // This thread's collector: serial runs attribute the whole simulation
+  // here; sharded runs only the coordinator's barrier drains and the
+  // post-run sweeps that execute on this thread.
+  obs::prof::install(&prof_run_->main);
+  prof_run_->begin = obs::prof::calibration_point();
+}
+
+void Experiment::finish_profiling() {
+  AEQ_ASSERT(prof_run_ != nullptr);
+  const obs::prof::Calibration end_point = obs::prof::calibration_point();
+  obs::prof::install(nullptr);
+
+  obs::prof::Report report;
+  report.sim_time = now();
+  report.num_shards = sharded_ ? config_.shards : 1;
+  report.cycles_per_second =
+      obs::prof::cycles_per_second(prof_run_->begin, end_point);
+  report.elapsed_seconds =
+      end_point.wall_seconds - prof_run_->begin.wall_seconds;
+  const obs::prof::Cycles envelope =
+      end_point.cycles > prof_run_->begin.cycles
+          ? end_point.cycles - prof_run_->begin.cycles
+          : 0;
+  // Per-thread denominator contribution. The measured busy envelope is
+  // the truth, but with tree sampling the report scales each collector's
+  // attribution by sample_scale(), and a noisy draw can push that
+  // estimate past the envelope — widen to whichever is larger so scaled
+  // shares still sum to <= 1 by construction (report.h).
+  const auto share_denominator = [](const obs::prof::Collector& collector,
+                                    obs::prof::Cycles busy) {
+    const double scaled = collector.sample_scale() *
+                          static_cast<double>(
+                              obs::prof::attributed_self_cycles(collector));
+    return scaled > static_cast<double>(busy)
+               ? static_cast<obs::prof::Cycles>(scaled)
+               : busy;
+  };
+
+  if (sharded_) {
+    sharded_->set_profiling({});
+    const sim::ExecutiveStats exec = sharded_->executive_stats();
+    for (std::size_t k = 0; k < config_.shards; ++k) {
+      obs::prof::ThreadProfile thread;
+      thread.label = "shard" + std::to_string(k);
+      thread.events = exec.shards[k].events;
+      thread.busy_cycles = exec.shards[k].busy_cycles;
+      thread.wait_cycles = exec.shards[k].wait_cycles;
+      thread.collector = *prof_run_->shard_collectors[k];
+      report.events_processed += thread.events;
+      report.threads.push_back(std::move(thread));
+    }
+    obs::prof::ThreadProfile coordinator;
+    coordinator.label = "coordinator";
+    coordinator.busy_cycles = envelope;
+    coordinator.collector = prof_run_->main;
+    report.threads.push_back(std::move(coordinator));
+    report.denominator_cycles = 0;
+    for (std::size_t k = 0; k < config_.shards; ++k) {
+      report.denominator_cycles += share_denominator(
+          *prof_run_->shard_collectors[k], exec.shards[k].busy_cycles);
+    }
+    report.denominator_cycles += share_denominator(prof_run_->main, envelope);
+
+    report.executive.present = true;
+    report.executive.windows = exec.windows;
+    report.executive.backoff_windows = exec.backoff_windows;
+    report.executive.epochs = prof_run_->epochs;
+    report.executive.barrier_cycles = exec.barrier_cycles;
+    report.executive.barrier_stall_share = exec.barrier_stall_share();
+    report.executive.load_imbalance = exec.load_imbalance();
+    report.executive.window_hist = exec.window_hist;
+    report.executive.mailbox_depth_hwm = fabric_->mailbox_depth_hwm();
+    report.executive.cross_shard_packets = fabric_->cross_shard_packets();
+    report.executive.mailbox_overflows = fabric_->mailbox_overflows();
+  } else {
+    obs::prof::ThreadProfile thread;
+    thread.label = "serial";
+    thread.events = sim_.events_processed() - prof_run_->events_at_start;
+    thread.busy_cycles = envelope;
+    thread.collector = prof_run_->main;
+    report.events_processed = thread.events;
+    report.threads.push_back(std::move(thread));
+    report.denominator_cycles = share_denominator(prof_run_->main, envelope);
+  }
+
+  obs::prof::write_json(report, config_.prof);
+  obs::prof::write_chrome_tracks(report, config_.prof + ".trace.json");
+  obs::prof::write_text_summary(report, std::cerr);
+  prof_run_.reset();
+}
+
+std::vector<obs::WindowStats::GaugeStat> Experiment::sample_admission_gauges()
+    const {
+  std::vector<obs::WindowStats::GaugeStat> out;
+  if (controllers_.empty()) return out;
+  // The first controller defines the gauge set — every host runs the same
+  // policy, so names and order must agree across the fleet (asserted
+  // below). Each output row is one gauge's fleet mean and fleet min.
+  const std::vector<rpc::Gauge> first = controllers_[0]->gauges();
+  if (first.empty()) return out;
+  std::vector<double> sum(first.size(), 0.0);
+  std::vector<double> min(first.size(), 0.0);
+  for (std::size_t h = 0; h < controllers_.size(); ++h) {
+    const std::vector<rpc::Gauge> gauges =
+        h == 0 ? first : controllers_[h]->gauges();
+    AEQ_ASSERT_MSG(gauges.size() == first.size(),
+                   "admission gauge sets differ across hosts");
+    for (std::size_t g = 0; g < gauges.size(); ++g) {
+      AEQ_ASSERT_MSG(std::string(gauges[g].name) == first[g].name,
+                     "admission gauge names differ across hosts");
+      sum[g] += gauges[g].value;
+      min[g] = h == 0 ? gauges[g].value : std::min(min[g], gauges[g].value);
+    }
+  }
+  out.reserve(first.size());
+  for (std::size_t g = 0; g < first.size(); ++g) {
+    out.push_back({first[g].name,
+                   sum[g] / static_cast<double>(controllers_.size()), min[g]});
+  }
+  return out;
+}
+
 void Experiment::fill_watchdog_defaults(obs::WatchdogConfig& config) const {
   // Compliance alarms derive from the configured SLO percentiles, backed
   // off by a margin so ordinary jitter around the target stays silent: a
@@ -345,6 +500,11 @@ void Experiment::wire_telemetry() {
     ts.json_path = spec.timeseries_json;
     timeseries_ = static_cast<obs::TimeseriesSink*>(
         recorder_->own_sink(std::make_unique<obs::TimeseriesSink>(ts)));
+    // Every closed window also samples the admission controllers' gauges
+    // (read-only, like the audit sweep), giving `--controller=` shoot-outs
+    // a per-window gauge timeline next to the admission-plane columns.
+    timeseries_->set_gauge_provider(
+        [this] { return sample_admission_gauges(); });
   }
   if (spec.watchdog) {
     obs::WatchdogConfig wd = spec.watchdog_config;
@@ -396,15 +556,32 @@ void Experiment::wire_telemetry() {
 // order, so per-shard files are deterministic; run() merges them into the
 // final path in shard-id order (obs::merge_sharded_*), giving stable bytes
 // for any rerun of the same seed and shard count.
+//
+// Port-id bases: each recorder numbers its ports from a cumulative base
+// (shard k's base = total ports owned by shards < k) so ids — and
+// therefore Chrome-trace pids — are globally unique. Without the bases
+// every shard numbered from 0 and the merged trace folded same-index
+// ports from different shards into one track
+// (tests/shard_merge_test.cc::PortTracksStayDistinctAcrossShards).
 void Experiment::wire_shard_telemetry() {
   const TelemetrySpec& spec = config_.telemetry;
   AEQ_ASSERT_MSG(!spec.windowed() && spec.flight_recorder.empty(),
                  "windowed telemetry (timeseries/watchdog/flight recorder) "
                  "is not yet supported with shards > 1; use --trace / "
                  "--trace-csv");
+  std::vector<std::uint32_t> port_count(config_.shards, 0);
+  for (std::size_t i = 0; i < network_.num_hosts(); ++i) {
+    ++port_count[fabric_->shard_of(static_cast<net::HostId>(i))];
+  }
+  for (std::size_t s = 0; s < network_.num_switches(); ++s) {
+    port_count[s] += static_cast<std::uint32_t>(
+        network_.fabric_switch(s).num_ports());
+  }
   shard_recorders_.resize(config_.shards);
+  std::uint32_t base = 0;
   for (std::size_t k = 0; k < config_.shards; ++k) {
-    shard_recorders_[k] = std::make_unique<obs::Recorder>();
+    shard_recorders_[k] = std::make_unique<obs::Recorder>(base);
+    base += port_count[k];
     if (!spec.trace.empty()) {
       shard_recorders_[k]->own_sink(std::make_unique<obs::ChromeTraceSink>(
           obs::shard_trace_path(spec.trace, k)));
@@ -566,6 +743,7 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
     watchdog_->set_stall_horizon(warmup + duration);
   }
   run_end_ = warmup + duration;
+  if (!config_.prof.empty()) start_profiling();
   const sim::Time start = now();
   for (auto& generator : generators_) {
     generator->run(start, run_end_);
@@ -591,8 +769,10 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
   }
   if (sharded_) {
     sharded_->run_until(run_end_);
+    if (prof_run_) prof_run_->epochs.push_back(sharded_->windows_executed());
     // Let in-flight RPCs finish so tail percentiles include them.
     sharded_->run_until(run_end_ + drain);
+    if (prof_run_) prof_run_->epochs.push_back(sharded_->windows_executed());
     // Post-drain audit sweep per shard, then fold the per-shard metric
     // sinks into the global one in shard-id order (sample-exact; see
     // rpc::RpcMetrics::merge) and stitch the per-shard trace files.
@@ -615,6 +795,7 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
                                       config_.shards);
       }
     }
+    if (prof_run_) finish_profiling();
     return;
   }
   sim_.run_until(run_end_);
@@ -624,6 +805,7 @@ void Experiment::run(sim::Time warmup, sim::Time duration, sim::Time drain) {
   // once queues empty, e.g. a pool reservation that never released).
   if (auditor_) auditor_->run_all();
   if (recorder_) recorder_->flush(sim_.now());
+  if (prof_run_) finish_profiling();
 }
 
 double Experiment::mean_downlink_utilization() const {

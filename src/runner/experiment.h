@@ -15,6 +15,7 @@
 #include "net/queue_factory.h"
 #include "net/shard_fabric.h"
 #include "obs/flight_recorder.h"
+#include "obs/prof/report.h"
 #include "obs/recorder.h"
 #include "obs/timeseries_sink.h"
 #include "obs/watchdog.h"
@@ -166,6 +167,14 @@ struct ExperimentConfig {
   std::string trace;
   std::string trace_csv;
 
+  // Execution profiling (src/obs/prof/, DESIGN.md §14): when non-empty,
+  // run() attributes cycle cost per component into this JSON report path
+  // (plus `<prof>.trace.json` Chrome-trace flame rows and a text summary
+  // on stderr). Observe-only: schedules and stdout/artifact bytes are
+  // identical with profiling on or off, on both backends at any shard
+  // count (tests/prof_test.cc pins this).
+  std::string prof;
+
   // Schedule digest (sim/digest.h): when true, every dispatched event's
   // (time, tie-rank) is folded into a digest exposed by
   // Experiment::schedule_digest(). Read-only with respect to the run —
@@ -264,6 +273,10 @@ class Experiment {
   void trace_to(const std::string& chrome_json,
                 const std::string& csv = "");
 
+  // Post-construction equivalent of setting ExperimentConfig::prof. Must
+  // be called before run(); at most one profile path per experiment.
+  void enable_profiling(const std::string& path);
+
   // Registers and owns a size distribution for the experiment's lifetime.
   const workload::SizeDistribution* own(
       std::unique_ptr<workload::SizeDistribution> dist);
@@ -304,6 +317,9 @@ class Experiment {
   }
   void schedule_telemetry_tick(sim::Time at, sim::Time end);
   void wire_telemetry();
+  void start_profiling();
+  void finish_profiling();
+  std::vector<obs::WindowStats::GaugeStat> sample_admission_gauges() const;
   void fill_watchdog_defaults(obs::WatchdogConfig& config) const;
   void on_anomaly(const obs::Anomaly& anomaly);
   // Last-gasp hook (sim/assert.h): dumps the flight recorder and recent
@@ -342,6 +358,22 @@ class Experiment {
   };
   std::vector<Sampler> samplers_;
   sim::Time run_end_ = 0.0;
+
+  // Live profiling state for the current run() (config_.prof non-empty):
+  // the main-thread collector (serial loop, or the sharded coordinator's
+  // barrier drains and post-run sweeps), per-shard worker collectors, the
+  // opening calibration point, and the executive's cumulative window
+  // counts at each run-phase boundary.
+  struct ProfRun {
+    obs::prof::Collector main;
+    std::vector<std::unique_ptr<obs::prof::Collector>> shard_collectors;
+    obs::prof::Calibration begin;
+    std::vector<std::uint64_t> epochs;
+    // Serial runs may call run() repeatedly; the report counts only the
+    // events dispatched inside this profiled run.
+    std::uint64_t events_at_start = 0;
+  };
+  std::unique_ptr<ProfRun> prof_run_;
 };
 
 }  // namespace aeq::runner

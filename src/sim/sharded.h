@@ -34,6 +34,7 @@
 // tests/sharded_test.cc).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -44,7 +45,54 @@
 #include "util/mutex.h"
 #include "util/thread_annotations.h"
 
+namespace aeq::obs::prof {
+class Collector;
+}  // namespace aeq::obs::prof
+
 namespace aeq::sim {
+
+// Introspection snapshot of the PDES executive (DESIGN.md §14). All cycle
+// fields are raw timestamp-counter deltas (obs::prof::cycles_now units);
+// they are observe-only and never feed back into the simulation.
+struct ShardExecStats {
+  std::uint64_t busy_cycles = 0;  // inside Simulator::run_until on a window
+  std::uint64_t wait_cycles = 0;  // parked between windows (barrier + idle)
+  std::uint64_t events = 0;       // events dispatched by this shard
+};
+
+struct ExecutiveStats {
+  // Log2 histogram of window length in 1/16ths of the lookahead: bucket 4
+  // is a window of exactly one lookahead, lower buckets are backed-off or
+  // event-sparse windows, higher buckets are idle-gap skips.
+  static constexpr std::size_t kWindowHistBuckets = 32;
+
+  std::uint64_t windows = 0;
+  // Windows whose horizon was set by the 4-ulp backoff (earliest +
+  // lookahead won over t_end) rather than the run target.
+  std::uint64_t backoff_windows = 0;
+  // Coordinator cycles inside the barrier callback (mailbox drain).
+  // Only accumulated while profiling is enabled.
+  std::uint64_t barrier_cycles = 0;
+  std::array<std::uint64_t, kWindowHistBuckets> window_hist{};
+  std::vector<ShardExecStats> shards;
+
+  std::uint64_t total_busy_cycles() const {
+    std::uint64_t total = 0;
+    for (const ShardExecStats& shard : shards) total += shard.busy_cycles;
+    return total;
+  }
+  std::uint64_t total_wait_cycles() const {
+    std::uint64_t total = 0;
+    for (const ShardExecStats& shard : shards) total += shard.wait_cycles;
+    return total;
+  }
+  // max(busy) / mean(busy): 1.0 is a perfectly balanced cut, K is one
+  // shard doing all the work. 0 when no cycles were measured.
+  double load_imbalance() const;
+  // Σwait / (Σbusy + Σwait): the fraction of worker wall time spent parked
+  // at barriers instead of dispatching events.
+  double barrier_stall_share() const;
+};
 
 class ShardedSimulator {
  public:
@@ -102,6 +150,20 @@ class ShardedSimulator {
     return merged;
   }
 
+  // Profiling handover: `collectors` (one per shard, or empty to disable)
+  // are installed as each worker's thread-local profiler collector for
+  // subsequent windows, and per-shard busy/wait cycle accounting turns on.
+  // Observe-only — enabling this cannot change the schedule. Call only
+  // between run_until calls (workers parked); the pool mutex publishes the
+  // pointers to the workers.
+  void set_profiling(std::vector<obs::prof::Collector*> collectors);
+
+  // Executive introspection snapshot. Window counts and the window-size
+  // histogram are always maintained (they derive from simulated time and
+  // cost nothing); cycle fields are nonzero only after set_profiling.
+  // Call only between run_until calls.
+  ExecutiveStats executive_stats();
+
  private:
   // Runs every shard to `horizon` on the worker pool and waits for all.
   void parallel_window(Time horizon);
@@ -112,6 +174,17 @@ class ShardedSimulator {
   Time now_ = 0.0;
   std::uint64_t windows_ = 0;
   std::function<void()> barrier_callback_;
+
+  // Coordinator-thread-only introspection (no lock needed: written in
+  // run_until / set_profiling, read in executive_stats, all coordinator
+  // calls). The window histogram derives from simulated time, so it is
+  // deterministic; the cycle counters are wall-derived and gated on
+  // prof_enabled_ so an unprofiled run never reads the TSC here.
+  std::uint64_t backoff_windows_ = 0;
+  std::uint64_t barrier_cycles_ = 0;
+  std::array<std::uint64_t, ExecutiveStats::kWindowHistBuckets>
+      window_hist_{};
+  bool prof_enabled_ = false;
 
   // Worker pool: epoch_ increments publish a new window target; running_
   // counts workers still inside it. The lock protocol is machine-checked:
@@ -124,6 +197,12 @@ class ShardedSimulator {
   Time target_ AEQ_GUARDED_BY(mutex_) = 0.0;
   std::size_t running_ AEQ_GUARDED_BY(mutex_) = 0;
   bool shutdown_ AEQ_GUARDED_BY(mutex_) = false;
+  // Profiling handover state: workers read their collector pointer and the
+  // flag at each epoch pickup (already under mutex_) and write their cycle
+  // totals back under the same lock they use to decrement running_.
+  bool profiling_ AEQ_GUARDED_BY(mutex_) = false;
+  std::vector<obs::prof::Collector*> collectors_ AEQ_GUARDED_BY(mutex_);
+  std::vector<ShardExecStats> shard_exec_ AEQ_GUARDED_BY(mutex_);
   std::vector<std::thread> workers_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <utility>
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::transport {
@@ -47,6 +48,7 @@ Flow& HostStack::flow_to(net::HostId dst, net::QoSLevel qos, int lane) {
 
 void HostStack::send_message(const SendRequest& request,
                              CompletionHandler on_complete) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kTransportTx);
   const int lane = config_.large_message_lane_threshold != 0 &&
                            request.bytes >
                                config_.large_message_lane_threshold
@@ -58,6 +60,7 @@ void HostStack::send_message(const SendRequest& request,
 }
 
 void HostStack::on_packet(const net::Packet& packet) {
+  const obs::prof::ProfRegion prof(obs::prof::Region::kTransportRx);
   if (control_handler_ && control_handler_(packet)) return;
   switch (packet.type) {
     case net::PacketType::kData:

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "obs/prof/profiler.h"
 #include "sim/assert.h"
 
 namespace aeq::workload {
@@ -90,6 +91,7 @@ void TrafficGenerator::schedule_next(std::size_t class_index,
   const sim::Time at = state.arrivals->next_arrival(from, rng_);
   if (at >= stop_time_) return;
   sim_.schedule_at(at, [this, class_index, at] {
+    const obs::prof::ProfRegion prof(obs::prof::Region::kWorkload);
     ClassState& cls = classes_[class_index];
     const net::HostId dst = pick_destination_(rng_);
     const std::uint64_t bytes = cls.load.sizes->sample(rng_);

@@ -170,6 +170,58 @@ TEST(TimeseriesGoldenTest, JsonBytes) {
   EXPECT_EQ(json.str(), expected);
 }
 
+// Golden bytes for the controller-gauge rows (PR-10 satellite): with a
+// gauge provider attached, every closed window grows one `gauge:<name>`
+// CSV row per gauge (fleet mean / fleet min in the p_admit columns) and a
+// JSON "gauges" array. The provider is sampled at window close, so the
+// two windows can carry different values.
+TEST(TimeseriesGoldenTest, GaugeRowsCsvAndJsonBytes) {
+  std::ostringstream csv;
+  std::ostringstream json;
+  obs::TimeseriesSink sink(small_config(), &csv, &json);
+  int samples = 0;
+  sink.set_gauge_provider([&samples] {
+    ++samples;
+    std::vector<obs::WindowStats::GaugeStat> gauges;
+    gauges.push_back({"fq_threshold", 0.5 * samples, 0.25 * samples});
+    gauges.push_back({"p_admit", 1.0, 0.75});
+    return gauges;
+  });
+  obs::Recorder recorder;
+  recorder.add_sink(&sink);
+  replay_lifecycle(recorder);
+
+  ASSERT_EQ(samples, 2);  // one sample per closed window
+  const std::string csv_text = csv.str();
+  EXPECT_NE(csv_text.find(
+                "0.000,5.000,gauge:fq_threshold,,,,,,,,,,0.5,0.25,,,,,,,,\n"),
+            std::string::npos);
+  EXPECT_NE(
+      csv_text.find("0.000,5.000,gauge:p_admit,,,,,,,,,,1,0.75,,,,,,,,\n"),
+      std::string::npos);
+  EXPECT_NE(csv_text.find(
+                "5.000,10.000,gauge:fq_threshold,,,,,,,,,,1,0.5,,,,,,,,\n"),
+            std::string::npos);
+  const std::string json_text = json.str();
+  EXPECT_NE(json_text.find(
+                "\"gauges\":[{\"name\":\"fq_threshold\",\"mean\":0.5,"
+                "\"min\":0.25},{\"name\":\"p_admit\",\"mean\":1,"
+                "\"min\":0.75}]"),
+            std::string::npos);
+  // Gauge rows ride after the port rows, inside the same window block.
+  EXPECT_LT(csv_text.find("port:sw0-port0"),
+            csv_text.find("gauge:fq_threshold"));
+}
+
+TEST(TimeseriesSinkTest, GaugeProviderTwiceDies) {
+  obs::TimeseriesSink sink(small_config(), nullptr, nullptr);
+  sink.set_gauge_provider(
+      [] { return std::vector<obs::WindowStats::GaugeStat>{}; });
+  EXPECT_DEATH(sink.set_gauge_provider(
+                   [] { return std::vector<obs::WindowStats::GaugeStat>{}; }),
+               "gauge provider already set");
+}
+
 TEST(TimeseriesSinkTest, AdvanceClosesEmptyWindowsAndFlushIsIdempotent) {
   obs::TimeseriesSink sink(small_config(), nullptr, nullptr);
   sink.advance_to(17 * sim::kUsec);  // windows [0,5) [5,10) [10,15) close

@@ -4,8 +4,9 @@
 # §11). Runs perf_probe end to end on both scheduler backends with
 # telemetry off and fully on, sweeps the conservative-PDES shard count
 # (1/2/4, calendar backend), runs the micro_core scheduler/queue
-# microbenchmarks, and emits one JSON document whose schema is checked by
-# `tools/validate_trace.py --bench-json`.
+# microbenchmarks, captures a per-component execution profile (serial and
+# 4-shard `--prof` runs, DESIGN.md §14), and emits one JSON document whose
+# schema is checked by `tools/validate_trace.py --bench-json`.
 #
 # The absolute numbers are machine dependent; `pre_overhaul` pins what the
 # same probe measured on the reference machine before the overhaul so the
@@ -57,6 +58,15 @@ for shards in 1 2 4; do
     >> "$scratch/sharded.txt"
 done
 cores=$(nproc 2>/dev/null || getconf _NPROCESSORS_ONLN)
+
+# Execution profile (schema v3): break the headline events/sec down by
+# component (obs/prof regions) and, at 4 shards, by shard. Profiling is
+# observe-only, so these runs dispatch the identical event sequence as the
+# unprofiled ones above — the generator script checks the counts agree.
+"$probe" --warmup-ms=2 --run-ms=8 --backend=calendar \
+  --prof="$scratch/prof_serial.json" > /dev/null 2>&1
+"$probe" --warmup-ms=2 --run-ms=8 --backend=calendar --shards=4 \
+  --prof="$scratch/prof_sharded.json" > /dev/null 2>&1
 
 "$micro" --benchmark_format=json --benchmark_out="$scratch/micro.json" \
   --benchmark_min_time=0.2 > /dev/null
@@ -124,6 +134,75 @@ def parse_sharded(path):
     return results
 
 
+def profile_regions(report):
+    """Flattens a --prof report's aggregate regions for the bench doc."""
+    regions = []
+    for region in report["regions"]:
+        regions.append(
+            {
+                "name": region["name"],
+                "calls": region["calls"],
+                "self_share": round(region["self_share"], 4),
+                "ns_per_call": round(
+                    1e9 * region["self_seconds"] / region["calls"], 1
+                ),
+            }
+        )
+    return regions
+
+
+def profile_section(serial_path, sharded_path):
+    serial = json.load(open(serial_path))
+    sharded = json.load(open(sharded_path))
+    if serial["events_processed"] != sharded["events_processed"]:
+        sys.exit(
+            "bench_hotpath: profiled event counts diverge "
+            f"(serial {serial['events_processed']}, "
+            f"sharded {sharded['events_processed']})"
+        )
+    executive = sharded["executive"]
+    total_busy = sum(
+        t["busy_cycles"] for t in sharded["threads"] if t["label"] != "coordinator"
+    )
+    per_shard = [
+        {
+            "label": t["label"],
+            "events": t["events"],
+            "busy_share": round(t["busy_cycles"] / total_busy, 4)
+            if total_busy
+            else 0.0,
+        }
+        for t in sharded["threads"]
+        if t["label"] != "coordinator"
+    ]
+    return {
+        "command": "perf_probe --warmup-ms=2 --run-ms=8 --backend=calendar"
+        " [--shards=4] --prof=...",
+        "serial": {
+            "events": serial["events_processed"],
+            "events_per_sec_millions": round(
+                serial["events_per_sec"] / 1e6, 2
+            ),
+            "regions": profile_regions(serial),
+        },
+        "sharded": {
+            "shards": sharded["num_shards"],
+            "events": sharded["events_processed"],
+            "events_per_sec_millions": round(
+                sharded["events_per_sec"] / 1e6, 2
+            ),
+            "windows": executive["windows"],
+            "barrier_stall_share": round(
+                executive["barrier_stall_share"], 4
+            ),
+            "load_imbalance": round(executive["load_imbalance"], 3),
+            "mailbox_depth_hwm": executive["mailbox_depth_hwm"],
+            "regions": profile_regions(sharded),
+            "per_shard": per_shard,
+        },
+    }
+
+
 micro = json.load(open(f"{scratch}/micro.json"))
 micro_results = []
 for bench in micro["benchmarks"]:
@@ -139,7 +218,7 @@ for bench in micro["benchmarks"]:
     micro_results.append(entry)
 
 doc = {
-    "schema_version": 2,
+    "schema_version": 3,
     "benchmark": "hotpath",
     "perf_probe": {
         "command": f"perf_probe {probe_args}",
@@ -156,6 +235,9 @@ doc = {
         "command": "micro_core --benchmark_min_time=0.2",
         "results": micro_results,
     },
+    "profile": profile_section(
+        f"{scratch}/prof_serial.json", f"{scratch}/prof_sharded.json"
+    ),
     # Same probe, same machine, commit before the hot-path overhaul.
     "pre_overhaul": {
         "heap_events_per_sec_millions": 2.10,

@@ -3,7 +3,7 @@
 # than AEQ_PERF_TOLERANCE percent (default 5) against the committed
 # baseline in tools/perf_baseline_ci.txt.
 #
-# Three modes, three baseline keys in the same file:
+# Four modes, four baseline keys in the same file:
 #   default               tracing disabled (events_per_sec_millions) — guards
 #                         the null-recorder branch on every emission site
 #   AEQ_PERF_TELEMETRY=1  full windowed telemetry on (timeseries + watchdog +
@@ -17,11 +17,18 @@
 #                         time-slice); speedup is recorded and gated by
 #                         tools/bench_hotpath.sh + validate_trace.py, which
 #                         know the core count.
+#   AEQ_PERF_PROF=1       execution profiler on (--prof, obs/prof;
+#                         events_per_sec_millions_prof) — guards the
+#                         enabled-path cost of the region instrumentation.
+#                         The committed baseline is set within 5% of the
+#                         unprofiled one, so this floor doubles as a cap on
+#                         profiling overhead: if instrumentation gets more
+#                         expensive, this mode regresses first.
 #
 # The baselines are absolute events/sec numbers and therefore machine
 # dependent. Refresh on the reference machine with:
 #
-#   AEQ_PERF_UPDATE_BASELINE=1 [AEQ_PERF_TELEMETRY=1|AEQ_PERF_SHARDED=1] tools/perf_smoke.sh <build-dir>
+#   AEQ_PERF_UPDATE_BASELINE=1 [AEQ_PERF_TELEMETRY=1|AEQ_PERF_SHARDED=1|AEQ_PERF_PROF=1] tools/perf_smoke.sh <build-dir>
 #
 # Usage: tools/perf_smoke.sh [build-dir]   (default: build)
 set -euo pipefail
@@ -39,6 +46,7 @@ fi
 key=events_per_sec_millions
 telemetry=0
 sharded=0
+prof=0
 if [[ "${AEQ_PERF_TELEMETRY:-0}" == "1" ]]; then
   key=events_per_sec_millions_telemetry
   telemetry=1
@@ -47,6 +55,11 @@ if [[ "${AEQ_PERF_TELEMETRY:-0}" == "1" ]]; then
 elif [[ "${AEQ_PERF_SHARDED:-0}" == "1" ]]; then
   key=events_per_sec_millions_sharded
   sharded=1
+elif [[ "${AEQ_PERF_PROF:-0}" == "1" ]]; then
+  key=events_per_sec_millions_prof
+  prof=1
+  scratch=$(mktemp -d)
+  trap 'rm -rf "$scratch"' EXIT
 fi
 
 # Prints the best backend's events/sec for one probe iteration. Telemetry
@@ -71,6 +84,12 @@ measure_once() {
     echo "$best_rate"
   elif [[ "$sharded" == "1" ]]; then
     "$probe" --warmup-ms=2 --run-ms=4 --backend=calendar --shards=2 |
+      sed -n "$parse"
+  elif [[ "$prof" == "1" ]]; then
+    # The probe's stdout is byte-identical with profiling on (the report
+    # goes to files and stderr), so the same parse works.
+    "$probe" --warmup-ms=2 --run-ms=4 --backend=calendar \
+      --prof="$scratch/prof.json" 2>/dev/null |
       sed -n "$parse"
   else
     "$probe" --warmup-ms=2 --run-ms=4 --backend=both |

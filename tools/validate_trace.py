@@ -29,6 +29,16 @@ one (or all zero), RNL percentiles ordered p50 <= p90 <= p99, and rates
 dump is an ordinary Chrome trace and goes through the positional TRACE
 path.
 
+--prof-json checks an execution-profile report (`--prof=PATH`, written by
+obs::prof::write_json, DESIGN.md §14): the aeq-prof-v1 schema plus the
+invariants the profiler promises by construction -- per-region self time
+never exceeding total time, histogram counts summing to the call count,
+self shares over the run denominator summing to at most 1, and (for
+sharded runs) monotonically non-decreasing executive epochs, backoff
+windows bounded by the window count, barrier stall share inside [0, 1]
+and a load-imbalance factor of at least 1. Each is negative-tested in CI
+by mangling a fresh report and expecting a non-zero exit.
+
 Finally, --bench-json checks the committed speed artifact
 (BENCH_hotpath.json, written by tools/bench_hotpath.sh): schema version,
 one perf_probe result per backend x telemetry combination with positive
@@ -36,13 +46,16 @@ events/sec, matching event counts across backends for the same telemetry
 mode (the two schedulers must dispatch the identical event sequence),
 a sharded section covering shard counts 1/2/4 whose event counts agree
 exactly (a sharded run must reproduce the serial event sequence) with a
-speedup floor at 4 shards when the recording machine had >= 4 cores, and
-well-formed micro_core entries. CI runs it against both the committed file
-and a freshly generated one, so a schema drift in either direction fails.
+speedup floor at 4 shards when the recording machine had >= 4 cores,
+well-formed micro_core entries, and a profile section (schema v3) that
+breaks the headline events/sec down by component and by shard, with the
+same share/stall/imbalance invariants as --prof-json. CI runs it against
+both the committed file and a freshly generated one, so a schema drift in
+either direction fails.
 
 Usage: tools/validate_trace.py [TRACE.json] [--expect-spans]
            [--timeseries-csv TS.csv] [--timeseries-json TS.json]
-           [--bench-json BENCH.json]
+           [--bench-json BENCH.json] [--prof-json PROF.json]
 """
 
 import argparse
@@ -256,6 +269,16 @@ def validate_timeseries_csv(path):
                 deq = ts_float(path, where, "dequeued", fields[19])
                 if enq == 0 and deq == 0 and drops == 0:
                     ts_fail(path, where, "idle port row should be omitted")
+            elif scope.startswith("gauge:"):
+                # Admission-controller gauge rows (fleet mean / fleet min
+                # in the p_admit_mean / p_admit_min columns).
+                if prev_start is None or start != prev_start:
+                    ts_fail(path, where, "gauge row outside its global window")
+                mean = ts_float(path, where, "gauge mean", fields[12])
+                low = ts_float(path, where, "gauge min", fields[13])
+                # Both render with %.6g, so equal values can round apart.
+                if low > mean * (1.0 + SHARE_TOLERANCE) + SHARE_TOLERANCE:
+                    ts_fail(path, where, f"gauge min {low} exceeds mean {mean}")
             else:
                 ts_fail(path, where, f"unknown scope '{scope}'")
     check_share_sum(path, share_where, shares)
@@ -311,12 +334,281 @@ def validate_timeseries_json(path):
         check_share_sum(path, where, shares)
         if not isinstance(window.get("ports"), list):
             ts_fail(path, where, "missing ports array")
+        gauges = window.get("gauges", [])
+        if not isinstance(gauges, list):
+            ts_fail(path, where, "gauges is not an array")
+        for gauge in gauges:
+            if not isinstance(gauge, dict) or not isinstance(
+                gauge.get("name"), str
+            ):
+                ts_fail(path, where, "gauge entry without a name")
+            mean = gauge.get("mean")
+            low = gauge.get("min")
+            if not isinstance(mean, numbers.Real) or not isinstance(
+                low, numbers.Real
+            ):
+                ts_fail(path, where, f"gauge '{gauge['name']}' not numeric")
+            if low > mean * (1.0 + SHARE_TOLERANCE) + SHARE_TOLERANCE:
+                ts_fail(
+                    path,
+                    where,
+                    f"gauge '{gauge['name']}' min {low} exceeds mean {mean}",
+                )
     if not doc["windows"]:
         ts_fail(path, "top level", "no windows in timeseries JSON")
     print(f"{path}: OK — {len(doc['windows'])} windows (JSON)")
 
 
-BENCH_SCHEMA_VERSION = 2
+PROF_SCHEMA = "aeq-prof-v1"
+
+
+def prof_fail(path, where, why):
+    sys.exit(f"{path}: {where}: {why}")
+
+
+def prof_number(path, where, name, value, minimum=None):
+    if not isinstance(value, numbers.Real) or isinstance(value, bool):
+        prof_fail(path, where, f"{name} is not numeric: {value!r}")
+    if minimum is not None and value < minimum:
+        prof_fail(path, where, f"{name}={value} below {minimum}")
+    return value
+
+
+def check_prof_regions(path, where, regions):
+    """Validates one regions array; returns the sum of its self shares."""
+    if not isinstance(regions, list):
+        prof_fail(path, where, "regions is not an array")
+    share_sum = 0.0
+    names = set()
+    for index, region in enumerate(regions):
+        rwhere = f"{where}.regions[{index}]"
+        if not isinstance(region, dict):
+            prof_fail(path, rwhere, "region is not an object")
+        name = region.get("name")
+        if not isinstance(name, str) or not name:
+            prof_fail(path, rwhere, f"bad region name {name!r}")
+        if name in names:
+            prof_fail(path, rwhere, f"duplicate region {name!r}")
+        names.add(name)
+        calls = prof_number(path, rwhere, "calls", region.get("calls"), 1)
+        sampled = prof_number(
+            path, rwhere, "sampled_calls", region.get("sampled_calls"), 1
+        )
+        # calls is the sample-scaled estimate; it can never undercut the
+        # raw number of timed calls it was scaled up from.
+        if calls < sampled:
+            prof_fail(
+                path,
+                rwhere,
+                f"calls {calls} below sampled_calls {sampled}",
+            )
+        total = prof_number(
+            path, rwhere, "total_cycles", region.get("total_cycles"), 0
+        )
+        self_cycles = prof_number(
+            path, rwhere, "self_cycles", region.get("self_cycles"), 0
+        )
+        if self_cycles > total:
+            prof_fail(
+                path,
+                rwhere,
+                f"self_cycles {self_cycles} exceeds total_cycles {total}",
+            )
+        share = prof_number(
+            path, rwhere, "self_share", region.get("self_share"), 0
+        )
+        if share > 1.0 + SHARE_TOLERANCE:
+            prof_fail(path, rwhere, f"self_share {share} above 1")
+        share_sum += share
+        hist = region.get("hist")
+        if not isinstance(hist, list):
+            prof_fail(path, rwhere, "missing hist array")
+        hist_count = 0
+        prev_bucket = -1
+        for pair in hist:
+            if (
+                not isinstance(pair, list)
+                or len(pair) != 2
+                or not all(isinstance(v, int) for v in pair)
+            ):
+                prof_fail(path, rwhere, f"bad hist pair {pair!r}")
+            bucket, bucket_count = pair
+            if bucket <= prev_bucket:
+                prof_fail(path, rwhere, "hist buckets not strictly increasing")
+            prev_bucket = bucket
+            hist_count += bucket_count
+        # The histogram only holds timed (sampled) calls.
+        if hist_count != sampled:
+            prof_fail(
+                path,
+                rwhere,
+                f"hist counts sum to {hist_count}, "
+                f"sampled_calls is {sampled}",
+            )
+    return share_sum
+
+
+def check_prof_executive(path, executive, num_shards):
+    where = "executive"
+    if not isinstance(executive, dict):
+        prof_fail(path, where, "executive is not an object")
+    windows = prof_number(path, where, "windows", executive.get("windows"), 1)
+    backoff = prof_number(
+        path, where, "backoff_windows", executive.get("backoff_windows"), 0
+    )
+    if backoff > windows:
+        prof_fail(
+            path, where, f"backoff_windows {backoff} exceeds windows {windows}"
+        )
+    epochs = executive.get("epochs")
+    if not isinstance(epochs, list) or not epochs:
+        prof_fail(path, where, "missing epochs array")
+    prev = None
+    for epoch in epochs:
+        prof_number(path, where, "epoch", epoch, 0)
+        if prev is not None and epoch < prev:
+            prof_fail(path, where, f"epochs not monotonic: {epochs}")
+        prev = epoch
+    if epochs[-1] != windows:
+        prof_fail(
+            path,
+            where,
+            f"final epoch {epochs[-1]} does not match windows {windows}",
+        )
+    prof_number(
+        path, where, "barrier_cycles", executive.get("barrier_cycles"), 0
+    )
+    stall = prof_number(
+        path,
+        where,
+        "barrier_stall_share",
+        executive.get("barrier_stall_share"),
+        0,
+    )
+    if stall > 1.0 + SHARE_TOLERANCE:
+        prof_fail(path, where, f"barrier_stall_share {stall} above 1")
+    imbalance = prof_number(
+        path, where, "load_imbalance", executive.get("load_imbalance"), 0
+    )
+    # max/mean over shards is at least 1 whenever cycles were measured; 0 is
+    # the sentinel for "nothing measured".
+    if imbalance != 0 and imbalance < 1.0 - SHARE_TOLERANCE:
+        prof_fail(path, where, f"load_imbalance {imbalance} below 1")
+    if imbalance > num_shards + SHARE_TOLERANCE:
+        prof_fail(
+            path,
+            where,
+            f"load_imbalance {imbalance} above the shard count {num_shards}",
+        )
+    for name in (
+        "mailbox_depth_hwm",
+        "cross_shard_packets",
+        "mailbox_overflows",
+    ):
+        prof_number(path, where, name, executive.get(name), 0)
+    hist = executive.get("window_hist")
+    if not isinstance(hist, list):
+        prof_fail(path, where, "missing window_hist array")
+    hist_count = sum(
+        pair[1]
+        for pair in hist
+        if isinstance(pair, list) and len(pair) == 2
+    )
+    if hist_count != windows:
+        prof_fail(
+            path,
+            where,
+            f"window_hist counts sum to {hist_count}, windows is {windows}",
+        )
+    return windows
+
+
+def validate_prof_json(path):
+    with open(path) as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            sys.exit(f"{path}: not valid JSON: {err}")
+    if not isinstance(doc, dict):
+        prof_fail(path, "top level", "document is not an object")
+    if doc.get("schema") != PROF_SCHEMA:
+        prof_fail(
+            path,
+            "top level",
+            f"schema {doc.get('schema')!r}, expected {PROF_SCHEMA!r}",
+        )
+    prof_number(path, "top level", "events_processed",
+                doc.get("events_processed"), 1)
+    prof_number(path, "top level", "elapsed_seconds",
+                doc.get("elapsed_seconds"), 0)
+    prof_number(path, "top level", "events_per_sec",
+                doc.get("events_per_sec"), 0)
+    prof_number(path, "top level", "cycles_per_second",
+                doc.get("cycles_per_second"), 1)
+    num_shards = doc.get("num_shards")
+    if not isinstance(num_shards, int) or num_shards < 1:
+        prof_fail(path, "top level", f"bad num_shards {num_shards!r}")
+    sample_period = doc.get("sample_period")
+    if not isinstance(sample_period, int) or sample_period < 1:
+        prof_fail(path, "top level", f"bad sample_period {sample_period!r}")
+    prof_number(path, "top level", "denominator_cycles",
+                doc.get("denominator_cycles"), 1)
+
+    # The aggregate regions are the headline view; its shares are over the
+    # whole-run denominator and must sum to at most 1.
+    share_sum = check_prof_regions(path, "top level", doc.get("regions"))
+    if share_sum > 1.0 + SHARE_TOLERANCE:
+        prof_fail(
+            path,
+            "top level",
+            f"region self shares sum to {share_sum}, above 1",
+        )
+
+    threads = doc.get("threads")
+    if not isinstance(threads, list) or not threads:
+        prof_fail(path, "top level", "missing threads array")
+    expected = (
+        [f"shard{k}" for k in range(num_shards)] + ["coordinator"]
+        if num_shards > 1
+        else ["serial"]
+    )
+    labels = [
+        t.get("label") if isinstance(t, dict) else None for t in threads
+    ]
+    if labels != expected:
+        prof_fail(
+            path, "threads", f"labels {labels}, expected {expected}"
+        )
+    for index, thread in enumerate(threads):
+        where = f"threads[{index}]"
+        prof_number(path, where, "events", thread.get("events"), 0)
+        prof_number(path, where, "busy_cycles", thread.get("busy_cycles"), 0)
+        prof_number(path, where, "wait_cycles", thread.get("wait_cycles"), 0)
+        prof_number(
+            path, where, "sampled_trees", thread.get("sampled_trees"), 0
+        )
+        # roots_entered / roots_sampled >= 1 whenever anything was timed.
+        prof_number(
+            path, where, "sample_scale", thread.get("sample_scale"), 1
+        )
+        check_prof_regions(path, where, thread.get("regions"))
+
+    executive = doc.get("executive")
+    if num_shards > 1:
+        if executive is None:
+            prof_fail(path, "top level", "sharded report without executive")
+        check_prof_executive(path, executive, num_shards)
+    elif executive is not None:
+        prof_fail(path, "top level", "serial report with an executive key")
+
+    print(
+        f"{path}: OK — {num_shards} shard(s), "
+        f"{len(doc['regions'])} regions, "
+        f"self shares sum {share_sum:.3f}"
+    )
+
+
+BENCH_SCHEMA_VERSION = 3
 BENCH_BACKENDS = {"heap", "calendar"}
 BENCH_SHARD_COUNTS = [1, 2, 4]
 # Speedup floor at 4 shards, applied only when the recording machine had at
@@ -487,6 +779,107 @@ def validate_bench_json(path):
                 path, where, "items_per_second", result["items_per_second"]
             )
 
+    # Schema v3: the profile section breaks the headline events/sec down by
+    # component (obs/prof regions) and, for the sharded run, by shard.
+    profile = doc.get("profile")
+    if not isinstance(profile, dict):
+        bench_fail(path, "profile", "missing profile section (schema v3)")
+    if not isinstance(profile.get("command"), str):
+        bench_fail(path, "profile", "missing command string")
+    profile_events = {}
+    for mode in ("serial", "sharded"):
+        section = profile.get(mode)
+        where = f"profile.{mode}"
+        if not isinstance(section, dict):
+            bench_fail(path, where, "missing section")
+        profile_events[mode] = bench_positive(
+            path, where, "events", section.get("events")
+        )
+        bench_positive(
+            path,
+            where,
+            "events_per_sec_millions",
+            section.get("events_per_sec_millions"),
+        )
+        regions = section.get("regions")
+        if not isinstance(regions, list) or not regions:
+            bench_fail(path, where, "missing regions array")
+        share_sum = 0.0
+        for index, region in enumerate(regions):
+            rwhere = f"{where}.regions[{index}]"
+            if not isinstance(region, dict) or not isinstance(
+                region.get("name"), str
+            ):
+                bench_fail(path, rwhere, "region without a name")
+            bench_positive(path, rwhere, "calls", region.get("calls"))
+            share = region.get("self_share")
+            if not isinstance(share, numbers.Real) or not (
+                0.0 <= share <= 1.0 + SHARE_TOLERANCE
+            ):
+                bench_fail(path, rwhere, f"self_share {share!r} outside [0, 1]")
+            share_sum += share
+            bench_positive(path, rwhere, "ns_per_call", region.get("ns_per_call"))
+        if share_sum > 1.0 + SHARE_TOLERANCE:
+            bench_fail(
+                path, where, f"region self shares sum to {share_sum}, above 1"
+            )
+    # The profiled runs use the hotpath workload, so the sharded run must
+    # dispatch exactly the serial event sequence.
+    if profile_events["serial"] != profile_events["sharded"]:
+        bench_fail(
+            path,
+            "profile",
+            f"profiled event counts diverge: {profile_events}",
+        )
+    psharded = profile["sharded"]
+    nshards = psharded.get("shards")
+    if not isinstance(nshards, int) or nshards < 2:
+        bench_fail(path, "profile.sharded", f"bad shard count {nshards!r}")
+    bench_positive(path, "profile.sharded", "windows", psharded.get("windows"))
+    stall = psharded.get("barrier_stall_share")
+    if not isinstance(stall, numbers.Real) or not (
+        0.0 <= stall <= 1.0 + SHARE_TOLERANCE
+    ):
+        bench_fail(
+            path,
+            "profile.sharded",
+            f"barrier_stall_share {stall!r} outside [0, 1]",
+        )
+    imbalance = psharded.get("load_imbalance")
+    if not isinstance(imbalance, numbers.Real) or not (
+        1.0 - SHARE_TOLERANCE <= imbalance <= nshards + SHARE_TOLERANCE
+    ):
+        bench_fail(
+            path,
+            "profile.sharded",
+            f"load_imbalance {imbalance!r} outside [1, {nshards}]",
+        )
+    per_shard = psharded.get("per_shard")
+    if not isinstance(per_shard, list) or len(per_shard) != nshards:
+        bench_fail(
+            path,
+            "profile.sharded",
+            f"per_shard must list all {nshards} shards",
+        )
+    busy_sum = 0.0
+    for index, shard in enumerate(per_shard):
+        where = f"profile.sharded.per_shard[{index}]"
+        if not isinstance(shard, dict) or shard.get("label") != f"shard{index}":
+            bench_fail(path, where, "missing or out-of-order shard label")
+        bench_positive(path, where, "events", shard.get("events"))
+        busy = shard.get("busy_share")
+        if not isinstance(busy, numbers.Real) or not (
+            0.0 <= busy <= 1.0 + SHARE_TOLERANCE
+        ):
+            bench_fail(path, where, f"busy_share {busy!r} outside [0, 1]")
+        busy_sum += busy
+    if busy_sum > 1.0 + SHARE_TOLERANCE:
+        bench_fail(
+            path,
+            "profile.sharded",
+            f"per-shard busy shares sum to {busy_sum}, above 1",
+        )
+
     pre = doc.get("pre_overhaul")
     if not isinstance(pre, dict):
         bench_fail(path, "pre_overhaul", "missing reference numbers")
@@ -499,7 +892,8 @@ def validate_bench_json(path):
     print(
         f"{path}: OK — {len(probe['results'])} perf_probe results, "
         f"{len(sharded['results'])} sharded results ({cores} cores), "
-        f"{len(micro['results'])} micro_core results"
+        f"{len(micro['results'])} micro_core results, profile over "
+        f"{len(profile['serial']['regions'])} regions"
     )
 
 
@@ -527,12 +921,23 @@ def main():
         "--bench-json",
         help="validate a BENCH_hotpath.json speed artifact",
     )
+    parser.add_argument(
+        "--prof-json",
+        help="validate an execution-profile report (--prof=PATH output)",
+    )
     opts = parser.parse_args()
     if not any(
-        (opts.trace, opts.timeseries_csv, opts.timeseries_json, opts.bench_json)
+        (
+            opts.trace,
+            opts.timeseries_csv,
+            opts.timeseries_json,
+            opts.bench_json,
+            opts.prof_json,
+        )
     ):
         parser.error(
-            "nothing to validate: pass TRACE, --timeseries-*, or --bench-json"
+            "nothing to validate: pass TRACE, --timeseries-*, --bench-json, "
+            "or --prof-json"
         )
 
     if opts.timeseries_csv:
@@ -541,6 +946,8 @@ def main():
         validate_timeseries_json(opts.timeseries_json)
     if opts.bench_json:
         validate_bench_json(opts.bench_json)
+    if opts.prof_json:
+        validate_prof_json(opts.prof_json)
     if not opts.trace:
         return
 
